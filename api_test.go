@@ -1,0 +1,95 @@
+package ncg
+
+import "testing"
+
+// TestFacadeQuickstart exercises the public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	g := Path(9)
+	res := Run(g, ProcessConfig{Game: NewMaxSwapGame(), Policy: MaxCostPolicy(), Seed: 1})
+	if !res.Converged {
+		t.Fatal("quickstart did not converge")
+	}
+	if !Stable(g, NewMaxSwapGame()) {
+		t.Fatal("result not stable")
+	}
+	if !g.IsStar() && !g.IsDoubleStar() {
+		t.Fatal("stable MAX-SG tree must be a star or double star")
+	}
+}
+
+func TestFacadeGames(t *testing.T) {
+	games := []Game{
+		NewSumSwapGame(), NewMaxSwapGame(),
+		NewAsymSwapGame(SUM), NewAsymSwapGame(MAX),
+		NewGreedyBuyGame(SUM, NewAlpha(3, 2)),
+		NewBuyGame(MAX, AlphaInt(2)),
+		NewBilateralGame(SUM, AlphaInt(4)),
+	}
+	names := map[string]bool{}
+	for _, gm := range games {
+		if names[gm.Name()] {
+			t.Fatalf("duplicate game name %q", gm.Name())
+		}
+		names[gm.Name()] = true
+	}
+}
+
+func TestFacadePaperCycles(t *testing.T) {
+	insts := PaperCycles()
+	if len(insts) < 8 {
+		t.Fatalf("expected at least 8 verified constructions, got %d", len(insts))
+	}
+	for _, inst := range insts {
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	r := NewRand(3)
+	g := BudgetNetwork(20, 2, r)
+	if g.M() != 40 || !g.Connected() {
+		t.Fatal("budget network malformed")
+	}
+	h := RandomConnected(15, 30, r)
+	if h.M() != 30 || !h.Connected() {
+		t.Fatal("random connected malformed")
+	}
+	tr := RandomTree(12, r)
+	if !tr.IsTree() {
+		t.Fatal("random tree malformed")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	opt := ExperimentOptions{Ns: []int{10}, Trials: 4, Seed: 1}
+	fr, err := RegenerateFigure(7, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) == 0 {
+		t.Fatal("no series")
+	}
+}
+
+func TestFacadeExploration(t *testing.T) {
+	insts := PaperCycles()
+	var fig16 CycleInstance
+	for _, in := range insts {
+		if in.Name == "Fig16 MAX-bilateral" {
+			fig16 = in
+		}
+	}
+	fc := FindBestResponseCycle(fig16.Start(), fig16.Game, 2000)
+	if fc == nil {
+		t.Fatal("Fig 16 must admit a reachable best-response cycle")
+	}
+	res, err := ExploreBestResponse(fig16.Start(), fig16.Game, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States < 2 {
+		t.Fatalf("exploration too small: %+v", res)
+	}
+}

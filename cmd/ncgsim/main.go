@@ -1,0 +1,44 @@
+// Command ncgsim regenerates the empirical figures of Kawald & Lenzner
+// (SPAA'13): convergence-time sweeps of the bounded-budget ASG (Figures 7
+// and 8) and of the Greedy Buy Game (Figures 11-14).
+//
+// Usage:
+//
+//	ncgsim -fig 7 [-trials 100] [-nmax 60] [-nstep 10] [-seed 1] [-workers 0]
+//
+// The output is a text table with one column per series (the curves of the
+// paper's plots) and one row per agent count, for both the average and the
+// maximum number of steps until convergence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ncg/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 7, "figure to regenerate (7, 8, 11, 12, 13, 14)")
+	trials := flag.Int("trials", 100, "trials per configuration (paper: 10000/5000)")
+	nmin := flag.Int("nmin", 10, "smallest agent count")
+	nmax := flag.Int("nmax", 50, "largest agent count")
+	nstep := flag.Int("nstep", 10, "agent count step")
+	seed := flag.Int64("seed", 1, "base seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var ns []int
+	for n := *nmin; n <= *nmax; n += *nstep {
+		ns = append(ns, n)
+	}
+	opt := experiments.Options{Ns: ns, Trials: *trials, Seed: *seed, Workers: *workers}
+	fr, err := experiments.Figure(*fig, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncgsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(fr.Render())
+	fmt.Printf("\nworst max-steps/n over the grid: %.2f\n", fr.Bound())
+}

@@ -1,0 +1,99 @@
+// Command ncgtrace runs a single network creation process and prints every
+// move. Without flags it reproduces Figure 1 of the paper: the MAX Swap
+// Game on the path P9 under the max cost policy with smallest-index
+// tie-breaking, which converges to a star.
+//
+// Usage:
+//
+//	ncgtrace [-n 9] [-game max-sg] [-alpha-num 1 -alpha-den 1]
+//	         [-policy maxcost] [-init path] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ncg/internal/dynamics"
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+func main() {
+	n := flag.Int("n", 9, "number of agents")
+	gameName := flag.String("game", "max-sg", "game: sum-sg, max-sg, sum-asg, max-asg, sum-gbg, max-gbg")
+	alphaNum := flag.Int64("alpha-num", 1, "edge price numerator (buy games)")
+	alphaDen := flag.Int64("alpha-den", 1, "edge price denominator")
+	policyName := flag.String("policy", "maxcost-det", "policy: maxcost, maxcost-det, random")
+	initName := flag.String("init", "path", "initial network: path, cycle, random-tree, budget-k (k via -k)")
+	k := flag.Int("k", 1, "budget for -init budget-k")
+	seed := flag.Int64("seed", 1, "seed for random choices")
+	flag.Parse()
+
+	var gm game.Game
+	alpha := game.NewAlpha(*alphaNum, *alphaDen)
+	switch *gameName {
+	case "sum-sg":
+		gm = game.NewSwap(game.Sum)
+	case "max-sg":
+		gm = game.NewSwap(game.Max)
+	case "sum-asg":
+		gm = game.NewAsymSwap(game.Sum)
+	case "max-asg":
+		gm = game.NewAsymSwap(game.Max)
+	case "sum-gbg":
+		gm = game.NewGreedyBuy(game.Sum, alpha)
+	case "max-gbg":
+		gm = game.NewGreedyBuy(game.Max, alpha)
+	default:
+		fmt.Fprintln(os.Stderr, "ncgtrace: unknown game", *gameName)
+		os.Exit(1)
+	}
+
+	var pol dynamics.Policy
+	tie := dynamics.TieFirst
+	switch *policyName {
+	case "maxcost":
+		pol = dynamics.MaxCost{}
+		tie = dynamics.TieRandom
+	case "maxcost-det":
+		pol = dynamics.MaxCostDeterministic{}
+	case "random":
+		pol = dynamics.Random{}
+		tie = dynamics.TieRandom
+	default:
+		fmt.Fprintln(os.Stderr, "ncgtrace: unknown policy", *policyName)
+		os.Exit(1)
+	}
+
+	var g *graph.Graph
+	r := gen.NewRand(*seed)
+	switch *initName {
+	case "path":
+		g = graph.Path(*n)
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "random-tree":
+		g = gen.RandomTree(*n, r)
+	case "budget-k":
+		g = gen.BudgetNetwork(*n, *k, r)
+	default:
+		fmt.Fprintln(os.Stderr, "ncgtrace: unknown init", *initName)
+		os.Exit(1)
+	}
+
+	fmt.Printf("initial: %v\n", g)
+	res := dynamics.Run(g, dynamics.Config{
+		Game:   gm,
+		Policy: pol,
+		Tie:    tie,
+		Seed:   *seed,
+		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+			fmt.Printf("step %3d: %v   -> diameter %d\n", step, mv, g.Diameter())
+		},
+	})
+	fmt.Printf("final:   %v\n", g)
+	fmt.Printf("steps=%d converged=%v star=%v double-star=%v\n",
+		res.Steps, res.Converged, g.IsStar(), g.IsDoubleStar())
+}

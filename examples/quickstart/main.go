@@ -1,0 +1,32 @@
+// Quickstart: run a network creation process to a stable network.
+//
+// Nine agents start on a path and play the MAX Swap Game under the max
+// cost policy — the setting of Theorem 2.11 and Figure 1 of Kawald &
+// Lenzner (SPAA'13). The process is guaranteed to converge (the paper
+// shows Theta(n log n) moves) and the stable tree is a star or double
+// star.
+package main
+
+import (
+	"fmt"
+
+	"ncg"
+)
+
+func main() {
+	g := ncg.Path(9)
+	fmt.Println("initial network:", g)
+	fmt.Println("initial diameter:", g.Diameter())
+
+	res := ncg.Run(g, ncg.ProcessConfig{
+		Game:   ncg.NewMaxSwapGame(),
+		Policy: ncg.MaxCostPolicy(),
+		Seed:   1,
+	})
+
+	fmt.Println("\nconverged:", res.Converged, "after", res.Steps, "moves")
+	fmt.Println("final network:", g)
+	fmt.Println("final diameter:", g.Diameter())
+	fmt.Println("is star:", g.IsStar(), " is double star:", g.IsDoubleStar())
+	fmt.Println("stable (pure Nash equilibrium):", ncg.Stable(g, ncg.NewMaxSwapGame()))
+}

@@ -1,0 +1,172 @@
+package cycles
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+func TestFig15SumBilateralCycle(t *testing.T) {
+	if err := Fig15SumBilateral().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem51NotWeaklyAcyclic machine-checks Theorem 5.1 in full: the
+// improving-move state space of the SUM bilateral game reachable from G0
+// contains no stable network.
+func TestTheorem51NotWeaklyAcyclic(t *testing.T) {
+	gm := game.NewBilateral(game.Sum, Fig15Alpha)
+	res, err := ExploreImproving(Fig15Start(), gm, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StableReachable {
+		t.Fatal("stable state reachable; Theorem 5.1 refuted?")
+	}
+	t.Logf("Theorem 5.1: %d reachable states, none stable", res.States)
+}
+
+// TestFig15CostValues re-derives cost values quoted in the proof of
+// Theorem 5.1 (G0 paragraph; alpha/2 units are Cost.Halves).
+func TestFig15CostValues(t *testing.T) {
+	inst := Fig15SumBilateral()
+	states := inst.States()
+	gm := inst.Game
+	s := game.NewScratch(11)
+	check := func(state int, agent string, halves, dist int64) {
+		t.Helper()
+		v := indexOf(fig15Names, agent)
+		c := gm.Cost(states[state], v, s)
+		if c.Halves != halves || c.Dist != dist {
+			t.Fatalf("G%d: cost(%s) = %v, want %d*(a/2)+%d", state, agent, c, halves, dist)
+		}
+	}
+	// G0: d has cost 4*(alpha/2) + 17; a and c have 3*(alpha/2) + 20;
+	// b has 2*(alpha/2) + 22.
+	check(0, "d", 4, 17)
+	check(0, "e", 4, 17)
+	check(0, "a", 3, 20)
+	check(0, "c", 3, 20)
+	check(0, "b", 2, 22)
+	// After a's deletion, a has 2*(alpha/2) + 25 (the proof's improving
+	// move from 3a/2+20 since a/2 > 5).
+	check(1, "a", 2, 25)
+	// G1: b is a leaf on c. The paper quotes alpha/2 + 33, but the true
+	// distance sum is 31 (paper typo: its own comparison values, e.g. b at
+	// {f,g} costing 2*(alpha/2)+28, are consistent with 31, and all of the
+	// proof's conclusions hold with 31 throughout 10 < alpha < 12).
+	check(1, "b", 1, 31)
+	check(1, "g", 1, 31)
+	// G1: f has cost alpha/2 + 34; her move yields 2*(alpha/2) + 26.
+	check(1, "f", 1, 34)
+	// G2 (canonical, after b's buy): b has 2*(alpha/2) + 25, f 2a/2+26.
+	check(2, "b", 2, 25)
+	check(2, "f", 2, 26)
+	// G2: e has 4*(alpha/2) + 18 and moves to 4*(alpha/2) + 17.
+	check(2, "e", 4, 18)
+}
+
+// TestFig15BlockingExamples verifies two blocking claims from the proof of
+// Theorem 5.1 in G0: agent d's move to {a,h,i} is blocked by a, and agent
+// b's move to {d} is blocked by d.
+func TestFig15BlockingExamples(t *testing.T) {
+	g := Fig15Start()
+	bl := game.NewBilateral(game.Sum, Fig15Alpha)
+	s := game.NewScratch(11)
+	// d: {c,e,h,i} -> {a,h,i}: drop c,e add a.
+	m := game.Move{Agent: f15d, Drop: []int{f15c, f15e}, Add: []int{f15a}}
+	if bs := bl.Blocks(g, m, s); len(bs) != 1 || bs[0] != f15a {
+		t.Fatalf("d's move blocked by %v, want [a]", bs)
+	}
+	// b: {a,c} -> {d}: drop a,c add d.
+	m = game.Move{Agent: f15b, Drop: []int{f15a, f15c}, Add: []int{f15d}}
+	if bs := bl.Blocks(g, m, s); len(bs) != 1 || bs[0] != f15d {
+		t.Fatalf("b's move blocked by %v, want [d]", bs)
+	}
+}
+
+func TestFig16MaxBilateralCycle(t *testing.T) {
+	if err := Fig16MaxBilateral().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig16CostValues re-derives every cost value quoted in the proof of
+// Theorem 5.2.
+func TestFig16CostValues(t *testing.T) {
+	inst := Fig16MaxBilateral()
+	states := inst.States()
+	gm := inst.Game
+	s := game.NewScratch(8)
+	check := func(state int, agent string, halves, dist int64) {
+		t.Helper()
+		v := indexOf(fig16Names, agent)
+		c := gm.Cost(states[state], v, s)
+		if c.Halves != halves || c.Dist != dist {
+			t.Fatalf("G%d: cost(%s) = %v, want %d*(a/2)+%d", state+1, agent, c, halves, dist)
+		}
+	}
+	// G1: a costs a/2+5, e costs 3a/2+4; after a's buy: a 2a/2+2, e 4a/2+2.
+	check(0, "a", 1, 5)
+	check(0, "e", 3, 4)
+	check(1, "a", 2, 2)
+	check(1, "e", 4, 2)
+	// G2: c costs 2a/2+3; after deletion a/2+4. g costs 2a/2+3 in G3; b
+	// costs 3a/2+3 in G3.
+	check(1, "c", 2, 3)
+	check(2, "c", 1, 4)
+	check(2, "g", 2, 3)
+	check(2, "b", 3, 3)
+	// G3: e costs 4a/2+3; after deleting ea: 3a/2+4.
+	check(2, "e", 4, 3)
+	check(3, "e", 3, 4)
+	// G4: c costs a/2+5; after buying cd: 2a/2+3 (back in G1).
+	check(3, "c", 1, 5)
+}
+
+// TestFig16BlockingExamples verifies the blocking claims in the proof of
+// Theorem 5.2: in G2, c's swap to {e} is blocked by e; in G3, e's move to
+// {b,d,h} is blocked by b and to {d,g,h} by g.
+func TestFig16BlockingExamples(t *testing.T) {
+	inst := Fig16MaxBilateral()
+	states := inst.States()
+	bl := inst.Game.(*game.Bilateral)
+	s := game.NewScratch(8)
+	m := game.Move{Agent: f16c, Drop: []int{f16b, f16d}, Add: []int{f16e}}
+	if bs := bl.Blocks(states[1], m, s); len(bs) != 1 || bs[0] != f16e {
+		t.Fatalf("G2: c's move to {e} blocked by %v, want [e]", bs)
+	}
+	m = game.Move{Agent: f16e, Drop: []int{f16a, f16f}, Add: []int{f16b}}
+	if bs := bl.Blocks(states[2], m, s); len(bs) != 1 || bs[0] != f16b {
+		t.Fatalf("G3: e's move to {b,d,h} blocked by %v, want [b]", bs)
+	}
+	m = game.Move{Agent: f16e, Drop: []int{f16a, f16f}, Add: []int{f16g}}
+	if bs := bl.Blocks(states[2], m, s); len(bs) != 1 || bs[0] != f16g {
+		t.Fatalf("G3: e's move to {d,g,h} blocked by %v, want [g]", bs)
+	}
+}
+
+// TestFig16Eccentricities checks the eccentricity profile used throughout
+// the proof of Theorem 5.2.
+func TestFig16Eccentricities(t *testing.T) {
+	g := Fig16Start()
+	want := map[string]int32{"a": 5, "b": 4, "c": 3, "e": 4, "g": 3}
+	ecc := g.Eccentricities()
+	for name, w := range want {
+		if ecc[indexOf(fig16Names, name)] != w {
+			t.Fatalf("ecc(%s) = %d, want %d", name, ecc[indexOf(fig16Names, name)], w)
+		}
+	}
+	_ = graph.Unreachable
+}
+
+func indexOf(names []string, s string) int {
+	for i, n := range names {
+		if n == s {
+			return i
+		}
+	}
+	panic("unknown vertex " + s)
+}

@@ -1,0 +1,139 @@
+package cycles
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+	"ncg/internal/search"
+)
+
+func TestFig2MaxSGCycle(t *testing.T) {
+	if err := Fig2MaxSG().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig2SearchReproduces re-runs the rotation-orbit search and confirms
+// the pinned instance is its first result and that all candidates witness
+// the theorem.
+func TestFig2SearchReproduces(t *testing.T) {
+	cands := search.Fig2Candidates()
+	if len(cands) != 18 {
+		t.Fatalf("search found %d candidates, want 18", len(cands))
+	}
+	if !cands[0].EqualUnowned(Fig2Start()) {
+		t.Fatalf("pinned instance is not the first candidate:\n%v\n%v", cands[0], Fig2Start())
+	}
+}
+
+// TestFig2EccentricityProfile checks the cost profile stated in the proof
+// of Theorem 2.16: a1, a3, b3, c3 have cost 3, everyone else cost 2.
+func TestFig2EccentricityProfile(t *testing.T) {
+	ecc := Fig2Start().Eccentricities()
+	for v, e := range ecc {
+		want := int32(2)
+		switch v {
+		case f2a1, f2a3, f2b3, f2c3:
+			want = 3
+		}
+		if e != want {
+			t.Fatalf("ecc(%s) = %d, want %d", fig2Names[v], e, want)
+		}
+	}
+}
+
+// TestFig2StatesIsomorphic confirms "G2 is isomorphic to G1" and "G3 is
+// isomorphic to G1" from the proof.
+func TestFig2StatesIsomorphic(t *testing.T) {
+	states := Fig2MaxSG().States()
+	if !graph.Isomorphic(states[0], states[1]) || !graph.Isomorphic(states[0], states[2]) {
+		t.Fatal("cycle states are not pairwise isomorphic")
+	}
+}
+
+func TestFig10MaxGBGCycle(t *testing.T) {
+	if err := Fig10MaxGBG().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10MaxBGCycle(t *testing.T) {
+	if err := Fig10MaxBG().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig10CostValues re-derives the cost values quoted in the proof of
+// Theorem 4.1 (MAX).
+func TestFig10CostValues(t *testing.T) {
+	inst := Fig10MaxGBG()
+	states := inst.States()
+	gm := inst.Game
+	s := game.NewScratch(8)
+	check := func(state int, agent int, halves, dist int64) {
+		t.Helper()
+		c := gm.Cost(states[state], agent, s)
+		if c.Halves != halves || c.Dist != dist {
+			t.Fatalf("G%d: cost(%s) = %v, want %d*(a/2)+%d",
+				state+1, fig10Names[agent], c, halves, dist)
+		}
+	}
+	check(0, f10g, 0, 5) // g costs 5 in G1
+	check(1, f10g, 2, 3) // 3+alpha after buying ga
+	check(1, f10e, 0, 4) // e costs 4 in G2
+	check(2, f10e, 2, 2) // 2+alpha after buying ea
+	check(2, f10g, 2, 3) // g costs 3+alpha in G3
+	check(3, f10g, 0, 4) // 4 after deleting ga
+	check(3, f10e, 2, 3) // e costs 3+alpha in G4
+	check(4, f10e, 0, 4) // 4 after deleting ea, back in G1
+}
+
+// TestFig10SearchReproduces re-runs the tree enumeration and confirms the
+// pinned base is its first result.
+func TestFig10SearchReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search takes ~100ms but exercises 8^6 trees")
+	}
+	cands := search.Fig10Candidates(false, 1)
+	if len(cands) != 1 {
+		t.Fatal("search found no candidate")
+	}
+	if !cands[0].Equal(Fig10Start()) {
+		t.Fatalf("pinned instance is not the first candidate:\n%v\n%v", cands[0], Fig10Start())
+	}
+}
+
+// TestCorollary42MaxRefuted documents the MAX analogue of the Corollary 4.2
+// erratum: on the host graph G1 + {ag, ae}, stable states are reachable via
+// improving moves (other agents profit from deleting base edges once the
+// shortcuts exist). search.Fig10HostCandidates further shows NO tree or
+// unicyclic base compatible with the proof's cost values avoids this, under
+// any edge-ownership assignment.
+func TestCorollary42MaxRefuted(t *testing.T) {
+	for _, gm := range []game.Game{
+		game.NewGreedyBuyHost(game.Max, Fig10Alpha, Fig10HostGraph()),
+		game.NewBuyHost(game.Max, Fig10Alpha, Fig10HostGraph()),
+	} {
+		res, err := ExploreImproving(Fig10Start(), gm, 100000)
+		if err != nil {
+			t.Fatalf("%s: %v", gm.Name(), err)
+		}
+		if !res.StableReachable {
+			t.Fatalf("%s: expected reachable stable state (documented erratum)", gm.Name())
+		}
+		t.Logf("%s: %d reachable states incl. stable ones", gm.Name(), res.States)
+	}
+}
+
+// TestCorollary42MaxExhaustivelyUnrepairable confirms the search result
+// that no Fig-10-compatible tree base under any ownership yields
+// stable-free host dynamics (slow; skipped in -short).
+func TestCorollary42MaxExhaustivelyUnrepairable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 120-base x ownership sweep")
+	}
+	if got := search.Fig10HostCandidates(false, 1); len(got) != 0 {
+		t.Fatalf("unexpected host-valid base found: %v", got[0])
+	}
+}

@@ -1,0 +1,77 @@
+package cycles
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Figure 2 / Theorem 2.16: a best response cycle for the MAX-SG on general
+// networks, in which every state has exactly ONE unhappy agent, so no move
+// policy can enforce convergence; multi-swaps do not beat the designated
+// swaps.
+//
+// The drawing is not machine-readable, so the 9-vertex instance was
+// reconstructed by search.Fig2Candidates, which enumerates all networks
+// G1 = H + {a1,b1} + {b1,c1} with H invariant under the rotation
+// a->b->c->a and keeps those satisfying every fact stated in the proof
+// (eccentricity 3 exactly for a1, a3, b3, c3; a1 the unique unhappy agent;
+// the swap a1b1 -> a1c1 a best response). All 18 candidates verify the
+// complete theorem; the lexicographically first is pinned here:
+//
+//	H = orbits of {a1,a3}, {a2,a3}, {a1,b2}, {a2,b2}
+//
+// i.e. each x1 is adjacent to x3 and to y2 (next row), each x2 to x3 and
+// y2. TestFig2SearchReproduces re-derives it.
+
+// Vertex labels of the Figure 2 construction (a1,a2,a3,b1,b2,b3,c1,c2,c3).
+const (
+	f2a1 = iota
+	f2a2
+	f2a3
+	f2b1
+	f2b2
+	f2b3
+	f2c1
+	f2c2
+	f2c3
+)
+
+var fig2Names = []string{"a1", "a2", "a3", "b1", "b2", "b3", "c1", "c2", "c3"}
+
+// Fig2Start builds the pinned Figure 2 network G1. Ownership is irrelevant
+// in the Swap Game; edges are assigned to their lower endpoint.
+func Fig2Start() *graph.Graph {
+	g := graph.New(9)
+	for _, e := range [][2]int{
+		{f2a1, f2a3}, {f2a1, f2b1}, {f2a1, f2b2},
+		{f2a2, f2a3}, {f2a2, f2b2}, {f2a2, f2c1}, {f2a2, f2c2},
+		{f2b1, f2b3}, {f2b1, f2c1}, {f2b1, f2c2},
+		{f2b2, f2b3}, {f2b2, f2c2},
+		{f2c1, f2c3}, {f2c2, f2c3},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// Fig2MaxSG is the Figure 2 best response cycle with Theorem 2.16's
+// claims: one unhappy agent per state, best-response moves, exact closure
+// after three steps, and no multi-swap improvement for the movers.
+func Fig2MaxSG() Instance {
+	return Instance{
+		Name:  "Fig2 MAX-SG",
+		Game:  game.NewSwap(game.Max),
+		Start: Fig2Start,
+		Steps: []Step{
+			{Move: game.Move{Agent: f2a1, Drop: []int{f2b1}, Add: []int{f2c1}},
+				WantUnhappy: []int{f2a1}},
+			{Move: game.Move{Agent: f2b1, Drop: []int{f2c1}, Add: []int{f2a1}},
+				WantUnhappy: []int{f2b1}},
+			{Move: game.Move{Agent: f2c1, Drop: []int{f2a1}, Add: []int{f2b1}},
+				WantUnhappy: []int{f2c1}},
+		},
+		ClosesExactly:        true,
+		CheckMultiSwapMovers: true,
+		VertexNames:          fig2Names,
+	}
+}

@@ -1,0 +1,161 @@
+package cycles
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Figure 3 / Theorem 3.3: a best response cycle for the SUM-ASG showing the
+// game is not weakly acyclic under best response, even with multi-swaps.
+//
+// The 24-vertex network (reconstructed from the proof text, which pins
+// every edge and owner): leaf agents a1..a4 on a, c1..c5 on c, d1 on d,
+// e1..e5 on e, f1..f3 on f own nothing; a owns her leaf edges and {a,e};
+// b owns {b,c}, {b,e} and one "free" edge ({b,f} in G1); c, e own their
+// leaf edges; d owns {d,d1}, {d,a}, {d,c}, {d,e}; f owns her leaf edges and
+// one free edge ({f,d} in G1).
+//
+// The cycle: f swaps d->e (saves 4); b swaps f->a (saves 1); f swaps e->d
+// (saves 1); b swaps a->f (saves 3); back to G1. In every state exactly one
+// agent is unhappy and her best response is unique, so no best-response
+// scheduling can converge; multi-swaps do not help.
+
+// Vertex labels of the Figure 3 construction.
+const (
+	f3a = iota
+	f3b
+	f3c
+	f3d
+	f3e
+	f3f
+	f3a1 // 6
+	f3a2
+	f3a3
+	f3a4
+	f3c1 // 10
+	f3c2
+	f3c3
+	f3c4
+	f3c5
+	f3d1 // 15
+	f3e1 // 16
+	f3e2
+	f3e3
+	f3e4
+	f3e5
+	f3f1 // 21
+	f3f2
+	f3f3
+)
+
+var fig3Names = []string{
+	"a", "b", "c", "d", "e", "f",
+	"a1", "a2", "a3", "a4",
+	"c1", "c2", "c3", "c4", "c5",
+	"d1",
+	"e1", "e2", "e3", "e4", "e5",
+	"f1", "f2", "f3",
+}
+
+// Fig3Start builds the Figure 3 initial network G1.
+func Fig3Start() *graph.Graph {
+	g := graph.New(24)
+	for _, leaf := range []int{f3a1, f3a2, f3a3, f3a4} {
+		g.AddEdge(f3a, leaf)
+	}
+	g.AddEdge(f3a, f3e)
+	g.AddEdge(f3b, f3c)
+	g.AddEdge(f3b, f3e)
+	g.AddEdge(f3b, f3f) // b's free edge, at f in G1
+	for _, leaf := range []int{f3c1, f3c2, f3c3, f3c4, f3c5} {
+		g.AddEdge(f3c, leaf)
+	}
+	g.AddEdge(f3d, f3d1)
+	g.AddEdge(f3d, f3a)
+	g.AddEdge(f3d, f3c)
+	g.AddEdge(f3d, f3e)
+	for _, leaf := range []int{f3e1, f3e2, f3e3, f3e4, f3e5} {
+		g.AddEdge(f3e, leaf)
+	}
+	for _, leaf := range []int{f3f1, f3f2, f3f3} {
+		g.AddEdge(f3f, leaf)
+	}
+	g.AddEdge(f3f, f3d) // f's free edge, at d in G1
+	return g
+}
+
+// Fig3SumASG is the Figure 3 best response cycle with all of Theorem 3.3's
+// claims: unique unhappy agent, unique best response, closure, and
+// multi-swap resistance for every agent.
+func Fig3SumASG() Instance {
+	return Instance{
+		Name:  "Fig3 SUM-ASG",
+		Game:  game.NewAsymSwap(game.Sum),
+		Start: Fig3Start,
+		Steps: []Step{
+			{Move: game.Move{Agent: f3f, Drop: []int{f3d}, Add: []int{f3e}},
+				WantUnhappy: []int{f3f}, UniqueBest: true},
+			{Move: game.Move{Agent: f3b, Drop: []int{f3f}, Add: []int{f3a}},
+				WantUnhappy: []int{f3b}, UniqueBest: true},
+			{Move: game.Move{Agent: f3f, Drop: []int{f3e}, Add: []int{f3d}},
+				WantUnhappy: []int{f3f}, UniqueBest: true},
+			{Move: game.Move{Agent: f3b, Drop: []int{f3a}, Add: []int{f3f}},
+				WantUnhappy: []int{f3b}, UniqueBest: true},
+		},
+		ClosesExactly:        true,
+		CheckMultiSwapMovers: true,
+		CheckMultiSwapAll:    true,
+		VertexNames:          fig3Names,
+	}
+}
+
+// Fig3HostGraph is the host graph of Corollary 3.6 (SUM version) as stated
+// in the paper: the complete graph minus the edge {a,f}.
+func Fig3HostGraph() *graph.Graph {
+	return graph.CompleteMinus(24, []graph.Edge{{U: f3a, V: f3f}})
+}
+
+// Fig3HostGraphRepaired is a corrected host graph under which Corollary 3.6
+// (SUM) actually holds: the union of the edges of all four cycle states
+// (the G1 edges plus {a,b} and {e,f}). On the paper's own host graph
+// (complete minus {a,f}) agent b has suboptimal improving swaps onto f's
+// leaves from which a stable network is reachable
+// (TestCorollary36SumPaperHostRefuted); the tighter host eliminates every
+// off-cycle improving move, and TestCorollary36SumRepaired verifies
+// exhaustively that the improving-move state space from G1 is exactly the
+// 4-cycle with no stable state.
+func Fig3HostGraphRepaired() *graph.Graph {
+	h := Fig3Start()
+	h.AddEdge(f3a, f3b)
+	h.AddEdge(f3e, f3f)
+	return h
+}
+
+// Fig3SumASGHost is the Corollary 3.6 (SUM) cycle on the paper's host
+// graph. The designated moves remain unique best responses there, but the
+// paper's claim that each mover has exactly ONE improving move fails (b has
+// six in G4), and stable states are reachable; see Fig3HostGraphRepaired.
+func Fig3SumASGHost() Instance {
+	inst := Fig3SumASG()
+	inst.Name = "Fig3 SUM-ASG host graph (Cor 3.6, as stated)"
+	inst.Game = game.NewAsymSwapHost(game.Sum, Fig3HostGraph())
+	inst.CheckMultiSwapMovers = false
+	inst.CheckMultiSwapAll = false
+	return inst
+}
+
+// Fig3SumASGHostRepaired is the corrected Corollary 3.6 (SUM) instance on
+// the cycle-edge host graph. Movers' improving moves are unique except b's
+// in G4 (she may also swap {b,e} onto f, which stays inside the non-stable
+// 6-state space); ExploreImproving proves no stable state is reachable.
+func Fig3SumASGHostRepaired() Instance {
+	inst := Fig3SumASG()
+	inst.Name = "Fig3 SUM-ASG repaired host graph (Cor 3.6)"
+	inst.Game = game.NewAsymSwapHost(game.Sum, Fig3HostGraphRepaired())
+	for i := range inst.Steps[:3] {
+		inst.Steps[i].UniqueImproving = true
+	}
+	inst.CheckMultiSwapMovers = false
+	inst.CheckMultiSwapAll = false
+	return inst
+}

@@ -1,0 +1,124 @@
+package cycles
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+)
+
+func TestFig3SumASGCycle(t *testing.T) {
+	if err := Fig3SumASG().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem33NotBRWeaklyAcyclic machine-checks Theorem 3.3 in full: the
+// best-response state space reachable from the Figure 3 network is exactly
+// the 4-cycle and contains no stable state, so no sequence of best
+// response moves can ever converge.
+func TestTheorem33NotBRWeaklyAcyclic(t *testing.T) {
+	res, err := ExploreBestResponse(Fig3Start(), game.NewAsymSwap(game.Sum), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StableReachable {
+		t.Fatal("stable state reachable under best responses")
+	}
+	if res.States != 4 {
+		t.Fatalf("best-response state space = %d, want the 4-cycle", res.States)
+	}
+}
+
+func TestCorollary36SumHostGraph(t *testing.T) {
+	if err := Fig3SumASGHost().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorollary36SumPaperHostRefuted documents a negative reproduction
+// finding: on the paper's host graph (complete minus {a,f}), agent b has
+// suboptimal improving swaps onto f's leaves in G4, and from there a stable
+// network is reachable — so the instance as stated does not witness
+// non-weak-acyclicity.
+func TestCorollary36SumPaperHostRefuted(t *testing.T) {
+	gm := game.NewAsymSwapHost(game.Sum, Fig3HostGraph())
+	res, err := ExploreImproving(Fig3Start(), gm, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StableReachable {
+		t.Fatal("expected a reachable stable state (documented paper erratum)")
+	}
+	if res.States != 19 {
+		t.Fatalf("reachable states = %d, want 19", res.States)
+	}
+}
+
+// TestCorollary36SumRepaired verifies the repaired Corollary 3.6 (SUM):
+// with the cycle-edge host graph, the improving-move state space from G1 is
+// exactly the 4-cycle and contains no stable network, so the SUM-ASG on
+// non-complete host graphs is not weakly acyclic.
+func TestCorollary36SumRepaired(t *testing.T) {
+	if err := Fig3SumASGHostRepaired().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	gm := game.NewAsymSwapHost(game.Sum, Fig3HostGraphRepaired())
+	res, err := ExploreImproving(Fig3Start(), gm, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StableReachable {
+		t.Fatal("stable state reachable on repaired host graph")
+	}
+	if res.States != 6 {
+		t.Fatalf("improving state space = %d, want 6", res.States)
+	}
+	// Under best responses the space is exactly the 4-cycle.
+	bres, err := ExploreBestResponse(Fig3Start(), gm, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.StableReachable || bres.States != 4 {
+		t.Fatalf("best-response space = %+v, want the stable-free 4-cycle", bres)
+	}
+}
+
+// TestFig3CostDeltas re-derives the cost decreases quoted in the proof of
+// Theorem 3.3: f saves 4, b saves 1, f saves 1, b saves 3.
+func TestFig3CostDeltas(t *testing.T) {
+	inst := Fig3SumASG()
+	states := inst.States()
+	gm := inst.Game
+	s := game.NewScratch(24)
+	wantDelta := []int64{4, 1, 1, 3}
+	for i, st := range inst.Steps {
+		before := gm.Cost(states[i], st.Move.Agent, s)
+		after := gm.Cost(states[i+1], st.Move.Agent, s)
+		if before.Dist-after.Dist != wantDelta[i] {
+			t.Fatalf("step %d: delta = %d, want %d", i+1, before.Dist-after.Dist, wantDelta[i])
+		}
+	}
+}
+
+// TestFig3Remark34 checks Remark 3.4: the Figure 3 cycle is NOT a best
+// response cycle in the symmetric Swap Game, because in G1 agent f's swap
+// of the foreign-owned edge {f,b} to {f,e} saves strictly more (5) than the
+// designated swap of her own edge {f,d} (4).
+func TestFig3Remark34(t *testing.T) {
+	g := Fig3Start()
+	sg := game.NewSwap(game.Sum)
+	s := game.NewScratch(24)
+	best, c := sg.BestMoves(g, f3f, s, nil)
+	if len(best) == 0 {
+		t.Fatal("f should be unhappy in the SG too")
+	}
+	cur := sg.Cost(g, f3f, s)
+	if cur.Dist-c.Dist != 5 {
+		t.Fatalf("SG best delta = %d, want 5", cur.Dist-c.Dist)
+	}
+	for _, m := range best {
+		if m.Drop[0] == f3d {
+			t.Fatalf("SG best response should not be the ASG move: %v", best)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package cycles
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Figure 9 / Theorem 4.1 (SUM version): a best response cycle for the
+// SUM-(G)BG with 7 < alpha < 8. The initial network G1 is the path
+// a-b-c-d-e-f-g; agent g owns {f,g}, agent c owns {b,c}, agent f owns
+// nothing. The six steps are:
+//
+//	G1: g swaps gf -> gc      (alpha+21 -> alpha+15)
+//	G2: f buys fb             (19 -> 11+alpha)
+//	G3: c deletes cb          (9+alpha -> 16)
+//	G4: g swaps gc -> gf      (g is again the end of a 6-path a-b-f-e-d-c-g)
+//	G5: c buys cb
+//	G6: f deletes fb          (-> G1)
+//
+// Every quoted cost value from the proof is checked by TestFig9CostValues.
+
+// Vertex labels of the Figure 9 construction.
+const (
+	f9a = iota
+	f9b
+	f9c
+	f9d
+	f9e
+	f9f
+	f9g
+)
+
+var fig9Names = []string{"a", "b", "c", "d", "e", "f", "g"}
+
+// Fig9Alpha is a rational edge price strictly inside (7, 8).
+var Fig9Alpha = game.NewAlpha(15, 2)
+
+// Fig9Start builds the Figure 9 initial network G1.
+func Fig9Start() *graph.Graph {
+	g := graph.New(7)
+	g.AddEdge(f9a, f9b) // a owns ab (owner irrelevant: a never moves)
+	g.AddEdge(f9c, f9b) // c owns cb (deleted in G3, bought back in G5)
+	g.AddEdge(f9d, f9c) // d owns dc
+	g.AddEdge(f9d, f9e) // d owns de
+	g.AddEdge(f9e, f9f) // e owns ef (so f owns nothing in G1)
+	g.AddEdge(f9g, f9f) // g owns gf (swapped in G1 and G4)
+	return g
+}
+
+var fig9Steps = []Step{
+	{Move: game.Move{Agent: f9g, Drop: []int{f9f}, Add: []int{f9c}}},
+	{Move: game.Move{Agent: f9f, Add: []int{f9b}}},
+	{Move: game.Move{Agent: f9c, Drop: []int{f9b}}},
+	{Move: game.Move{Agent: f9g, Drop: []int{f9c}, Add: []int{f9f}}},
+	{Move: game.Move{Agent: f9c, Add: []int{f9b}}},
+	{Move: game.Move{Agent: f9f, Drop: []int{f9b}}},
+}
+
+// Fig9SumGBG is the Figure 9 best response cycle played in the Greedy Buy
+// Game.
+func Fig9SumGBG() Instance {
+	return Instance{
+		Name:          "Fig9 SUM-GBG",
+		Game:          game.NewGreedyBuy(game.Sum, Fig9Alpha),
+		Start:         Fig9Start,
+		Steps:         fig9Steps,
+		ClosesExactly: true,
+		VertexNames:   fig9Names,
+	}
+}
+
+// Fig9SumBG is the same cycle played in the unrestricted Buy Game: the
+// proof shows each greedy move is a best response even among arbitrary
+// strategy changes.
+func Fig9SumBG() Instance {
+	return Instance{
+		Name:          "Fig9 SUM-BG",
+		Game:          game.NewBuy(game.Sum, Fig9Alpha),
+		Start:         Fig9Start,
+		Steps:         fig9Steps,
+		ClosesExactly: true,
+		VertexNames:   fig9Names,
+	}
+}
+
+// Fig9HostGraph is the host graph of Corollary 4.2 (SUM version): the
+// Figure 9 network G1 augmented by the two edges {b,f} and {c,g}.
+func Fig9HostGraph() *graph.Graph {
+	h := Fig9Start()
+	h.AddEdge(f9b, f9f)
+	h.AddEdge(f9c, f9g)
+	return h
+}
+
+// fig9HostSteps annotates the cycle steps with the claims that actually
+// hold on the host graph. Machine-checking reveals that Corollary 4.2 (SUM)
+// overclaims for this instance:
+//
+//   - in G1 and G4 the mover g has TWO improving moves (the designated
+//     swap, alpha+15, and buying the same target, 2*alpha+11);
+//   - in G3 agents d and e are also unhappy — once the edge {b,f} exists,
+//     the owner of {d,e} saves alpha > 4 by deleting it at a distance
+//     penalty of only 4 (the proof's constraints force c to own only {b,c}
+//     and f to own nothing, so {d,e} belongs to d or e either way);
+//   - consequently stable states ARE reachable from G1
+//     (TestCorollary42SumRefuted enumerates all 17 reachable states and
+//     finds 7 stable ones), so this instance does not witness
+//     non-weak-acyclicity.
+//
+// The designated moves remain best responses and the cycle itself exists;
+// only the "no escape" claim fails. See EXPERIMENTS.md.
+func fig9HostSteps() []Step {
+	unhappy := [][]int{
+		{f9g}, {f9f}, {f9c, f9d, f9e}, {f9g}, {f9c}, {f9d, f9f},
+	}
+	steps := make([]Step, len(fig9Steps))
+	for i, st := range fig9Steps {
+		st.WantUnhappy = unhappy[i]
+		st.UniqueBest = true
+		steps[i] = st
+	}
+	return steps
+}
+
+// Fig9SumGBGHost is the Corollary 4.2 instance for the Greedy Buy Game on
+// the Figure 9 host graph.
+func Fig9SumGBGHost() Instance {
+	return Instance{
+		Name:          "Fig9 SUM-GBG host graph (Cor 4.2)",
+		Game:          game.NewGreedyBuyHost(game.Sum, Fig9Alpha, Fig9HostGraph()),
+		Start:         Fig9Start,
+		Steps:         fig9HostSteps(),
+		ClosesExactly: true,
+		VertexNames:   fig9Names,
+	}
+}
+
+// Fig9SumBGHost plays the Corollary 4.2 cycle in the unrestricted-strategy
+// Buy Game on the host graph.
+func Fig9SumBGHost() Instance {
+	return Instance{
+		Name:          "Fig9 SUM-BG host graph (Cor 4.2)",
+		Game:          game.NewBuyHost(game.Sum, Fig9Alpha, Fig9HostGraph()),
+		Start:         Fig9Start,
+		Steps:         fig9HostSteps(),
+		ClosesExactly: true,
+		VertexNames:   fig9Names,
+	}
+}

@@ -1,0 +1,113 @@
+package cycles
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+)
+
+func TestFig9SumGBGCycle(t *testing.T) {
+	if err := Fig9SumGBG().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9SumBGCycle(t *testing.T) {
+	if err := Fig9SumBG().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorollary42SumHostGraph(t *testing.T) {
+	if err := Fig9SumGBGHost().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig9SumBGHost().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorollary42SumRefuted documents a negative reproduction finding: the
+// paper's Corollary 4.2 (SUM) instance does NOT witness
+// non-weak-acyclicity. Exhaustive exploration of the improving-move state
+// space from G1 on the host graph reaches stable networks, because the
+// owner of edge {d,e} can profitably delete it once {b,f} exists (the
+// proof's "exactly one improving move per state" claim fails in G3 and
+// G6). The best-response cycle itself (Theorem 4.1) is unaffected.
+func TestCorollary42SumRefuted(t *testing.T) {
+	gm := game.NewGreedyBuyHost(game.Sum, Fig9Alpha, Fig9HostGraph())
+	res, err := ExploreImproving(Fig9Start(), gm, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StableReachable {
+		t.Fatalf("expected a reachable stable state (documented paper erratum); states=%d", res.States)
+	}
+	if res.States != 17 {
+		t.Fatalf("reachable states = %d, want 17", res.States)
+	}
+	t.Logf("paper erratum confirmed: %d reachable states include stable networks", res.States)
+}
+
+// TestFig9BestResponseClosedWithinCycleAgents verifies the weaker property
+// that does hold: restricting play to the cycle's own trajectory, each
+// designated move is a best response and the trajectory never stabilizes
+// (it revisits G1 forever). This is exactly Theorem 4.1.
+func TestFig9BestResponseClosedWithinCycleAgents(t *testing.T) {
+	inst := Fig9SumGBG()
+	states := inst.States()
+	if !states[len(states)-1].Equal(states[0]) {
+		t.Fatal("trajectory does not revisit G1")
+	}
+}
+
+// TestFig9CostValues re-derives every cost value quoted in the proof of
+// Theorem 4.1 (SUM version).
+func TestFig9CostValues(t *testing.T) {
+	inst := Fig9SumGBG()
+	states := inst.States()
+	gm := inst.Game
+	s := game.NewScratch(7)
+	check := func(stateIdx, agent int, wantHalves, wantDist int64) {
+		t.Helper()
+		c := gm.Cost(states[stateIdx], agent, s)
+		if c.Halves != wantHalves || c.Dist != wantDist {
+			t.Fatalf("G%d: cost(%s) = %v, want %d edges + dist %d",
+				stateIdx+1, fig9Names[agent], c, wantHalves/2, wantDist)
+		}
+	}
+	// G1: g has cost alpha + 21 and her swap yields alpha + 15 (in G2).
+	check(0, f9g, 2, 21)
+	check(1, f9g, 2, 15)
+	// G2: f has cost 19 (owns nothing); buying fb gives 11 + alpha (G3).
+	check(1, f9f, 0, 19)
+	check(2, f9f, 2, 11)
+	// G3: c has cost 9 + alpha; deleting cb gives 16 (G4).
+	check(2, f9c, 2, 9)
+	check(3, f9c, 0, 16)
+	// G5: c mirrors f's G2 situation (dist 19, no edges); buying cb gives
+	// 11 + alpha (G6).
+	check(4, f9c, 0, 19)
+	check(5, f9c, 2, 11)
+	// G6: f mirrors c's G3 situation (9 + alpha); deleting fb gives 16
+	// back in G1.
+	check(5, f9f, 2, 9)
+	check(6, f9f, 0, 16)
+}
+
+func TestFig9PathShapes(t *testing.T) {
+	inst := Fig9SumGBG()
+	states := inst.States()
+	// G1 is a path of length 6 with g as one end.
+	if states[0].Diameter() != 6 || states[0].Degree(f9g) != 1 {
+		t.Fatalf("G1 is not a 6-path ending in g: %v", states[0])
+	}
+	// G4 is again a path of length 6 with g at an end (a-b-f-e-d-c-g).
+	if states[3].Diameter() != 6 || states[3].Degree(f9g) != 1 {
+		t.Fatalf("G4 is not a 6-path ending in g: %v", states[3])
+	}
+	// And the cycle closes exactly.
+	if !states[6].Equal(states[0]) {
+		t.Fatal("cycle does not close")
+	}
+}

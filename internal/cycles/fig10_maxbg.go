@@ -1,0 +1,96 @@
+package cycles
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Figure 10 / Theorem 4.1 (MAX version): a best response cycle for the
+// MAX-(G)BG with 1 < alpha < 2:
+//
+//	G1: g buys ga    (5       -> 3+alpha)
+//	G2: e buys ea    (4       -> 2+alpha)
+//	G3: g deletes ga (3+alpha -> 4)
+//	G4: e deletes ea (3+alpha -> 4)
+//
+// The drawing is not machine-readable; the 8-vertex base was reconstructed
+// by search.Fig10Candidates, which enumerates all labeled trees (and
+// unicyclic graphs) on {a..h}, keeps those matching every eccentricity
+// value quoted in the proof, and requires all four moves to be best
+// responses in the exhaustive MAX Buy Game. 120 tree bases qualify; the
+// lexicographically first (by Prüfer order) is pinned here: the caterpillar
+//
+//	a-b-c-d with e, f, h attached to d and g attached to h,
+//
+// agents e and g owning no edges. TestFig10SearchReproduces re-derives it.
+
+// Vertex labels of the Figure 10 construction.
+const (
+	f10a = iota
+	f10b
+	f10c
+	f10d
+	f10e
+	f10f
+	f10g
+	f10h
+)
+
+var fig10Names = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// Fig10Alpha is a rational edge price strictly inside (1, 2).
+var Fig10Alpha = game.NewAlpha(3, 2)
+
+// Fig10Start builds the pinned Figure 10 base network G1.
+func Fig10Start() *graph.Graph {
+	g := graph.New(8)
+	g.AddEdge(f10a, f10b)
+	g.AddEdge(f10b, f10c)
+	g.AddEdge(f10c, f10d)
+	g.AddEdge(f10d, f10e) // e owns nothing
+	g.AddEdge(f10d, f10h)
+	g.AddEdge(f10f, f10d)
+	g.AddEdge(f10h, f10g) // g owns nothing
+	return g
+}
+
+var fig10Steps = []Step{
+	{Move: game.Move{Agent: f10g, Add: []int{f10a}}},
+	{Move: game.Move{Agent: f10e, Add: []int{f10a}}},
+	{Move: game.Move{Agent: f10g, Drop: []int{f10a}}},
+	{Move: game.Move{Agent: f10e, Drop: []int{f10a}}},
+}
+
+// Fig10MaxGBG is the Figure 10 best response cycle in the Greedy Buy Game.
+func Fig10MaxGBG() Instance {
+	return Instance{
+		Name:          "Fig10 MAX-GBG",
+		Game:          game.NewGreedyBuy(game.Max, Fig10Alpha),
+		Start:         Fig10Start,
+		Steps:         fig10Steps,
+		ClosesExactly: true,
+		VertexNames:   fig10Names,
+	}
+}
+
+// Fig10MaxBG is the same cycle in the unrestricted Buy Game (each move is a
+// best response among arbitrary strategy changes, as the proof argues).
+func Fig10MaxBG() Instance {
+	return Instance{
+		Name:          "Fig10 MAX-BG",
+		Game:          game.NewBuy(game.Max, Fig10Alpha),
+		Start:         Fig10Start,
+		Steps:         fig10Steps,
+		ClosesExactly: true,
+		VertexNames:   fig10Names,
+	}
+}
+
+// Fig10HostGraph is the Corollary 4.2 (MAX) host graph: G1 plus {a,g} and
+// {a,e}.
+func Fig10HostGraph() *graph.Graph {
+	h := Fig10Start()
+	h.AddEdge(f10a, f10g)
+	h.AddEdge(f10a, f10e)
+	return h
+}

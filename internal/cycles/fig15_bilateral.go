@@ -1,0 +1,87 @@
+package cycles
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Figure 15 / Theorem 5.1: the SUM bilateral equal-split Buy Game is not
+// weakly acyclic, for 10 < alpha < 12. The construction (all strategy sets
+// are stated explicitly in the proof): 11 agents a..e plus leaves f (on a),
+// g (on c), h, i (on d), j, k (on e); neighbourhoods
+//
+//	N(a) = {b, e, f},  N(b) = {a, c},  N(c) = {b, d, g},
+//	N(d) = {c, e, h, i},  N(e) = {a, d, j, k}.
+//
+// Cycle of three (isomorphism classes of) states:
+//
+//	G0: a and c are unhappy; their only feasible improving moves delete
+//	    their edge towards b (-> iso G1).
+//	G1: b, f, g are unhappy; all their feasible improving moves create one
+//	    edge inside {b,f,g} (-> iso G2).
+//	G2: only e is unhappy; her unique feasible improving move swaps her
+//	    edge at a for one at f (-> iso G0).
+//
+// Because every feasible improving move of every agent leads isomorphically
+// to the next state, no sequence of improving moves can ever stabilize.
+
+// Vertex labels of the Figure 15 construction.
+const (
+	f15a = iota
+	f15b
+	f15c
+	f15d
+	f15e
+	f15f
+	f15g
+	f15h
+	f15i
+	f15j
+	f15k
+)
+
+var fig15Names = []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"}
+
+// Fig15Alpha is a rational edge price strictly inside (10, 12).
+var Fig15Alpha = game.AlphaInt(11)
+
+// Fig15Start builds the Figure 15 network G0. Edge ownership is
+// bookkeeping only (the bilateral game splits costs by incidence).
+func Fig15Start() *graph.Graph {
+	g := graph.New(11)
+	g.AddEdge(f15a, f15b)
+	g.AddEdge(f15a, f15e)
+	g.AddEdge(f15a, f15f)
+	g.AddEdge(f15b, f15c)
+	g.AddEdge(f15c, f15d)
+	g.AddEdge(f15c, f15g)
+	g.AddEdge(f15d, f15e)
+	g.AddEdge(f15d, f15h)
+	g.AddEdge(f15d, f15i)
+	g.AddEdge(f15e, f15j)
+	g.AddEdge(f15e, f15k)
+	return g
+}
+
+// Fig15SumBilateral is the canonical trajectory through the Figure 15
+// cycle: a deletes ab, b buys bf, e plays {a,d,j,k} -> {d,f,j,k}; the
+// result is isomorphic to G0. Every improving move of every agent is
+// verified to stay in the cycle (EveryImprovingStaysInCycle).
+func Fig15SumBilateral() Instance {
+	return Instance{
+		Name:  "Fig15 SUM-bilateral",
+		Game:  game.NewBilateral(game.Sum, Fig15Alpha),
+		Start: Fig15Start,
+		Steps: []Step{
+			{Move: game.Move{Agent: f15a, Drop: []int{f15b}},
+				WantUnhappy: []int{f15a, f15c}},
+			{Move: game.Move{Agent: f15b, Add: []int{f15f}},
+				WantUnhappy: []int{f15b, f15f, f15g}},
+			{Move: game.Move{Agent: f15e, Drop: []int{f15a}, Add: []int{f15f}},
+				WantUnhappy: []int{f15e}, UniqueImproving: true},
+		},
+		ClosesExactly:              false, // closes up to isomorphism
+		EveryImprovingStaysInCycle: true,
+		VertexNames:                fig15Names,
+	}
+}

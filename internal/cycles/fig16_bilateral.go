@@ -1,0 +1,67 @@
+package cycles
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Figure 16 / Theorem 5.2: a best response cycle for the MAX bilateral
+// equal-split Buy Game, 2 < alpha < 4. The 8-vertex base network G1
+// (reconstructed from the proof's strategy sets, eccentricities and
+// 1-center arguments, and cross-checked against every quoted cost value):
+//
+//	edges ab, bc, bg, cd, de, ef, eh, fg.
+//
+// The cycle: a buys ae (alpha/2+5 -> 2 alpha/2+2); c deletes cd
+// (2 alpha/2+3 -> alpha/2+4); e deletes ea (4 alpha/2+3 -> 3 alpha/2+4);
+// c buys cd (alpha/2+5 -> 2 alpha/2+3); back to G1.
+
+// Vertex labels of the Figure 16 construction.
+const (
+	f16a = iota
+	f16b
+	f16c
+	f16d
+	f16e
+	f16f
+	f16g
+	f16h
+)
+
+var fig16Names = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// Fig16Alpha is a rational edge price strictly inside (2, 4).
+var Fig16Alpha = game.AlphaInt(3)
+
+// Fig16Start builds the Figure 16 network G1.
+func Fig16Start() *graph.Graph {
+	g := graph.New(8)
+	g.AddEdge(f16a, f16b)
+	g.AddEdge(f16b, f16c)
+	g.AddEdge(f16b, f16g)
+	g.AddEdge(f16c, f16d)
+	g.AddEdge(f16d, f16e)
+	g.AddEdge(f16e, f16f)
+	g.AddEdge(f16e, f16h)
+	g.AddEdge(f16f, f16g)
+	return g
+}
+
+// Fig16MaxBilateral is the Figure 16 best response cycle. Each designated
+// move is a feasible best response of its agent (blocking by new neighbours
+// is part of the game's move enumeration).
+func Fig16MaxBilateral() Instance {
+	return Instance{
+		Name:  "Fig16 MAX-bilateral",
+		Game:  game.NewBilateral(game.Max, Fig16Alpha),
+		Start: Fig16Start,
+		Steps: []Step{
+			{Move: game.Move{Agent: f16a, Add: []int{f16e}}},
+			{Move: game.Move{Agent: f16c, Drop: []int{f16d}}},
+			{Move: game.Move{Agent: f16e, Drop: []int{f16a}}},
+			{Move: game.Move{Agent: f16c, Add: []int{f16d}}},
+		},
+		ClosesExactly: true,
+		VertexNames:   fig16Names,
+	}
+}

@@ -1,0 +1,216 @@
+package cycles
+
+import (
+	"fmt"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// ReachResult summarizes an exhaustive exploration of the improving-move
+// state graph from an initial network.
+type ReachResult struct {
+	// States is the number of distinct states reachable from the start
+	// (including the start itself) via sequences of improving moves.
+	States int
+	// StableReachable reports whether any reachable state is stable. If
+	// false, the game is provably not weakly acyclic: no sequence of
+	// improving moves starting at the initial network can ever converge.
+	StableReachable bool
+	// BestResponseClosed reports whether restricting agents to best
+	// responses also reaches no stable state (only meaningful when
+	// exploreBest was requested).
+	BestResponseClosed bool
+}
+
+// ExploreImproving exhaustively expands every improving move of every agent
+// from start, deduplicating states (ownership-aware when the game requires
+// it), and reports whether a stable state is reachable. It fails with an
+// error if more than maxStates distinct states are encountered, so callers
+// control the blow-up. This machine-checks the non-weak-acyclicity claims
+// of Corollaries 3.6 and 4.2 in their strongest form.
+func ExploreImproving(start *graph.Graph, gm game.Game, maxStates int) (ReachResult, error) {
+	return explore(start, gm, maxStates, false)
+}
+
+// ExploreBestResponse is ExploreImproving restricted to best-response
+// moves; if no stable state is reachable, the game is not weakly acyclic
+// under best response from this start (Theorem 3.3's notion).
+func ExploreBestResponse(start *graph.Graph, gm game.Game, maxStates int) (ReachResult, error) {
+	return explore(start, gm, maxStates, true)
+}
+
+// FoundCycle is a best-response cycle discovered by FindBestResponseCycle:
+// Moves[i] transforms States[i] into States[i+1], and the final move leads
+// back to States[0].
+type FoundCycle struct {
+	States []*graph.Graph
+	Moves  []game.Move
+}
+
+// FindBestResponseCycle searches the best-response state graph reachable
+// from start for a directed cycle and returns the first one found (nil if
+// the explored space — capped at maxStates — is acyclic). A non-nil result
+// proves the game admits a best response cycle from this initial network.
+func FindBestResponseCycle(start *graph.Graph, gm game.Game, maxStates int) *FoundCycle {
+	owned := gm.OwnershipMatters()
+	hash := func(g *graph.Graph) uint64 {
+		if owned {
+			return g.Hash()
+		}
+		return g.HashUnowned()
+	}
+	equal := func(a, b *graph.Graph) bool {
+		if owned {
+			return a.Equal(b)
+		}
+		return a.EqualUnowned(b)
+	}
+	type node struct {
+		g       *graph.Graph
+		onStack bool
+		done    bool
+	}
+	nodes := map[uint64][]*node{}
+	lookup := func(g *graph.Graph) *node {
+		for _, nd := range nodes[hash(g)] {
+			if equal(nd.g, g) {
+				return nd
+			}
+		}
+		return nil
+	}
+	count := 0
+	s := game.NewScratch(start.N())
+
+	var stackStates []*graph.Graph
+	var stackMoves []game.Move
+	var found *FoundCycle
+
+	var dfs func(g *graph.Graph, nd *node)
+	dfs = func(g *graph.Graph, nd *node) {
+		if found != nil || count > maxStates {
+			return
+		}
+		nd.onStack = true
+		stackStates = append(stackStates, nd.g)
+		var moves []game.Move
+		for u := 0; u < g.N() && found == nil; u++ {
+			moves, _ = gm.BestMoves(g, u, s, moves[:0])
+			for _, m := range moves {
+				mc := m.Clone()
+				ap := game.Apply(g, mc)
+				next := lookup(g)
+				switch {
+				case next == nil:
+					count++
+					nn := &node{g: g.Clone()}
+					nodes[hash(g)] = append(nodes[hash(g)], nn)
+					stackMoves = append(stackMoves, mc)
+					dfs(g, nn)
+					stackMoves = stackMoves[:len(stackMoves)-1]
+				case next.onStack:
+					// Cycle: from next.g around the stack back.
+					start := 0
+					for i, sg := range stackStates {
+						if sg == next.g {
+							start = i
+							break
+						}
+					}
+					fc := &FoundCycle{}
+					for i := start; i < len(stackStates); i++ {
+						fc.States = append(fc.States, stackStates[i].Clone())
+					}
+					fc.Moves = append(fc.Moves, stackMoves[start:]...)
+					fc.Moves = append(fc.Moves, mc)
+					found = fc
+				}
+				ap.Undo()
+				if found != nil {
+					break
+				}
+			}
+		}
+		nd.onStack = false
+		nd.done = true
+		stackStates = stackStates[:len(stackStates)-1]
+	}
+	root := &node{g: start.Clone()}
+	nodes[hash(start)] = append(nodes[hash(start)], root)
+	count++
+	g := start.Clone()
+	dfs(g, root)
+	return found
+}
+
+func explore(start *graph.Graph, gm game.Game, maxStates int, bestOnly bool) (ReachResult, error) {
+	owned := gm.OwnershipMatters()
+	hash := func(g *graph.Graph) uint64 {
+		if owned {
+			return g.Hash()
+		}
+		return g.HashUnowned()
+	}
+	equal := func(a, b *graph.Graph) bool {
+		if owned {
+			return a.Equal(b)
+		}
+		return a.EqualUnowned(b)
+	}
+	seen := map[uint64][]*graph.Graph{}
+	lookup := func(g *graph.Graph) bool {
+		for _, h := range seen[hash(g)] {
+			if equal(h, g) {
+				return true
+			}
+		}
+		return false
+	}
+	insert := func(g *graph.Graph) {
+		h := hash(g)
+		seen[h] = append(seen[h], g)
+	}
+
+	res := ReachResult{BestResponseClosed: true}
+	s := game.NewScratch(start.N())
+	queue := []*graph.Graph{start.Clone()}
+	insert(queue[0])
+	res.States = 1
+	var moves []game.Move
+	for len(queue) > 0 {
+		g := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		stable := true
+		for u := 0; u < g.N(); u++ {
+			moves = moves[:0]
+			if bestOnly {
+				moves, _ = gm.BestMoves(g, u, s, moves)
+			} else {
+				moves = gm.ImprovingMoves(g, u, s, moves)
+			}
+			if len(moves) > 0 {
+				stable = false
+			}
+			for _, m := range moves {
+				ap := game.Apply(g, m)
+				if !lookup(g) {
+					res.States++
+					if res.States > maxStates {
+						ap.Undo()
+						return res, fmt.Errorf("cycles: state space exceeds %d states", maxStates)
+					}
+					next := g.Clone()
+					insert(next)
+					queue = append(queue, next)
+				}
+				ap.Undo()
+			}
+		}
+		if stable {
+			res.StableReachable = true
+			res.BestResponseClosed = false
+		}
+	}
+	return res, nil
+}

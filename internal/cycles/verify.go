@@ -1,0 +1,351 @@
+// Package cycles contains the paper's explicit better/best-response-cycle
+// constructions (Figures 2-6, 9, 10, 15, 16 of Kawald & Lenzner, SPAA'13)
+// together with a generic verifier that machine-checks every claim the
+// proofs make about them: that each designated move is a (unique) best
+// response, that the unhappy sets are as stated, that multi-swaps cannot
+// outperform the designated moves, that improving paths cannot leave the
+// cycle (non-weak-acyclicity), and that the sequence closes.
+package cycles
+
+import (
+	"fmt"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Step is one move of a cyclic sequence together with the proof's claims
+// about the state it is played in.
+type Step struct {
+	// Move transforms state i into state i+1.
+	Move game.Move
+	// WantUnhappy, if non-nil, is the exact expected set of unhappy
+	// agents in the pre-move state.
+	WantUnhappy []int
+	// UniqueBest asserts that Move is the unique best response of its
+	// agent.
+	UniqueBest bool
+	// UniqueImproving asserts that Move is the only improving move of its
+	// agent (used by the host-graph corollaries).
+	UniqueImproving bool
+	// BetterOnly marks a step claimed improving but not necessarily a
+	// best response (better-response cycles).
+	BetterOnly bool
+}
+
+// Instance is a claimed better/best-response cycle.
+type Instance struct {
+	Name string
+	Game game.Game
+	// Start builds the initial network of the cycle.
+	Start func() *graph.Graph
+	// Steps is the cyclic move sequence.
+	Steps []Step
+	// ClosesExactly requires the final state to equal the start as a
+	// labeled network; otherwise isomorphism (ownership-aware when the
+	// game's ownership matters) suffices.
+	ClosesExactly bool
+	// CheckMultiSwapMovers additionally verifies that no multi-swap of a
+	// moving agent outperforms the designated single swap (swap games
+	// only).
+	CheckMultiSwapMovers bool
+	// CheckMultiSwapAll additionally verifies that NO agent listed happy
+	// can improve even with a multi-swap (Theorem 3.3's stronger claim).
+	CheckMultiSwapAll bool
+	// EveryImprovingStaysInCycle asserts that every improving move of
+	// every agent in every state leads to a network isomorphic to the
+	// successor state (Theorem 5.1's non-weak-acyclicity form).
+	EveryImprovingStaysInCycle bool
+	// EveryBestEntersCycle asserts that every unhappy agent in every
+	// state has at least one best response leading to a network
+	// isomorphic to some state of the cycle (Theorem 3.5's "no move
+	// policy helps" form).
+	EveryBestEntersCycle bool
+	// VertexNames maps vertex indices to the paper's labels for error
+	// messages.
+	VertexNames []string
+}
+
+func (in Instance) vname(v int) string {
+	if v >= 0 && v < len(in.VertexNames) {
+		return in.VertexNames[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+func (in Instance) moveString(m game.Move) string {
+	s := "agent " + in.vname(m.Agent)
+	if len(m.Drop) > 0 {
+		s += " drop ["
+		for i, v := range m.Drop {
+			if i > 0 {
+				s += " "
+			}
+			s += in.vname(v)
+		}
+		s += "]"
+	}
+	if len(m.Add) > 0 {
+		s += " add ["
+		for i, v := range m.Add {
+			if i > 0 {
+				s += " "
+			}
+			s += in.vname(v)
+		}
+		s += "]"
+	}
+	return s
+}
+
+// States returns the full state sequence G_0, ..., G_k where G_k is the
+// state after the last step (and should close the cycle). It panics on
+// instances whose steps are not applicable in sequence; Verify reports
+// such problems as errors instead.
+func (in Instance) States() []*graph.Graph {
+	g := in.Start()
+	out := []*graph.Graph{g.Clone()}
+	for _, st := range in.Steps {
+		game.Apply(g, st.Move)
+		out = append(out, g.Clone())
+	}
+	return out
+}
+
+// applicable reports whether m can be played in g: all dropped neighbours
+// are present and all added ones absent.
+func applicable(g *graph.Graph, m game.Move) bool {
+	for _, v := range m.Drop {
+		if !g.HasEdge(m.Agent, v) {
+			return false
+		}
+	}
+	for _, v := range m.Add {
+		if v == m.Agent || g.HasEdge(m.Agent, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify machine-checks every claim of the instance and returns the first
+// violation found, or nil if all claims hold.
+func (in Instance) Verify() error {
+	g := in.Start()
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("%s: invalid start: %w", in.Name, err)
+	}
+	if !g.Connected() {
+		return fmt.Errorf("%s: start network disconnected", in.Name)
+	}
+	start := g.Clone()
+	s := game.NewScratch(g.N())
+	alpha := in.Game.Alpha()
+	// The full state list is needed only by the cycle-membership claims;
+	// materialize it lazily once the step moves are known to be
+	// applicable in sequence.
+	var states []*graph.Graph
+	if in.EveryImprovingStaysInCycle || in.EveryBestEntersCycle {
+		probe := start.Clone()
+		for i, st := range in.Steps {
+			if !applicable(probe, st.Move) {
+				return fmt.Errorf("%s step %d: move %s not applicable", in.Name, i+1, in.moveString(st.Move))
+			}
+			game.Apply(probe, st.Move)
+		}
+		states = in.States()
+	}
+
+	for i, st := range in.Steps {
+		mover := st.Move.Agent
+		if !applicable(g, st.Move) {
+			return fmt.Errorf("%s step %d: move %s not applicable", in.Name, i+1, in.moveString(st.Move))
+		}
+		// Claim: unhappy set.
+		if st.WantUnhappy != nil {
+			got := unhappySet(g, in.Game, s)
+			if !sameSet(got, st.WantUnhappy) {
+				return fmt.Errorf("%s step %d: unhappy = %s, want %s",
+					in.Name, i+1, in.nameList(got), in.nameList(st.WantUnhappy))
+			}
+		}
+		// Claim: the move is improving / a (unique) best response.
+		cur := in.Game.Cost(g, mover, s)
+		after := evalCost(g, st.Move, in.Game, s)
+		if !after.Less(cur, alpha) {
+			return fmt.Errorf("%s step %d: move %s not improving (%v -> %v)",
+				in.Name, i+1, in.moveString(st.Move), cur, after)
+		}
+		if !st.BetterOnly {
+			best, bestCost := in.Game.BestMoves(g, mover, s, nil)
+			if after.Cmp(bestCost, alpha) != 0 {
+				return fmt.Errorf("%s step %d: move %s has cost %v but best response cost is %v (best: %s)",
+					in.Name, i+1, in.moveString(st.Move), after, bestCost, in.movesString(best))
+			}
+			if st.UniqueBest && len(best) != 1 {
+				return fmt.Errorf("%s step %d: best response not unique: %s",
+					in.Name, i+1, in.movesString(best))
+			}
+			if st.UniqueBest && !best[0].Equal(st.Move) {
+				return fmt.Errorf("%s step %d: unique best response is %s, not the designated %s",
+					in.Name, i+1, in.moveString(best[0]), in.moveString(st.Move))
+			}
+		}
+		if st.UniqueImproving {
+			ims := in.Game.ImprovingMoves(g, mover, s, nil)
+			if len(ims) != 1 || !ims[0].Equal(st.Move) {
+				return fmt.Errorf("%s step %d: improving moves of %s are %s, want exactly the designated move",
+					in.Name, i+1, in.vname(mover), in.movesString(ims))
+			}
+		}
+		// Claim: multi-swaps do not beat the designated move (mover).
+		if in.CheckMultiSwapMovers {
+			_, mc := game.MultiSwapBest(in.Game, g, mover, s, 0)
+			if mc.Less(after, alpha) {
+				return fmt.Errorf("%s step %d: a multi-swap of %s achieves %v, beating the designated %v",
+					in.Name, i+1, in.vname(mover), mc, after)
+			}
+		}
+		// Claim: happy agents stay happy under multi-swaps.
+		if in.CheckMultiSwapAll {
+			for u := 0; u < g.N(); u++ {
+				if u == mover {
+					continue
+				}
+				if st.WantUnhappy != nil && contains(st.WantUnhappy, u) {
+					continue
+				}
+				if ms := game.MultiSwapImprovingMoves(in.Game, g, u, s, 0); len(ms) > 0 {
+					return fmt.Errorf("%s step %d: supposedly happy agent %s has improving multi-swap %s",
+						in.Name, i+1, in.vname(u), in.moveString(ms[0]))
+				}
+			}
+		}
+		// Claim: no improving move escapes the cycle.
+		if in.EveryImprovingStaysInCycle {
+			next := states[i+1]
+			for u := 0; u < g.N(); u++ {
+				for _, m := range in.Game.ImprovingMoves(g, u, s, nil) {
+					ap := game.Apply(g, m)
+					ok := isoStates(g, next, in.Game)
+					ap.Undo()
+					if !ok {
+						return fmt.Errorf("%s step %d: improving move %s leaves the cycle",
+							in.Name, i+1, in.moveString(m))
+					}
+				}
+			}
+		}
+		// Claim: every unhappy agent has a best response back into the
+		// cycle.
+		if in.EveryBestEntersCycle {
+			for _, u := range unhappySet(g, in.Game, s) {
+				best, _ := in.Game.BestMoves(g, u, s, nil)
+				found := false
+				for _, m := range best {
+					ap := game.Apply(g, m)
+					for _, st2 := range states[:len(states)-1] {
+						if isoStates(g, st2, in.Game) {
+							found = true
+							break
+						}
+					}
+					ap.Undo()
+					if found {
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("%s step %d: unhappy agent %s has no best response into the cycle",
+						in.Name, i+1, in.vname(u))
+				}
+			}
+		}
+		game.Apply(g, st.Move)
+	}
+
+	// Closure.
+	if in.ClosesExactly {
+		equal := g.Equal(start)
+		if !in.Game.OwnershipMatters() {
+			equal = g.EqualUnowned(start)
+		}
+		if !equal {
+			return fmt.Errorf("%s: cycle does not close exactly:\nstart: %v\nend:   %v", in.Name, start, g)
+		}
+	} else if !isoStates(g, start, in.Game) {
+		return fmt.Errorf("%s: final state not isomorphic to start", in.Name)
+	}
+	return nil
+}
+
+func (in Instance) nameList(vs []int) string {
+	s := "["
+	for i, v := range vs {
+		if i > 0 {
+			s += " "
+		}
+		s += in.vname(v)
+	}
+	return s + "]"
+}
+
+func (in Instance) movesString(ms []game.Move) string {
+	s := "{"
+	for i, m := range ms {
+		if i > 0 {
+			s += "; "
+		}
+		s += in.moveString(m)
+	}
+	return s + "}"
+}
+
+func evalCost(g *graph.Graph, m game.Move, gm game.Game, s *game.Scratch) game.Cost {
+	ap := game.Apply(g, m)
+	c := gm.Cost(g, m.Agent, s)
+	ap.Undo()
+	return c
+}
+
+func isoStates(a, b *graph.Graph, gm game.Game) bool {
+	if gm.OwnershipMatters() {
+		return graph.IsomorphicOwned(a, b)
+	}
+	return graph.Isomorphic(a, b)
+}
+
+func unhappySet(g *graph.Graph, gm game.Game, s *game.Scratch) []int {
+	var us []int
+	for u := 0; u < g.N(); u++ {
+		if gm.HasImproving(g, u, s) {
+			us = append(us, u)
+		}
+	}
+	return us
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := map[int]bool{}
+	for _, x := range a {
+		in[x] = true
+	}
+	for _, x := range b {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package cycles
+
+import (
+	"strings"
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// badInstance builds a deliberately wrong instance to exercise the
+// verifier's failure modes.
+func badInstance(mutate func(*Instance)) Instance {
+	inst := Fig9SumGBG()
+	mutate(&inst)
+	return inst
+}
+
+func TestVerifyRejectsNonImprovingMove(t *testing.T) {
+	inst := badInstance(func(in *Instance) {
+		// Swap g's first move to a pointless target (gf -> ga).
+		in.Steps = append([]Step(nil), in.Steps...)
+		in.Steps[0] = Step{Move: game.Move{Agent: f9g, Drop: []int{f9f}, Add: []int{f9a}}}
+	})
+	err := inst.Verify()
+	if err == nil || !strings.Contains(err.Error(), "not improving") {
+		t.Fatalf("err = %v, want 'not improving'", err)
+	}
+}
+
+func TestVerifyRejectsSubOptimalMove(t *testing.T) {
+	inst := badInstance(func(in *Instance) {
+		// g's swap to d improves (alpha+15 equals the best) — but g's
+		// swap to e improves by less and must be rejected as a best
+		// response... swap to e: distances from g at e: e1,d2,f1? g at
+		// e: ... choose a target that improves but is not best: vertex d
+		// ties with c, so use e instead.
+		in.Steps = append([]Step(nil), in.Steps...)
+		in.Steps[0] = Step{Move: game.Move{Agent: f9g, Drop: []int{f9f}, Add: []int{f9e}}}
+	})
+	err := inst.Verify()
+	if err == nil {
+		t.Fatal("expected a verification error")
+	}
+}
+
+func TestVerifyRejectsWrongUnhappySet(t *testing.T) {
+	inst := badInstance(func(in *Instance) {
+		in.Steps = append([]Step(nil), in.Steps...)
+		st := in.Steps[0]
+		st.WantUnhappy = []int{f9a}
+		in.Steps[0] = st
+	})
+	err := inst.Verify()
+	if err == nil || !strings.Contains(err.Error(), "unhappy") {
+		t.Fatalf("err = %v, want unhappy-set mismatch", err)
+	}
+}
+
+func TestVerifyRejectsNonClosingCycle(t *testing.T) {
+	inst := badInstance(func(in *Instance) {
+		in.Steps = in.Steps[:5] // drop the closing move
+	})
+	err := inst.Verify()
+	if err == nil || !strings.Contains(err.Error(), "close") {
+		t.Fatalf("err = %v, want closure failure", err)
+	}
+}
+
+func TestVerifyRejectsFalseUniqueBest(t *testing.T) {
+	// In G1 the swap gf->gc ties with gf->gd, so claiming uniqueness must
+	// fail.
+	inst := badInstance(func(in *Instance) {
+		in.Steps = append([]Step(nil), in.Steps...)
+		st := in.Steps[0]
+		st.UniqueBest = true
+		in.Steps[0] = st
+	})
+	err := inst.Verify()
+	if err == nil || !strings.Contains(err.Error(), "unique") {
+		t.Fatalf("err = %v, want uniqueness failure", err)
+	}
+}
+
+func TestStatesSequence(t *testing.T) {
+	inst := Fig9SumGBG()
+	states := inst.States()
+	if len(states) != len(inst.Steps)+1 {
+		t.Fatalf("states = %d, want %d", len(states), len(inst.Steps)+1)
+	}
+	// Consecutive states differ by exactly the designated move.
+	for i, st := range inst.Steps {
+		g := states[i].Clone()
+		game.Apply(g, st.Move)
+		if !g.Equal(states[i+1]) {
+			t.Fatalf("step %d does not transform state %d into %d", i+1, i, i+1)
+		}
+	}
+}
+
+func TestFindBestResponseCycleOnFig3(t *testing.T) {
+	fc := FindBestResponseCycle(Fig3Start(), game.NewAsymSwap(game.Sum), 1000)
+	if fc == nil {
+		t.Fatal("Fig 3 must contain a reachable best-response cycle")
+	}
+	if len(fc.Moves) != 4 {
+		t.Fatalf("cycle length = %d, want 4", len(fc.Moves))
+	}
+	// Replaying the moves from the first cycle state returns to it.
+	g := fc.States[0].Clone()
+	for _, m := range fc.Moves {
+		game.Apply(g, m)
+	}
+	if !g.Equal(fc.States[0]) {
+		t.Fatal("found cycle does not close")
+	}
+}
+
+func TestFindBestResponseCycleOnConvergentGame(t *testing.T) {
+	// Trees under the MAX-SG are a FIPG (Theorem 2.1): no cycle exists.
+	if fc := FindBestResponseCycle(graph.Path(7), game.NewSwap(game.Max), 100000); fc != nil {
+		t.Fatalf("unexpected cycle on a tree: %v", fc.Moves)
+	}
+}
+
+func TestExploreImprovingCountsStableStates(t *testing.T) {
+	// A star under the MAX-SG is already stable: one state, stable.
+	res, err := ExploreImproving(graph.Star(6), game.NewSwap(game.Max), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StableReachable || res.States != 1 {
+		t.Fatalf("res = %+v, want single stable state", res)
+	}
+}
+
+func TestExploreCapExceeded(t *testing.T) {
+	_, err := ExploreImproving(graph.Path(12), game.NewSwap(game.Sum), 3)
+	if err == nil {
+		t.Fatal("expected cap error")
+	}
+}

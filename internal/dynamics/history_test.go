@@ -1,0 +1,103 @@
+package dynamics
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// fig2Like builds the Figure 2 MAX-SG instance inline (kept local to avoid
+// an import cycle with the cycles package).
+func fig2Like() *graph.Graph {
+	g := graph.New(9)
+	for _, e := range [][2]int{
+		{0, 2}, {0, 3}, {0, 4},
+		{1, 2}, {1, 4}, {1, 6}, {1, 7},
+		{3, 5}, {3, 6}, {3, 7},
+		{4, 5}, {4, 7},
+		{6, 8}, {7, 8},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestDetectCyclesOnNonConvergentInstance(t *testing.T) {
+	g := fig2Like()
+	res := Run(g, Config{
+		Game:         game.NewSwap(game.Max),
+		Policy:       MaxCost{},
+		Tie:          TieFirst,
+		DetectCycles: true,
+		MaxSteps:     100,
+		Seed:         1,
+	})
+	if res.Converged {
+		t.Fatal("instance must not converge")
+	}
+	if !res.Cycled {
+		t.Fatal("cycle not detected")
+	}
+	if res.CycleLen != 3 {
+		t.Fatalf("cycle length = %d, want 3", res.CycleLen)
+	}
+}
+
+func TestDetectCyclesIgnoresOwnershipInSwapGame(t *testing.T) {
+	// The SG's state is the edge set: two states differing only in
+	// ownership must be identified. Construct a run on the Figure 2
+	// instance but with the ownership scrambled; detection must still
+	// trigger after 3 steps (not wait for an exact owner match).
+	g := fig2Like()
+	// Flip some owners; the SG ignores them.
+	g.SetOwner(2, 0)
+	g.SetOwner(7, 1)
+	res := Run(g, Config{
+		Game:         game.NewSwap(game.Max),
+		Policy:       MaxCost{},
+		Tie:          TieFirst,
+		DetectCycles: true,
+		MaxSteps:     100,
+		Seed:         2,
+	})
+	if !res.Cycled || res.CycleLen != 3 {
+		t.Fatalf("cycle detection with scrambled owners: %+v", res)
+	}
+}
+
+func TestDetectCyclesOffByDefault(t *testing.T) {
+	// TieFirst keeps play on the designated cycle; with random ties the
+	// mover may pick an equally good swap that leads to a stable network
+	// (the cycle is about existence, not inevitability).
+	g := fig2Like()
+	res := Run(g, Config{
+		Game:     game.NewSwap(game.Max),
+		Policy:   MaxCost{},
+		Tie:      TieFirst,
+		MaxSteps: 30,
+		Seed:     3,
+	})
+	if res.Cycled {
+		t.Fatal("cycle detection should be opt-in")
+	}
+	if res.Converged || res.Steps != 30 {
+		t.Fatalf("expected to exhaust the step budget: %+v", res)
+	}
+}
+
+func TestRunPreservesValidity(t *testing.T) {
+	// Whatever the game, the graph invariants hold after a run.
+	games := []game.Game{
+		game.NewSwap(game.Sum),
+		game.NewAsymSwap(game.Max),
+		game.NewGreedyBuy(game.Sum, game.NewAlpha(5, 2)),
+	}
+	for _, gm := range games {
+		g := graph.Path(12)
+		Run(g, Config{Game: gm, Policy: Random{}, Seed: 4})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", gm.Name(), err)
+		}
+	}
+}

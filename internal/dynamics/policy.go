@@ -1,0 +1,185 @@
+// Package dynamics implements the sequential-move network creation process
+// of Kawald & Lenzner (SPAA'13, Section 1.1): starting from an initial
+// network, a move policy repeatedly selects an unhappy agent who then plays
+// a best possible improving move, until either a stable network (a pure
+// Nash equilibrium of the underlying game) is reached or a step limit or
+// revisited state reveals non-convergence.
+package dynamics
+
+import (
+	"math/rand"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Policy selects the moving agent in each state of the process. It only
+// chooses who moves, never which move is played (Section 1.1: "we do not
+// consider such strong policies").
+type Policy interface {
+	Name() string
+	// Pick returns the moving agent for state g, or -1 if no agent is
+	// unhappy (the process has converged). Implementations must certify
+	// convergence before returning -1.
+	Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int
+}
+
+// MaxCost is the max cost policy: agents are examined in order of
+// descending current cost and the first unhappy one moves. Ties between
+// equal-cost agents are broken uniformly at random, matching the
+// experimental setup of Section 3.4.1.
+type MaxCost struct{}
+
+func (MaxCost) Name() string { return "max cost" }
+
+func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+	n := g.N()
+	type agentCost struct {
+		u    int
+		c    game.Cost
+		tieR int64
+	}
+	agents := make([]agentCost, n)
+	for u := 0; u < n; u++ {
+		agents[u] = agentCost{u: u, c: gm.Cost(g, u, s)}
+		if r != nil {
+			agents[u].tieR = r.Int63()
+		}
+	}
+	alpha := gm.Alpha()
+	// Insertion sort by descending cost with random tie order; n is small
+	// and the dominant cost is the happiness probing below anyway.
+	for i := 1; i < n; i++ {
+		a := agents[i]
+		j := i - 1
+		for j >= 0 {
+			cmp := agents[j].c.Cmp(a.c, alpha)
+			if cmp > 0 || (cmp == 0 && agents[j].tieR >= a.tieR) {
+				break
+			}
+			agents[j+1] = agents[j]
+			j--
+		}
+		agents[j+1] = a
+	}
+	for _, a := range agents {
+		if gm.HasImproving(g, a.u, s) {
+			return a.u
+		}
+	}
+	return -1
+}
+
+// MaxCostDeterministic is the max cost policy with deterministic
+// tie-breaking: among maximum-cost agents the one with the smallest index
+// moves. This is the rule used in the lower-bound trace of Theorem 2.11 and
+// Figure 1.
+type MaxCostDeterministic struct{}
+
+func (MaxCostDeterministic) Name() string { return "max cost (smallest index)" }
+
+func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+	n := g.N()
+	costs := make([]game.Cost, n)
+	order := make([]int, n)
+	for u := 0; u < n; u++ {
+		costs[u] = gm.Cost(g, u, s)
+		order[u] = u
+	}
+	alpha := gm.Alpha()
+	// Stable insertion sort by descending cost keeps index order on ties.
+	for i := 1; i < n; i++ {
+		u := order[i]
+		j := i - 1
+		for j >= 0 && costs[order[j]].Cmp(costs[u], alpha) < 0 {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = u
+	}
+	for _, u := range order {
+		if gm.HasImproving(g, u, s) {
+			return u
+		}
+	}
+	return -1
+}
+
+// Random is the random policy of Section 3.4.1: one agent is chosen
+// uniformly at random; if she is happy she is removed from the candidate
+// set and another is drawn, until an unhappy agent is found or no candidate
+// remains.
+type Random struct{}
+
+func (Random) Name() string { return "random" }
+
+func (Random) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+	n := g.N()
+	cands := make([]int, n)
+	for i := range cands {
+		cands[i] = i
+	}
+	for len(cands) > 0 {
+		i := 0
+		if r != nil {
+			i = r.Intn(len(cands))
+		}
+		u := cands[i]
+		if gm.HasImproving(g, u, s) {
+			return u
+		}
+		cands[i] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+	return -1
+}
+
+// MinIndex picks the unhappy agent with the smallest index; useful for
+// deterministic unit tests.
+type MinIndex struct{}
+
+func (MinIndex) Name() string { return "min index" }
+
+func (MinIndex) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+	for u := 0; u < g.N(); u++ {
+		if gm.HasImproving(g, u, s) {
+			return u
+		}
+	}
+	return -1
+}
+
+// Adversarial wraps a caller-supplied selection function receiving the set
+// of unhappy agents; it models the adversary of the negative results ("an
+// adversary chooses the worst possible moving agent").
+type Adversarial struct {
+	// Choose returns the moving agent given the unhappy set (non-empty).
+	Choose func(g *graph.Graph, unhappy []int) int
+}
+
+func (Adversarial) Name() string { return "adversarial" }
+
+func (a Adversarial) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+	var unhappy []int
+	for u := 0; u < g.N(); u++ {
+		if gm.HasImproving(g, u, s) {
+			unhappy = append(unhappy, u)
+		}
+	}
+	if len(unhappy) == 0 {
+		return -1
+	}
+	return a.Choose(g, unhappy)
+}
+
+// Unhappy returns the set of unhappy agents of g under gm (U_i of Section
+// 1.1).
+func Unhappy(g *graph.Graph, gm game.Game, s *game.Scratch) []int {
+	var us []int
+	for u := 0; u < g.N(); u++ {
+		if gm.HasImproving(g, u, s) {
+			us = append(us, u)
+		}
+	}
+	return us
+}

@@ -1,0 +1,81 @@
+package dynamics
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// SortedCostVector returns the agents' costs sorted in descending order —
+// the sorted cost vector of Definition 2.5. Its lexicographic order is a
+// generalized ordinal potential for the MAX-SG on trees (Lemma 2.6).
+func SortedCostVector(g *graph.Graph, gm game.Game) []game.Cost {
+	n := g.N()
+	s := game.NewScratch(n)
+	cs := make([]game.Cost, n)
+	for u := 0; u < n; u++ {
+		cs[u] = gm.Cost(g, u, s)
+	}
+	alpha := gm.Alpha()
+	// Insertion sort, descending.
+	for i := 1; i < n; i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && cs[j].Less(c, alpha) {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+	return cs
+}
+
+// CompareLex compares two equal-length cost vectors lexicographically under
+// edge price alpha and returns -1, 0 or +1.
+func CompareLex(a, b []game.Cost, alpha game.Alpha) int {
+	for i := range a {
+		if c := a[i].Cmp(b[i], alpha); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SocialCost returns the sum of all agents' costs. For the SUM-SG on trees
+// it is an ordinal potential function (Lenzner, SAGT'11, used by
+// Corollary 3.1).
+func SocialCost(g *graph.Graph, gm game.Game) game.Cost {
+	n := g.N()
+	s := game.NewScratch(n)
+	var total game.Cost
+	for u := 0; u < n; u++ {
+		c := gm.Cost(g, u, s)
+		if c.Infinite() {
+			return game.Cost{Dist: game.DistInf}
+		}
+		total.Halves += c.Halves
+		total.Dist += c.Dist
+	}
+	return total
+}
+
+// CenterVertices returns the agents of minimum cost — the center-vertices of
+// Definition 2.5.
+func CenterVertices(g *graph.Graph, gm game.Game) []int {
+	n := g.N()
+	s := game.NewScratch(n)
+	alpha := gm.Alpha()
+	var best game.Cost
+	var out []int
+	for u := 0; u < n; u++ {
+		c := gm.Cost(g, u, s)
+		switch {
+		case u == 0 || c.Less(best, alpha):
+			best = c
+			out = out[:0]
+			out = append(out, u)
+		case c.Cmp(best, alpha) == 0:
+			out = append(out, u)
+		}
+	}
+	return out
+}

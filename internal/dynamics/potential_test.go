@@ -1,0 +1,120 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+func TestSortedCostVectorDescending(t *testing.T) {
+	g := graph.Path(7)
+	gm := game.NewSwap(game.Max)
+	v := SortedCostVector(g, gm)
+	alpha := gm.Alpha()
+	for i := 1; i < len(v); i++ {
+		if v[i-1].Less(v[i], alpha) {
+			t.Fatalf("vector not descending: %v", v)
+		}
+	}
+	// P7 eccentricities: 6,5,4,3,4,5,6 sorted desc.
+	want := []int64{6, 6, 5, 5, 4, 4, 3}
+	for i, w := range want {
+		if v[i].Dist != w {
+			t.Fatalf("vector = %v, want dists %v", v, want)
+		}
+	}
+}
+
+// TestLemma26PotentialDecreases checks Lemma 2.6: on trees, every improving
+// MAX-SG swap strictly decreases the sorted cost vector lexicographically.
+func TestLemma26PotentialDecreases(t *testing.T) {
+	gm := game.NewSwap(game.Max)
+	alpha := gm.Alpha()
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(14)
+		g := gen.RandomTree(n, r)
+		prev := SortedCostVector(g, gm)
+		res := Run(g, Config{
+			Game:   gm,
+			Policy: Random{},
+			Seed:   int64(trial),
+			OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+				cur := SortedCostVector(g, gm)
+				if CompareLex(prev, cur, alpha) <= 0 {
+					t.Fatalf("potential did not decrease at step %d: %v -> %v", step, prev, cur)
+				}
+				prev = cur
+			},
+		})
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+	}
+}
+
+// TestSumSGSocialCostPotential checks the ordinal potential of Corollary
+// 3.1 / Lenzner'11: on trees, improving SUM-SG swaps strictly decrease the
+// social cost.
+func TestSumSGSocialCostPotential(t *testing.T) {
+	gm := game.NewSwap(game.Sum)
+	alpha := gm.Alpha()
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(14)
+		g := gen.RandomTree(n, r)
+		prev := SocialCost(g, gm)
+		res := Run(g, Config{
+			Game:   gm,
+			Policy: Random{},
+			Seed:   int64(trial) + 1000,
+			OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+				cur := SocialCost(g, gm)
+				if cur.Cmp(prev, alpha) >= 0 {
+					t.Fatalf("social cost did not decrease at step %d: %v -> %v", step, prev, cur)
+				}
+				prev = cur
+			},
+		})
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+	}
+}
+
+func TestCenterVertices(t *testing.T) {
+	g := graph.Path(7)
+	cs := CenterVertices(g, game.NewSwap(game.Max))
+	if len(cs) != 1 || cs[0] != 3 {
+		t.Fatalf("center vertices = %v", cs)
+	}
+	// Observation 2.9 (trees): the two largest entries of the sorted cost
+	// vector are equal and the smallest is ceil(max/2).
+	v := SortedCostVector(g, game.NewSwap(game.Max))
+	if v[0].Dist != v[1].Dist {
+		t.Fatal("two agents must share the maximum cost")
+	}
+	if v[len(v)-1].Dist != (v[0].Dist+1)/2 {
+		t.Fatal("center cost must be ceil(maxcost/2) on trees")
+	}
+}
+
+func TestCompareLex(t *testing.T) {
+	a := game.AlphaInt(1)
+	x := []game.Cost{{Dist: 5}, {Dist: 3}}
+	y := []game.Cost{{Dist: 5}, {Dist: 2}}
+	if CompareLex(x, y, a) != 1 || CompareLex(y, x, a) != -1 || CompareLex(x, x, a) != 0 {
+		t.Fatal("lexicographic comparison broken")
+	}
+}
+
+func TestSocialCostDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	if !SocialCost(g, game.NewSwap(game.Sum)).Infinite() {
+		t.Fatal("disconnected social cost must be infinite")
+	}
+}

@@ -1,0 +1,188 @@
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// TieBreak selects among equally good best moves of the moving agent.
+type TieBreak int
+
+const (
+	// TieRandom picks uniformly at random among the best moves
+	// (Section 3.4.1: "breaking ties uniformly at random").
+	TieRandom TieBreak = iota
+	// TieFirst picks the first best move in enumeration order. Move
+	// enumeration orders deletions before swaps before additions (the
+	// preference of Section 4.2.1) and targets by increasing index (the
+	// rule of the Theorem 2.11 trace), so TieFirst implements both
+	// deterministic rules of the paper.
+	TieFirst
+	// TieLast picks the last best move in enumeration order.
+	TieLast
+)
+
+func (t TieBreak) String() string {
+	switch t {
+	case TieRandom:
+		return "random"
+	case TieFirst:
+		return "first"
+	default:
+		return "last"
+	}
+}
+
+// Config parameterizes a network creation process.
+type Config struct {
+	// Game is the underlying network creation game. Required.
+	Game game.Game
+	// Policy decides who moves; defaults to the max cost policy.
+	Policy Policy
+	// Tie breaks among best moves; defaults to TieRandom.
+	Tie TieBreak
+	// MaxSteps aborts a (potentially non-convergent) process; defaults to
+	// 200*n + 1000.
+	MaxSteps int
+	// Seed feeds the deterministic RNG used by policy and tie-breaking.
+	Seed int64
+	// DetectCycles records visited states and stops when a state repeats,
+	// proving non-convergence of the played trajectory. States are
+	// compared with or without ownership according to the game.
+	DetectCycles bool
+	// OnStep, if non-nil, is invoked after each applied move.
+	OnStep func(step int, mover int, mv game.Move, g *graph.Graph)
+}
+
+// Result summarizes a finished process.
+type Result struct {
+	// Steps is the number of improving moves performed.
+	Steps int
+	// Converged reports that the final network is stable (no unhappy
+	// agents), i.e. a pure Nash equilibrium was reached.
+	Converged bool
+	// Cycled reports that a previously visited state re-appeared
+	// (requires Config.DetectCycles).
+	Cycled bool
+	// CycleLen is the number of moves between the two visits of the
+	// repeated state when Cycled is set.
+	CycleLen int
+	// MoveKinds counts performed moves by kind.
+	MoveKinds [4]int
+	// Kinds is the per-step move-kind trajectory (phase analysis,
+	// Section 4.2.2).
+	Kinds []game.MoveKind
+}
+
+// Run executes the process on g, mutating it in place, and returns the
+// summary. The final content of g is the reached network.
+func Run(g *graph.Graph, cfg Config) Result {
+	if cfg.Game == nil {
+		panic("dynamics: Config.Game is required")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = MaxCost{}
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200*g.N() + 1000
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	s := game.NewScratch(g.N())
+
+	var seen map[uint64][]seenState
+	stepOf := func(*graph.Graph) (int, bool) { return 0, false }
+	record := func(*graph.Graph, int) {}
+	if cfg.DetectCycles {
+		seen = make(map[uint64][]seenState)
+		owned := cfg.Game.OwnershipMatters()
+		hash := func(g *graph.Graph) uint64 {
+			if owned {
+				return g.Hash()
+			}
+			return g.HashUnowned()
+		}
+		equal := func(a, b *graph.Graph) bool {
+			if owned {
+				return a.Equal(b)
+			}
+			return a.EqualUnowned(b)
+		}
+		stepOf = func(g *graph.Graph) (int, bool) {
+			for _, st := range seen[hash(g)] {
+				if equal(st.g, g) {
+					return st.step, true
+				}
+			}
+			return 0, false
+		}
+		record = func(g *graph.Graph, step int) {
+			h := hash(g)
+			seen[h] = append(seen[h], seenState{g: g.Clone(), step: step})
+		}
+	}
+
+	var res Result
+	var moves []game.Move
+	record(g, 0)
+	for res.Steps < cfg.MaxSteps {
+		mover := cfg.Policy.Pick(g, cfg.Game, s, r)
+		if mover < 0 {
+			res.Converged = true
+			return res
+		}
+		moves, _ = cfg.Game.BestMoves(g, mover, s, moves[:0])
+		if len(moves) == 0 {
+			// A policy returned an agent without improving moves;
+			// that is a policy bug, not a game state.
+			panic(fmt.Sprintf("dynamics: policy %q picked happy agent %d", cfg.Policy.Name(), mover))
+		}
+		mv := pickMove(moves, cfg.Tie, r)
+		game.Apply(g, mv)
+		res.Steps++
+		res.MoveKinds[mv.Kind()]++
+		res.Kinds = append(res.Kinds, mv.Kind())
+		if cfg.OnStep != nil {
+			cfg.OnStep(res.Steps, mover, mv, g)
+		}
+		if cfg.DetectCycles {
+			if first, ok := stepOf(g); ok {
+				res.Cycled = true
+				res.CycleLen = res.Steps - first
+				return res
+			}
+			record(g, res.Steps)
+		}
+	}
+	return res
+}
+
+type seenState struct {
+	g    *graph.Graph
+	step int
+}
+
+func pickMove(moves []game.Move, tie TieBreak, r *rand.Rand) game.Move {
+	switch tie {
+	case TieFirst:
+		return moves[0]
+	case TieLast:
+		return moves[len(moves)-1]
+	default:
+		return moves[r.Intn(len(moves))]
+	}
+}
+
+// Stable reports whether g is a stable network (pure Nash equilibrium) of
+// gm: no agent has a feasible improving move.
+func Stable(g *graph.Graph, gm game.Game) bool {
+	s := game.NewScratch(g.N())
+	for u := 0; u < g.N(); u++ {
+		if gm.HasImproving(g, u, s) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+func TestRunConvergesOnStableStart(t *testing.T) {
+	g := graph.Star(8)
+	res := Run(g, Config{Game: game.NewSwap(game.Max), Policy: MaxCost{}})
+	if !res.Converged || res.Steps != 0 {
+		t.Fatalf("star should already be stable: %+v", res)
+	}
+}
+
+func TestRunMaxSGPathConvergesToLowDiameter(t *testing.T) {
+	// Alon et al.: stable trees of the MAX-SG have diameter <= 3 (stars or
+	// double stars); Theorem 2.1 guarantees convergence from any tree.
+	for _, n := range []int{4, 6, 9, 12, 17} {
+		g := graph.Path(n)
+		res := Run(g, Config{Game: game.NewSwap(game.Max), Policy: MaxCost{}, Seed: int64(n)})
+		if !res.Converged {
+			t.Fatalf("n=%d did not converge", n)
+		}
+		if !g.IsTree() {
+			t.Fatalf("n=%d: swaps must preserve tree-ness", n)
+		}
+		if d := g.Diameter(); d > 3 {
+			t.Fatalf("n=%d: stable tree with diameter %d", n, d)
+		}
+		if !g.IsStar() && !g.IsDoubleStar() && n >= 4 {
+			t.Fatalf("n=%d: stable tree is neither star nor double star: %v", n, g)
+		}
+	}
+}
+
+func TestRunSumSGPathConverges(t *testing.T) {
+	for _, n := range []int{4, 8, 15} {
+		g := graph.Path(n)
+		res := Run(g, Config{Game: game.NewSwap(game.Sum), Policy: MaxCost{}, Seed: 1})
+		if !res.Converged {
+			t.Fatalf("n=%d did not converge", n)
+		}
+	}
+}
+
+func TestRunStableAgrees(t *testing.T) {
+	g := graph.Path(9)
+	gm := game.NewAsymSwap(game.Sum)
+	if Stable(g, gm) {
+		t.Fatal("path should be unstable")
+	}
+	Run(g, Config{Game: gm, Policy: Random{}, Seed: 3})
+	if !Stable(g, gm) {
+		t.Fatal("converged network must be stable")
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	run := func() (*graph.Graph, Result) {
+		g := graph.Path(12)
+		res := Run(g, Config{Game: game.NewAsymSwap(game.Sum), Policy: Random{}, Seed: 99})
+		return g, res
+	}
+	g1, r1 := run()
+	g2, r2 := run()
+	if r1.Steps != r2.Steps || !g1.Equal(g2) {
+		t.Fatalf("same seed produced different runs: %d vs %d steps", r1.Steps, r2.Steps)
+	}
+}
+
+func TestMoveKindAccounting(t *testing.T) {
+	g := graph.Path(10)
+	res := Run(g, Config{Game: game.NewGreedyBuy(game.Sum, game.AlphaInt(3)), Policy: MaxCost{}, Seed: 5})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	total := 0
+	for _, c := range res.MoveKinds {
+		total += c
+	}
+	if total != res.Steps || len(res.Kinds) != res.Steps {
+		t.Fatalf("kind accounting mismatch: %+v", res)
+	}
+}
+
+func TestPoliciesPickUnhappyAgents(t *testing.T) {
+	g := graph.Path(7)
+	gm := game.NewSwap(game.Sum)
+	s := game.NewScratch(7)
+	for _, p := range []Policy{MaxCost{}, MaxCostDeterministic{}, Random{}, MinIndex{}} {
+		u := p.Pick(g, gm, s, rand.New(rand.NewSource(1)))
+		if u < 0 {
+			t.Fatalf("%s found no mover on unstable path", p.Name())
+		}
+		if !gm.HasImproving(g, u, s) {
+			t.Fatalf("%s picked happy agent %d", p.Name(), u)
+		}
+	}
+}
+
+func TestMaxCostPicksHighestCostUnhappyAgent(t *testing.T) {
+	// On the path, the leaves have the highest cost and are unhappy.
+	g := graph.Path(9)
+	gm := game.NewSwap(game.Max)
+	s := game.NewScratch(9)
+	u := MaxCostDeterministic{}.Pick(g, gm, s, nil)
+	if u != 0 {
+		t.Fatalf("picked %d, want leaf 0 (max cost, smallest index)", u)
+	}
+}
+
+func TestAdversarialPolicy(t *testing.T) {
+	g := graph.Path(6)
+	gm := game.NewSwap(game.Sum)
+	s := game.NewScratch(6)
+	var sawUnhappy []int
+	p := Adversarial{Choose: func(g *graph.Graph, unhappy []int) int {
+		sawUnhappy = append([]int(nil), unhappy...)
+		return unhappy[len(unhappy)-1]
+	}}
+	u := p.Pick(g, gm, s, nil)
+	if len(sawUnhappy) == 0 || u != sawUnhappy[len(sawUnhappy)-1] {
+		t.Fatalf("adversarial pick = %d from %v", u, sawUnhappy)
+	}
+}
+
+func TestUnhappySetOnPath(t *testing.T) {
+	g := graph.Path(5)
+	us := Unhappy(g, game.NewSwap(game.Sum), game.NewScratch(5))
+	// Leaves improve by re-attaching to a median; 1 and 3 improve by
+	// swapping their inner edge one step towards the middle (e.g. agent 1
+	// swaps {1,2} to {1,3}: sum 7 -> 6). The median 2 is happy.
+	want := []int{0, 1, 3, 4}
+	if len(us) != len(want) {
+		t.Fatalf("unhappy = %v, want %v", us, want)
+	}
+	for i := range want {
+		if us[i] != want[i] {
+			t.Fatalf("unhappy = %v, want %v", us, want)
+		}
+	}
+}
+
+func TestOnStepCallback(t *testing.T) {
+	g := graph.Path(8)
+	var steps int
+	res := Run(g, Config{
+		Game:   game.NewSwap(game.Max),
+		Policy: MaxCost{},
+		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+			steps++
+			if step != steps {
+				t.Fatalf("step numbering broken: %d vs %d", step, steps)
+			}
+			if mv.Agent != mover {
+				t.Fatalf("move agent %d != mover %d", mv.Agent, mover)
+			}
+		},
+	})
+	if steps != res.Steps {
+		t.Fatalf("callback count %d != steps %d", steps, res.Steps)
+	}
+}
+
+func TestMaxStepsAborts(t *testing.T) {
+	g := graph.Path(30)
+	res := Run(g, Config{Game: game.NewSwap(game.Max), Policy: MaxCost{}, MaxSteps: 1})
+	if res.Converged || res.Steps != 1 {
+		t.Fatalf("expected abort after 1 step: %+v", res)
+	}
+}

@@ -1,0 +1,177 @@
+// Package experiments regenerates the empirical study of the paper
+// (Sections 3.4 and 4.2): convergence-time sweeps of the bounded-budget
+// Asymmetric Swap Game (Figures 7 and 8) and of the Greedy Buy Game
+// (Figures 11-14), under the max cost and random move policies, over the
+// paper's initial-network ensembles. Sweeps run trials in parallel on a
+// worker pool with per-trial deterministic seeds.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ncg/internal/dynamics"
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+// PolicyKind selects a move policy by name.
+type PolicyKind int
+
+const (
+	// MaxCostPolicy is the max cost policy of Section 3.4.1.
+	MaxCostPolicy PolicyKind = iota
+	// RandomPolicy is the random policy of Section 3.4.1.
+	RandomPolicy
+)
+
+func (p PolicyKind) String() string {
+	if p == MaxCostPolicy {
+		return "max cost"
+	}
+	return "random"
+}
+
+func (p PolicyKind) policy() dynamics.Policy {
+	if p == MaxCostPolicy {
+		return dynamics.MaxCost{}
+	}
+	return dynamics.Random{}
+}
+
+// Config is one experimental configuration: a family of random initial
+// networks, a game, and a policy, evaluated at a single agent count.
+type Config struct {
+	// Name identifies the series (e.g. "k=2 max cost").
+	Name string
+	// N is the number of agents.
+	N int
+	// Trials is the number of runs.
+	Trials int
+	// Seed is the base seed; each trial derives its own stream.
+	Seed int64
+	// NewGame builds the game for this n (alpha may depend on n).
+	NewGame func(n int) game.Game
+	// NewInitial builds a random initial network.
+	NewInitial func(n int, r *gen.Rand) *graph.Graph
+	// Policy selects the move policy.
+	Policy PolicyKind
+	// MaxSteps caps each run (0: dynamics default).
+	MaxSteps int
+}
+
+// Stats aggregates convergence times over the trials of one configuration.
+type Stats struct {
+	Config     Config
+	Trials     int
+	Converged  int
+	Cycled     int
+	AvgSteps   float64
+	MaxSteps   int
+	MinSteps   int
+	TotalMoves [4]int // by game.MoveKind
+}
+
+// Run executes all trials of a configuration, distributing them over
+// workers goroutines (0 = GOMAXPROCS).
+func Run(cfg Config, workers int) Stats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := Stats{Config: cfg, Trials: cfg.Trials, MinSteps: int(^uint(0) >> 1)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for t := 0; t < cfg.Trials; t++ {
+			next <- t
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				seed := gen.Seed(cfg.Seed, uint64(cfg.N), uint64(t))
+				r := gen.NewRand(seed)
+				g := cfg.NewInitial(cfg.N, r)
+				res := dynamics.Run(g, dynamics.Config{
+					Game:     cfg.NewGame(cfg.N),
+					Policy:   cfg.Policy.policy(),
+					Tie:      dynamics.TieRandom,
+					MaxSteps: cfg.MaxSteps,
+					Seed:     seed + 1,
+				})
+				mu.Lock()
+				if res.Converged {
+					st.Converged++
+				}
+				if res.Cycled {
+					st.Cycled++
+				}
+				st.AvgSteps += float64(res.Steps)
+				if res.Steps > st.MaxSteps {
+					st.MaxSteps = res.Steps
+				}
+				if res.Steps < st.MinSteps {
+					st.MinSteps = res.Steps
+				}
+				for k, c := range res.MoveKinds {
+					st.TotalMoves[k] += c
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if cfg.Trials > 0 {
+		st.AvgSteps /= float64(cfg.Trials)
+	} else {
+		st.MinSteps = 0
+	}
+	return st
+}
+
+// Series is one plotted curve: a named configuration swept over n.
+type Series struct {
+	Name   string
+	Points []Stats
+}
+
+// Sweep runs a configuration template over the given agent counts.
+func Sweep(tmpl Config, ns []int, workers int) Series {
+	s := Series{Name: tmpl.Name}
+	for _, n := range ns {
+		cfg := tmpl
+		cfg.N = n
+		s.Points = append(s.Points, Run(cfg, workers))
+	}
+	return s
+}
+
+// Table renders series as an aligned text table of the chosen metric, one
+// row per n, matching the curves of the paper's figures.
+func Table(series []Series, ns []int, metric func(Stats) float64) string {
+	out := "n"
+	for _, s := range series {
+		out += fmt.Sprintf("\t%s", s.Name)
+	}
+	out += "\n"
+	for i, n := range ns {
+		out += fmt.Sprintf("%d", n)
+		for _, s := range series {
+			out += fmt.Sprintf("\t%.1f", metric(s.Points[i]))
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// AvgMetric extracts the average step count.
+func AvgMetric(st Stats) float64 { return st.AvgSteps }
+
+// MaxMetric extracts the maximum step count.
+func MaxMetric(st Stats) float64 { return float64(st.MaxSteps) }

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+func smallASGConfig(pol PolicyKind) Config {
+	return Config{
+		Name:       "k=2 " + pol.String(),
+		N:          14,
+		Trials:     12,
+		Seed:       7,
+		NewGame:    func(int) game.Game { return game.NewAsymSwap(game.Sum) },
+		NewInitial: budgetInitial(2),
+		Policy:     pol,
+	}
+}
+
+func TestRunConvergesAndAggregates(t *testing.T) {
+	st := Run(smallASGConfig(MaxCostPolicy), 4)
+	if st.Converged != st.Trials {
+		t.Fatalf("only %d/%d trials converged", st.Converged, st.Trials)
+	}
+	if st.AvgSteps <= 0 || st.MaxSteps < st.MinSteps {
+		t.Fatalf("bad aggregates: %+v", st)
+	}
+	if float64(st.MaxSteps) < st.AvgSteps {
+		t.Fatalf("max < avg: %+v", st)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := Run(smallASGConfig(RandomPolicy), 1)
+	b := Run(smallASGConfig(RandomPolicy), 8)
+	if a.AvgSteps != b.AvgSteps || a.MaxSteps != b.MaxSteps || a.MinSteps != b.MinSteps {
+		t.Fatalf("worker count changed results: %+v vs %+v", a, b)
+	}
+}
+
+func TestSweepAndTable(t *testing.T) {
+	ns := []int{8, 12}
+	tmpl := smallASGConfig(MaxCostPolicy)
+	tmpl.Trials = 6
+	s := Sweep(tmpl, ns, 2)
+	if len(s.Points) != 2 || s.Points[0].Config.N != 8 {
+		t.Fatalf("sweep malformed: %+v", s)
+	}
+	tab := Table([]Series{s}, ns, AvgMetric)
+	if !strings.Contains(tab, "k=2") || !strings.Contains(tab, "8\t") {
+		t.Fatalf("table malformed:\n%s", tab)
+	}
+}
+
+// TestFig7SmokeBound runs a miniature Figure 7 sweep and checks the paper's
+// headline observation: convergence in at most 5n steps, and all runs
+// converge (no cycles in random instances).
+func TestFig7SmokeBound(t *testing.T) {
+	opt := Options{Ns: []int{12, 20}, Trials: 25, Seed: 3}
+	fr := Fig7(opt)
+	if len(fr.Series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range fr.Series {
+		for _, p := range s.Points {
+			if p.Converged != p.Trials {
+				t.Fatalf("%s n=%d: %d/%d converged", s.Name, p.Config.N, p.Converged, p.Trials)
+			}
+		}
+	}
+	if b := fr.Bound(); b > 6 {
+		t.Fatalf("max steps/n = %.2f exceeds the paper's 5n envelope plus slack", b)
+	}
+}
+
+// TestFig8SmokeBound is the MAX-ASG analogue (paper: <= 5n with one
+// outlier; we allow the envelope plus slack for small-sample noise).
+func TestFig8SmokeBound(t *testing.T) {
+	opt := Options{Ns: []int{12, 20}, Trials: 25, Seed: 4}
+	fr := Fig8(opt)
+	for _, s := range fr.Series {
+		for _, p := range s.Points {
+			if p.Converged != p.Trials {
+				t.Fatalf("%s n=%d: %d/%d converged", s.Name, p.Config.N, p.Converged, p.Trials)
+			}
+		}
+	}
+	if b := fr.Bound(); b > 6 {
+		t.Fatalf("max steps/n = %.2f far exceeds the paper's envelope", b)
+	}
+}
+
+// TestFig11SmokeBound checks the SUM-GBG 7n envelope on a miniature grid.
+func TestFig11SmokeBound(t *testing.T) {
+	opt := Options{Ns: []int{12, 20}, Trials: 15, Seed: 5}
+	fr := Fig11(opt)
+	for _, s := range fr.Series {
+		for _, p := range s.Points {
+			if p.Converged != p.Trials {
+				t.Fatalf("%s n=%d: %d/%d converged", s.Name, p.Config.N, p.Converged, p.Trials)
+			}
+		}
+	}
+	if b := fr.Bound(); b > 9 {
+		t.Fatalf("max steps/n = %.2f exceeds the paper's 7n envelope plus slack", b)
+	}
+}
+
+// TestFig13SmokeBound checks the MAX-GBG 8n envelope.
+func TestFig13SmokeBound(t *testing.T) {
+	opt := Options{Ns: []int{12, 20}, Trials: 15, Seed: 6}
+	fr := Fig13(opt)
+	if b := fr.Bound(); b > 10 {
+		t.Fatalf("max steps/n = %.2f exceeds the paper's 8n envelope plus slack", b)
+	}
+}
+
+// TestFig12TopologiesRun exercises the topology comparison plumbing.
+func TestFig12TopologiesRun(t *testing.T) {
+	opt := Options{Ns: []int{10}, Trials: 8, Seed: 8}
+	fr := Fig12(opt)
+	// 2 policies x 3 topologies x 4 alphas.
+	if len(fr.Series) != 24 {
+		t.Fatalf("series = %d, want 24", len(fr.Series))
+	}
+	out := fr.Render()
+	if !strings.Contains(out, "dl a=n/2 random") {
+		t.Fatalf("render missing series:\n%s", out)
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	opt := Options{Ns: []int{10}, Trials: 4, Seed: 9}
+	for _, num := range []int{7, 8, 11, 12, 13, 14} {
+		if _, err := Figure(num, opt); err != nil {
+			t.Fatalf("figure %d: %v", num, err)
+		}
+	}
+	if _, err := Figure(2, opt); err == nil {
+		t.Fatal("expected error for theory figures")
+	}
+}
+
+// TestGBGDeletionPhase reproduces the Section 4.2.2 trajectory
+// observation: on dense initial networks with high alpha, the first phase
+// of a SUM-GBG run is dominated by deletions.
+func TestGBGDeletionPhase(t *testing.T) {
+	cfg := Config{
+		Name:   "phase",
+		N:      20,
+		Trials: 10,
+		Seed:   11,
+		NewGame: func(n int) game.Game {
+			return game.NewGreedyBuy(game.Sum, game.AlphaInt(int64(n)))
+		},
+		NewInitial: func(n int, r *gen.Rand) *graph.Graph {
+			return gen.RandomConnected(n, 4*n, r)
+		},
+		Policy: RandomPolicy,
+	}
+	st := Run(cfg, 4)
+	if st.Converged != st.Trials {
+		t.Fatalf("convergence incomplete: %+v", st)
+	}
+	del := st.TotalMoves[game.KindDelete]
+	buy := st.TotalMoves[game.KindBuy]
+	if del <= buy {
+		t.Fatalf("expected deletions to dominate buys at m=4n, alpha=n: del=%d buy=%d", del, buy)
+	}
+	// Stable networks at alpha = n are sparse; from 4n initial edges, at
+	// least 2n net deletions must happen in every converging run.
+	if del-buy < 2*20*st.Trials {
+		t.Fatalf("net deletions %d below structural minimum", del-buy)
+	}
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+// Options scale a figure regeneration: the paper uses 10000 trials (ASG)
+// and 5000 trials (GBG) on n = 10..100; the defaults here are reduced so
+// the whole suite runs in minutes (see DESIGN.md §3). All conclusions are
+// about curve shapes, which are stable at these counts.
+type Options struct {
+	Ns      []int
+	Trials  int
+	Seed    int64
+	Workers int
+}
+
+// DefaultOptions returns the scaled-down defaults.
+func DefaultOptions() Options {
+	return Options{
+		Ns:     []int{10, 20, 30, 40, 50},
+		Trials: 60,
+		Seed:   1,
+	}
+}
+
+// FigureResult is a regenerated figure: its series plus the n-grid.
+type FigureResult struct {
+	Name   string
+	Ns     []int
+	Series []Series
+}
+
+// Render returns the avg-steps and max-steps tables of the figure (the
+// left and right panels of the paper's figures).
+func (fr FigureResult) Render() string {
+	out := fr.Name + "\n\nAvg # of steps until convergence\n"
+	out += Table(fr.Series, fr.Ns, AvgMetric)
+	out += "\nMax # of steps until convergence\n"
+	out += Table(fr.Series, fr.Ns, MaxMetric)
+	return out
+}
+
+// Bound returns the largest observed ratio max-steps / n across the
+// figure, used to check the paper's 5n/7n/8n envelopes.
+func (fr FigureResult) Bound() float64 {
+	worst := 0.0
+	for _, s := range fr.Series {
+		for i, p := range s.Points {
+			r := float64(p.MaxSteps) / float64(fr.Ns[i])
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// budgetInitial builds the Section 3.4.1 ensemble.
+func budgetInitial(k int) func(n int, r *gen.Rand) *graph.Graph {
+	return func(n int, r *gen.Rand) *graph.Graph {
+		return gen.BudgetNetwork(n, k, r)
+	}
+}
+
+// Fig7 regenerates Figure 7: SUM-ASG with budget k over both policies.
+func Fig7(opt Options) FigureResult {
+	return figASG("Figure 7: SUM-ASG, budget k", game.Sum, opt)
+}
+
+// Fig8 regenerates Figure 8: MAX-ASG with budget k over both policies.
+func Fig8(opt Options) FigureResult {
+	return figASG("Figure 8: MAX-ASG, budget k", game.Max, opt)
+}
+
+func figASG(name string, kind game.DistKind, opt Options) FigureResult {
+	fr := FigureResult{Name: name, Ns: opt.Ns}
+	for _, pol := range []PolicyKind{MaxCostPolicy, RandomPolicy} {
+		for _, k := range []int{1, 2, 3, 4, 5, 6, 10} {
+			// Respect the generator's n > 2k requirement.
+			ns := opt.Ns
+			usable := ns[:0:0]
+			for _, n := range ns {
+				if n > 2*k {
+					usable = append(usable, n)
+				}
+			}
+			if len(usable) != len(ns) {
+				continue
+			}
+			tmpl := Config{
+				Name:       fmt.Sprintf("k=%d %s", k, pol),
+				Trials:     opt.Trials,
+				Seed:       opt.Seed,
+				NewGame:    func(int) game.Game { return game.NewAsymSwap(kind) },
+				NewInitial: budgetInitial(k),
+				Policy:     pol,
+			}
+			fr.Series = append(fr.Series, Sweep(tmpl, ns, opt.Workers))
+		}
+	}
+	return fr
+}
+
+// gbgAlphas are the edge prices of Section 4.2.1 as exact rationals in n:
+// alpha = n/10, n/4, n/2, n.
+var gbgAlphas = []struct {
+	Name string
+	Den  int64
+}{
+	{"a=n/10", 10},
+	{"a=n/4", 4},
+	{"a=n", 1},
+}
+
+// Fig11 regenerates Figure 11: SUM-GBG, m in {n, 4n}, alpha in
+// {n/10, n/4, n}, both policies.
+func Fig11(opt Options) FigureResult {
+	return figGBG("Figure 11: SUM-GBG", game.Sum, opt)
+}
+
+// Fig13 regenerates Figure 13: MAX-GBG, same grid.
+func Fig13(opt Options) FigureResult {
+	return figGBG("Figure 13: MAX-GBG", game.Max, opt)
+}
+
+func figGBG(name string, kind game.DistKind, opt Options) FigureResult {
+	fr := FigureResult{Name: name, Ns: opt.Ns}
+	for _, pol := range []PolicyKind{MaxCostPolicy, RandomPolicy} {
+		for _, mMul := range []int{1, 4} {
+			for _, al := range gbgAlphas {
+				mm, alName := mMul, al
+				tmpl := Config{
+					Name:   fmt.Sprintf("m=%dn %s %s", mm, alName.Name, pol),
+					Trials: opt.Trials,
+					Seed:   opt.Seed,
+					NewGame: func(n int) game.Game {
+						return game.NewGreedyBuy(kind, game.NewAlpha(int64(n), alName.Den))
+					},
+					NewInitial: func(n int, r *gen.Rand) *graph.Graph {
+						return gen.RandomConnected(n, mm*n, r)
+					},
+					Policy: pol,
+				}
+				fr.Series = append(fr.Series, Sweep(tmpl, opt.Ns, opt.Workers))
+			}
+		}
+	}
+	return fr
+}
+
+// topologies are the Section 4.2.2 starting-topology variants.
+var topologies = []struct {
+	Name string
+	New  func(n int, r *gen.Rand) *graph.Graph
+}{
+	{"random", func(n int, r *gen.Rand) *graph.Graph { return gen.RandomConnected(n, n, r) }},
+	{"rl", func(n int, r *gen.Rand) *graph.Graph { return gen.RandomLine(n, r) }},
+	{"dl", func(n int, r *gen.Rand) *graph.Graph { return gen.DirectedLine(n) }},
+}
+
+// topoAlphas adds alpha = n/2 per the comparison figures.
+var topoAlphas = []struct {
+	Name string
+	Den  int64
+}{
+	{"a=n/10", 10},
+	{"a=n/4", 4},
+	{"a=n/2", 2},
+	{"a=n", 1},
+}
+
+// Fig12 regenerates Figure 12: SUM-GBG starting-topology comparison.
+func Fig12(opt Options) FigureResult {
+	return figTopo("Figure 12: SUM-GBG topologies", game.Sum, opt)
+}
+
+// Fig14 regenerates Figure 14: MAX-GBG starting-topology comparison.
+func Fig14(opt Options) FigureResult {
+	return figTopo("Figure 14: MAX-GBG topologies", game.Max, opt)
+}
+
+func figTopo(name string, kind game.DistKind, opt Options) FigureResult {
+	fr := FigureResult{Name: name, Ns: opt.Ns}
+	for _, pol := range []PolicyKind{MaxCostPolicy, RandomPolicy} {
+		for _, topo := range topologies {
+			for _, al := range topoAlphas {
+				tp, alName := topo, al
+				tmpl := Config{
+					Name:   fmt.Sprintf("%s %s %s", tp.Name, alName.Name, pol),
+					Trials: opt.Trials,
+					Seed:   opt.Seed,
+					NewGame: func(n int) game.Game {
+						return game.NewGreedyBuy(kind, game.NewAlpha(int64(n), alName.Den))
+					},
+					NewInitial: tp.New,
+					Policy:     pol,
+				}
+				fr.Series = append(fr.Series, Sweep(tmpl, opt.Ns, opt.Workers))
+			}
+		}
+	}
+	return fr
+}
+
+// Figure returns the regeneration of the numbered figure (7, 8, 11-14).
+func Figure(num int, opt Options) (FigureResult, error) {
+	switch num {
+	case 7:
+		return Fig7(opt), nil
+	case 8:
+		return Fig8(opt), nil
+	case 11:
+		return Fig11(opt), nil
+	case 12:
+		return Fig12(opt), nil
+	case 13:
+		return Fig13(opt), nil
+	case 14:
+		return Fig14(opt), nil
+	}
+	return FigureResult{}, fmt.Errorf("experiments: no experiment for figure %d (theory figures are verified by the cycles package)", num)
+}

@@ -1,0 +1,119 @@
+package game
+
+import (
+	"testing"
+
+	"ncg/internal/graph"
+)
+
+func TestBilateralCostHalvesPerIncidentEdge(t *testing.T) {
+	g := graph.Path(4)
+	s := NewScratch(4)
+	bl := NewBilateral(Sum, AlphaInt(4))
+	c := bl.Cost(g, 1, s)
+	if c.Halves != 2 || c.Dist != 1+1+2 {
+		t.Fatalf("cost = %v", c)
+	}
+	// Float check: 2*(4/2) + 4 = 8.
+	if c.Float(AlphaInt(4)) != 8 {
+		t.Fatalf("float cost = %v", c.Float(AlphaInt(4)))
+	}
+}
+
+func TestBilateralConsentBlocksCostIncreasingEdges(t *testing.T) {
+	// P4 = 0-1-2-3, alpha = 4 (alpha/2 = 2). Leaf 0 would like the edge
+	// {0,3}: its distance gain for 0 is d(0,3): 3->1 saves 2, d(0,2)
+	// unchanged... For agent 3 accepting the edge: cost before
+	// 1*(a/2)+ (1+2+3)=2+6=8; after: 2*(a/2)+(1+1+2)=4+4=8 — not an
+	// increase, so 3 consents. Use alpha=6 instead: before 3+6=9, after
+	// 6+4=10 → blocked.
+	g := graph.Path(4)
+	s := NewScratch(4)
+	bl := NewBilateral(Sum, AlphaInt(6))
+	m := Move{Agent: 0, Add: []int{3}}
+	blockers := bl.Blocks(g, m, s)
+	if len(blockers) != 1 || blockers[0] != 3 {
+		t.Fatalf("blockers = %v, want [3]", blockers)
+	}
+	// At alpha = 4 the same edge is not blocked.
+	bl4 := NewBilateral(Sum, AlphaInt(4))
+	if bs := bl4.Blocks(g, m, s); len(bs) != 0 {
+		t.Fatalf("alpha=4 blockers = %v, want none", bs)
+	}
+}
+
+func TestBilateralEnumerationRespectsConsent(t *testing.T) {
+	// With alpha=6 on P4, agent 0's feasible improving strategies must not
+	// contain any adding {0,3}.
+	g := graph.Path(4)
+	s := NewScratch(4)
+	bl := NewBilateral(Sum, AlphaInt(6))
+	ms := bl.ImprovingMoves(g, 0, s, nil)
+	for _, m := range ms {
+		for _, v := range m.Add {
+			if v == 3 {
+				t.Fatalf("move %v adds blocked edge", m)
+			}
+		}
+	}
+}
+
+func TestBilateralUnilateralDeletion(t *testing.T) {
+	// Deletions never need consent: on a triangle with alpha = 10 every
+	// agent wants to drop an edge (saving a/2 = 5 > +1 distance).
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	s := NewScratch(3)
+	bl := NewBilateral(Sum, AlphaInt(10))
+	ms := bl.ImprovingMoves(g, 0, s, nil)
+	foundDelete := false
+	for _, m := range ms {
+		if m.Kind() == KindDelete {
+			foundDelete = true
+		}
+	}
+	if !foundDelete {
+		t.Fatalf("no improving deletion found: %v", ms)
+	}
+}
+
+func TestBilateralBestMovesStrictImprovement(t *testing.T) {
+	// A star with moderate alpha: center is happy (dropping any leaf
+	// disconnects), leaves are happy when alpha/2 > 1 (new edges save at
+	// most 1 distance each).
+	g := graph.Star(6)
+	s := NewScratch(6)
+	bl := NewBilateral(Sum, AlphaInt(3))
+	for u := 0; u < 6; u++ {
+		if ms, _ := bl.BestMoves(g, u, s, nil); len(ms) != 0 {
+			t.Fatalf("agent %d should be happy on the star: %v", u, ms)
+		}
+	}
+}
+
+func TestBilateralStrategyReplacesWholeNeighbourhood(t *testing.T) {
+	// Agent 1 on P4 may simultaneously drop 0 and connect to 3 if 3
+	// consents; verify such a two-sided move exists in the enumeration at
+	// a permissive alpha. Move {drop 0, add 3} for agent 1: 1's cost
+	// before: 2 halves + (1+1+2)=4; after: edges {1,2},{1,3}: dist
+	// 2:1,3:1,0:... 0 disconnected! 0's only edge was {0,1}. So that move
+	// disconnects and is never improving. Instead check agent 0 moving
+	// from {1} to {1,2} with consent of 2 at alpha=2: 2's cost before
+	// 2*(1)+ (1+1+2)=6; after 3*1+(1+1+1)=6 → consent (not higher).
+	// 0's cost before 1+ (1+2+3)=7; after 2+(1+1+2)=6 → improving.
+	g := graph.Path(4)
+	s := NewScratch(4)
+	bl := NewBilateral(Sum, AlphaInt(2))
+	ms := bl.ImprovingMoves(g, 0, s, nil)
+	found := false
+	for _, m := range ms {
+		if len(m.Add) == 1 && m.Add[0] == 2 && len(m.Drop) == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected buy {0,2} in %v", ms)
+	}
+}

@@ -1,0 +1,153 @@
+package game
+
+import (
+	"fmt"
+
+	"ncg/internal/graph"
+)
+
+// Buy is the original Network Creation Game of Fabrikant et al. (PODC'03):
+// a strategy of agent u is an arbitrary set of vertices u buys edges to, at
+// price alpha each. Computing a best response is NP-hard, so this
+// implementation enumerates all 2^|C| strategies over the candidate set C
+// and is intended for the paper's small constructions (Section 4.1); it
+// panics if |C| exceeds MaxStrategyBits.
+//
+// Strategies containing a vertex v already connected to u by an edge v owns
+// ("parallel claims") are excluded from the strategy space: such strategies
+// cost alpha more than their reduction while inducing the same network, so
+// they are strictly dominated and their exclusion changes neither best
+// responses nor the existence of improving paths.
+type Buy struct {
+	base
+}
+
+// MaxStrategyBits bounds the exhaustive strategy enumeration of the Buy
+// Game and the bilateral game: at most 2^MaxStrategyBits strategies per
+// agent are examined.
+const MaxStrategyBits = 22
+
+// NewBuy returns the Buy Game with the given distance kind and edge price.
+func NewBuy(kind DistKind, alpha Alpha) *Buy {
+	return &Buy{base{kind: kind, alpha: alpha}}
+}
+
+// NewBuyHost returns the Buy Game on a host graph; bought edges must be
+// host edges.
+func NewBuyHost(kind DistKind, alpha Alpha, host *graph.Graph) *Buy {
+	return &Buy{base{kind: kind, alpha: alpha, host: host}}
+}
+
+func (bg *Buy) Name() string {
+	return bg.kind.String() + "-BG"
+}
+
+// OwnershipMatters is true: strategies are owned-neighbour sets.
+func (bg *Buy) OwnershipMatters() bool { return true }
+
+// Cost returns u's cost: alpha per owned edge plus distance cost.
+func (bg *Buy) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+	return agentCost(g, u, bg.kind, modelUnilateral, s)
+}
+
+// strategyCandidates returns the vertices that may appear in a strategy of
+// u: not u, host-permitted, and not connected to u by a foreign-owned edge.
+func (bg *Buy) strategyCandidates(g *graph.Graph, u int, dst []int) []int {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if v == u || !bg.allowed(u, v) {
+			continue
+		}
+		if g.HasEdge(u, v) && !g.Owns(u, v) {
+			continue
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// forEachStrategy enumerates every strategy of u other than the current one
+// and calls fn with the move transforming the current strategy into it and
+// the resulting cost for u. fn returns false to stop.
+func (bg *Buy) forEachStrategy(g *graph.Graph, u int, s *Scratch, fn func(m Move, c Cost) bool) {
+	cands := bg.strategyCandidates(g, u, nil)
+	if len(cands) > MaxStrategyBits {
+		panic(fmt.Sprintf("game: Buy Game strategy space 2^%d exceeds limit 2^%d", len(cands), MaxStrategyBits))
+	}
+	curMask := uint32(0)
+	for i, v := range cands {
+		if g.Owns(u, v) {
+			curMask |= 1 << uint(i)
+		}
+	}
+	var drop, add []int
+	for mask := uint32(0); mask < 1<<uint(len(cands)); mask++ {
+		if mask == curMask {
+			continue
+		}
+		drop, add = drop[:0], add[:0]
+		for i, v := range cands {
+			bit := uint32(1) << uint(i)
+			switch {
+			case curMask&bit != 0 && mask&bit == 0:
+				drop = append(drop, v)
+			case curMask&bit == 0 && mask&bit != 0:
+				add = append(add, v)
+			}
+		}
+		m := Move{Agent: u, Drop: drop, Add: add}
+		c := evalMove(g, m, bg.kind, modelUnilateral, s)
+		if !fn(m, c) {
+			return
+		}
+	}
+}
+
+func (bg *Buy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	cur := agentCost(g, u, bg.kind, modelUnilateral, s)
+	found := false
+	bg.forEachStrategy(g, u, s, func(m Move, c Cost) bool {
+		if c.Less(cur, bg.alpha) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (bg *Buy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	cur := agentCost(g, u, bg.kind, modelUnilateral, s)
+	best := cur
+	start := len(dst)
+	bg.forEachStrategy(g, u, s, func(m Move, c Cost) bool {
+		switch c.Cmp(best, bg.alpha) {
+		case -1:
+			dst = dst[:start]
+			dst = append(dst, m.Clone())
+			best = c
+		case 0:
+			if best.Less(cur, bg.alpha) {
+				dst = append(dst, m.Clone())
+			}
+		}
+		return true
+	})
+	if !best.Less(cur, bg.alpha) {
+		return dst[:start], cur
+	}
+	return dst, best
+}
+
+func (bg *Buy) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	cur := agentCost(g, u, bg.kind, modelUnilateral, s)
+	bg.forEachStrategy(g, u, s, func(m Move, c Cost) bool {
+		if c.Less(cur, bg.alpha) {
+			dst = append(dst, m.Clone())
+		}
+		return true
+	})
+	return dst
+}
+
+var _ Game = (*Buy)(nil)

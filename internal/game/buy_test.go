@@ -1,0 +1,180 @@
+package game
+
+import (
+	"testing"
+
+	"ncg/internal/graph"
+)
+
+func TestGreedyBuyMovesOnPath(t *testing.T) {
+	// SUM-GBG on P5 with alpha = 2 (cheap edges): leaf 4 owns nothing and
+	// should buy; its best buy minimizes sum of distances.
+	g := graph.Path(5)
+	s := NewScratch(5)
+	gb := NewGreedyBuy(Sum, AlphaInt(2))
+	cur := gb.Cost(g, 4, s)
+	if cur.Halves != 0 || cur.Dist != 10 {
+		t.Fatalf("cost of 4 = %v", cur)
+	}
+	moves, c := gb.BestMoves(g, 4, s, nil)
+	if len(moves) == 0 {
+		t.Fatal("leaf should buy with cheap alpha")
+	}
+	for _, m := range moves {
+		if m.Kind() != KindBuy {
+			t.Fatalf("expected buy, got %v", m)
+		}
+	}
+	// Buying 4->1: distances 3:1,1:1,2:... from 4: 3=1,1=1,0=2,2=2 → 6;
+	// buying 4->0: 0=1,1=2,2=2(3=1)... 3=1,2=2,1=3? no: 4-0 edge: 0=1,1=2,
+	// 2=3 vs via 3: 2=2,3=1 → 6? sum = 1+2+... compute: d(4,3)=1, d(4,2)=2,
+	// d(4,0)=1, d(4,1)=2 → 6. Both 0 and 1 give 6? d via 4->1: 1=1,0=2,2=2,
+	// 3=1 → 6. Yes ties.
+	if c.Dist != 6 || c.Halves != 2 {
+		t.Fatalf("best buy cost = %v", c)
+	}
+}
+
+func TestGreedyBuyDeletePreferredOnExpensiveEdges(t *testing.T) {
+	// Agent 0 owns the cycle edge {0,1} and the chord {0,3}; with huge
+	// alpha the best moves are deletions (either one leaves sum 9 for 0).
+	g := graph.Cycle(6)
+	g.AddEdge(0, 3)
+	s := NewScratch(6)
+	gb := NewGreedyBuy(Sum, AlphaInt(1000))
+	moves, c := gb.BestMoves(g, 0, s, nil)
+	if len(moves) != 2 || moves[0].Kind() != KindDelete || moves[1].Kind() != KindDelete {
+		t.Fatalf("moves = %v", moves)
+	}
+	if c.Halves != 2 || c.Dist != 9 {
+		t.Fatalf("cost = %v", c)
+	}
+}
+
+func TestGreedyBuyEnumerationOrder(t *testing.T) {
+	// The first enumerated improving move must be a deletion when a
+	// deletion is among the best moves (delete < swap < add preference).
+	g := graph.Cycle(4)
+	g.AddEdge(0, 2)
+	s := NewScratch(4)
+	gb := NewGreedyBuy(Max, AlphaInt(100))
+	moves, _ := gb.BestMoves(g, 0, s, nil)
+	if len(moves) == 0 || moves[0].Kind() != KindDelete {
+		t.Fatalf("first best move should be delete, got %v", moves)
+	}
+}
+
+func TestGreedyBuyHappyOnStarCenter(t *testing.T) {
+	g := graph.Star(6)
+	s := NewScratch(6)
+	for _, alpha := range []Alpha{AlphaInt(1), AlphaInt(3), NewAlpha(1, 2)} {
+		gb := NewGreedyBuy(Sum, alpha)
+		if alpha.Float() > 1 && gb.HasImproving(g, 0, s) {
+			t.Fatalf("star center unhappy at alpha=%v", alpha)
+		}
+	}
+	// Leaves cannot improve either when alpha > 1 (buying saves at most 1
+	// per edge).
+	gb := NewGreedyBuy(Sum, AlphaInt(2))
+	for u := 1; u < 6; u++ {
+		if gb.HasImproving(g, u, s) {
+			t.Fatalf("leaf %d unhappy on star at alpha=2", u)
+		}
+	}
+}
+
+func TestBuyGameMatchesGreedyOnSingleMoves(t *testing.T) {
+	// On small graphs, the Buy Game's best response is at least as good as
+	// the GBG's, and its improving set contains every greedy improving
+	// move's resulting cost.
+	g := graph.Path(6)
+	s := NewScratch(6)
+	alpha := NewAlpha(3, 2)
+	gb := NewGreedyBuy(Sum, alpha)
+	bg := NewBuy(Sum, alpha)
+	for u := 0; u < 6; u++ {
+		_, gc := gb.BestMoves(g, u, s, nil)
+		_, bc := bg.BestMoves(g, u, s, nil)
+		if bc.Cmp(gc, alpha) > 0 {
+			t.Fatalf("agent %d: BG best %v worse than GBG best %v", u, bc, gc)
+		}
+	}
+}
+
+func TestBuyGameDeleteAllIsConsidered(t *testing.T) {
+	// Agent 0 owns two redundant chords of K4 minus nothing... Build K4
+	// where 0 owns {0,2} and {0,3} and also has foreign edges {1,0}; with
+	// huge alpha, dropping everything keeps connectivity via 1 and is the
+	// unique best response (a 2-edge change the GBG cannot make).
+	g := graph.New(4)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	s := NewScratch(4)
+	alpha := AlphaInt(100)
+	bg := NewBuy(Sum, alpha)
+	moves, c := bg.BestMoves(g, 0, s, nil)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	m := moves[0]
+	if len(m.Drop) != 2 || len(m.Add) != 0 {
+		t.Fatalf("best = %v, want drop both chords", m)
+	}
+	if c.Halves != 0 || c.Dist != 1+2+2 {
+		t.Fatalf("cost = %v", c)
+	}
+}
+
+func TestBuyGameExcludesParallelClaims(t *testing.T) {
+	// Edge {0,1} owned by 1: vertex 0's candidate set must exclude 1.
+	g := graph.New(3)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	bg := NewBuy(Sum, AlphaInt(1))
+	cands := bg.strategyCandidates(g, 0, nil)
+	if len(cands) != 1 || cands[0] != 2 {
+		t.Fatalf("candidates = %v, want [2]", cands)
+	}
+}
+
+func TestBuyGamePanicsOnHugeStrategySpace(t *testing.T) {
+	g := graph.Star(MaxStrategyBits + 3)
+	s := NewScratch(g.N())
+	bg := NewBuy(Sum, AlphaInt(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversized strategy space")
+		}
+	}()
+	bg.BestMoves(g, 1, s, nil)
+}
+
+func TestGamePreservesGraphInvariant(t *testing.T) {
+	games := []Game{
+		NewSwap(Sum), NewSwap(Max), NewAsymSwap(Sum), NewAsymSwap(Max),
+		NewGreedyBuy(Sum, AlphaInt(2)), NewGreedyBuy(Max, NewAlpha(3, 2)),
+		NewBuy(Sum, AlphaInt(2)), NewBuy(Max, AlphaInt(2)),
+		NewBilateral(Sum, AlphaInt(2)), NewBilateral(Max, AlphaInt(2)),
+	}
+	g := graph.Cycle(6)
+	g.AddEdge(0, 2)
+	before := g.Clone()
+	s := NewScratch(6)
+	for _, gm := range games {
+		for u := 0; u < 6; u++ {
+			gm.Cost(g, u, s)
+			gm.HasImproving(g, u, s)
+			gm.BestMoves(g, u, s, nil)
+			gm.ImprovingMoves(g, u, s, nil)
+		}
+		if !g.Equal(before) {
+			t.Fatalf("%s mutated the graph", gm.Name())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s broke invariants: %v", gm.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package game
+
+import (
+	"ncg/internal/graph"
+)
+
+// Game is the strategic substrate a network creation process runs on: it
+// defines agent costs and the admissible strategy changes of Section 1.1.
+//
+// All methods must be safe for concurrent use on distinct (g, s) pairs; a
+// Scratch must not be shared between goroutines.
+type Game interface {
+	// Name is a short identifier such as "SUM-ASG".
+	Name() string
+	// DistKind reports the distance-cost aggregation.
+	DistKind() DistKind
+	// Alpha is the edge price; swap games return a dummy positive value
+	// that never influences costs.
+	Alpha() Alpha
+	// OwnershipMatters distinguishes games whose state includes the
+	// ownership function (ASG, GBG, BG) from the Swap Game, where two
+	// networks with the same edges are the same state.
+	OwnershipMatters() bool
+	// Cost returns the exact cost of agent u in g.
+	Cost(g *graph.Graph, u int, s *Scratch) Cost
+	// HasImproving reports whether u has at least one feasible strictly
+	// improving strategy change; it exits early where possible.
+	HasImproving(g *graph.Graph, u int, s *Scratch) bool
+	// BestMoves appends to dst every feasible move realizing the best
+	// attainable cost for u, provided that cost strictly improves on u's
+	// current cost, and returns the moves with the attained cost. An
+	// empty result means u is happy; the returned cost is then u's
+	// current cost.
+	BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost)
+	// ImprovingMoves appends every feasible strictly improving move of u,
+	// for weak-acyclicity analyses.
+	ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move
+}
+
+// Scratch bundles the reusable buffers of cost and best-response
+// computations for one goroutine.
+type Scratch struct {
+	n    int
+	bfs  *graph.BFSScratch
+	buf  []int
+	buf2 []int
+	set  graph.Bitset
+}
+
+// NewScratch returns scratch space for games on n-vertex networks.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		n:   n,
+		bfs: graph.NewBFSScratch(n),
+		set: graph.NewBitset(n),
+	}
+}
+
+// base carries the configuration shared by all concrete games.
+type base struct {
+	kind  DistKind
+	alpha Alpha
+	host  *graph.Graph // nil means the complete host graph
+}
+
+func (b base) DistKind() DistKind { return b.kind }
+func (b base) Alpha() Alpha       { return b.alpha }
+
+// allowed reports whether the host graph permits edge {u,v}.
+func (b base) allowed(u, v int) bool {
+	return b.host == nil || b.host.HasEdge(u, v)
+}
+
+// costModel selects how many alpha/2 units an agent pays.
+type costModel int
+
+const (
+	modelSwap       costModel = iota // no edge cost
+	modelUnilateral                  // owner pays alpha per owned edge
+	modelBilateral                   // alpha/2 per incident edge
+)
+
+// agentCost evaluates u's cost in g under the given model.
+func agentCost(g *graph.Graph, u int, kind DistKind, model costModel, s *Scratch) Cost {
+	r := g.BFS(u, nil, s.bfs)
+	c := Cost{Dist: distCost(r, g.N(), kind)}
+	switch model {
+	case modelUnilateral:
+		c.Halves = 2 * int64(g.OutDegree(u))
+	case modelBilateral:
+		c.Halves = int64(g.Degree(u))
+	}
+	return c
+}
+
+// evalMove applies m, computes the mover's cost, and undoes m.
+func evalMove(g *graph.Graph, m Move, kind DistKind, model costModel, s *Scratch) Cost {
+	ap := Apply(g, m)
+	c := agentCost(g, m.Agent, kind, model, s)
+	ap.Undo()
+	return c
+}
+
+// swapTargets returns the valid swap/buy targets of agent u in g appended
+// to dst: vertices that are not u, not already neighbours of u, and
+// host-permitted.
+func (b base) swapTargets(g *graph.Graph, u int, dst []int) []int {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if v == u || g.HasEdge(u, v) || !b.allowed(u, v) {
+			continue
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}

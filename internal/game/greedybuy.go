@@ -1,0 +1,133 @@
+package game
+
+import (
+	"ncg/internal/graph"
+)
+
+// GreedyBuy is the Greedy Buy Game (Lenzner, WINE'12): in one move an agent
+// may buy one edge, delete one own edge, or swap one own edge. The owner
+// pays alpha per owned edge. Best responses are polynomial-time computable
+// by enumerating the O(n * deg) greedy moves.
+type GreedyBuy struct {
+	base
+}
+
+// NewGreedyBuy returns the GBG with the given distance kind and edge price.
+func NewGreedyBuy(kind DistKind, alpha Alpha) *GreedyBuy {
+	return &GreedyBuy{base{kind: kind, alpha: alpha}}
+}
+
+// NewGreedyBuyHost returns the GBG on a host graph: bought or swapped-in
+// edges must be host edges; deletions are unrestricted.
+func NewGreedyBuyHost(kind DistKind, alpha Alpha, host *graph.Graph) *GreedyBuy {
+	return &GreedyBuy{base{kind: kind, alpha: alpha, host: host}}
+}
+
+func (gb *GreedyBuy) Name() string {
+	return gb.kind.String() + "-GBG"
+}
+
+// OwnershipMatters is true: strategies are owned-neighbour sets.
+func (gb *GreedyBuy) OwnershipMatters() bool { return true }
+
+// Cost returns u's cost: alpha per owned edge plus distance cost.
+func (gb *GreedyBuy) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+	return agentCost(g, u, gb.kind, modelUnilateral, s)
+}
+
+// forEachGreedyMove enumerates u's greedy moves in the order deletions,
+// swaps, additions (the preference order of Section 4.2.1) and calls fn with
+// each move's cost. fn returns false to stop the enumeration. The x and y
+// parameters are the dropped and added neighbours (-1 when absent).
+func (gb *GreedyBuy) forEachGreedyMove(g *graph.Graph, u int, s *Scratch, fn func(x, y int, c Cost) bool) {
+	s.buf = g.OwnedNeighbors(u).Elements(s.buf[:0])
+	s.buf2 = gb.swapTargets(g, u, s.buf2[:0])
+	// Deletions.
+	for _, x := range s.buf {
+		owner := u
+		g.RemoveEdge(u, x)
+		c := agentCost(g, u, gb.kind, modelUnilateral, s)
+		g.AddEdge(owner, x)
+		if !fn(x, -1, c) {
+			return
+		}
+	}
+	// Swaps.
+	for _, x := range s.buf {
+		for _, y := range s.buf2 {
+			c := evalSwap(&gb.base, g, u, x, y, modelUnilateral, s)
+			if !fn(x, y, c) {
+				return
+			}
+		}
+	}
+	// Additions.
+	for _, y := range s.buf2 {
+		g.AddEdge(u, y)
+		c := agentCost(g, u, gb.kind, modelUnilateral, s)
+		g.RemoveEdge(u, y)
+		if !fn(-1, y, c) {
+			return
+		}
+	}
+}
+
+func greedyMove(u, x, y int) Move {
+	m := Move{Agent: u}
+	if x >= 0 {
+		m.Drop = []int{x}
+	}
+	if y >= 0 {
+		m.Add = []int{y}
+	}
+	return m
+}
+
+func (gb *GreedyBuy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
+	found := false
+	gb.forEachGreedyMove(g, u, s, func(x, y int, c Cost) bool {
+		if c.Less(cur, gb.alpha) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (gb *GreedyBuy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
+	best := cur
+	start := len(dst)
+	gb.forEachGreedyMove(g, u, s, func(x, y int, c Cost) bool {
+		switch c.Cmp(best, gb.alpha) {
+		case -1:
+			dst = dst[:start]
+			dst = append(dst, greedyMove(u, x, y))
+			best = c
+		case 0:
+			if best.Less(cur, gb.alpha) {
+				dst = append(dst, greedyMove(u, x, y))
+			}
+		}
+		return true
+	})
+	if !best.Less(cur, gb.alpha) {
+		return dst[:start], cur
+	}
+	return dst, best
+}
+
+func (gb *GreedyBuy) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
+	gb.forEachGreedyMove(g, u, s, func(x, y int, c Cost) bool {
+		if c.Less(cur, gb.alpha) {
+			dst = append(dst, greedyMove(u, x, y))
+		}
+		return true
+	})
+	return dst
+}
+
+var _ Game = (*GreedyBuy)(nil)

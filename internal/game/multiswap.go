@@ -1,0 +1,111 @@
+package game
+
+import (
+	"fmt"
+
+	"ncg/internal/graph"
+)
+
+// Multi-swap extensions of the swap games, used by Theorem 2.16 and
+// Theorem 3.3 ("the result holds even if agents are allowed to perform
+// multi-swaps"): an agent replaces k >= 1 of her (owned, in the ASG)
+// neighbours by k new distinct non-neighbours in a single move.
+//
+// Enumeration is combinatorial and intended for the paper's construction
+// sizes; callers should keep degrees and n small.
+
+// multiSwapDrops returns the edges u may multi-swap under gm, which must be
+// a *Swap or *AsymSwap.
+func multiSwapDrops(gm Game, g *graph.Graph, u int) ([]int, *base) {
+	switch t := gm.(type) {
+	case *Swap:
+		return g.Neighbors(u).Elements(nil), &t.base
+	case *AsymSwap:
+		return g.OwnedNeighbors(u).Elements(nil), &t.base
+	}
+	panic(fmt.Sprintf("game: multi-swaps undefined for %T", gm))
+}
+
+// MultiSwapImprovingMoves returns every strictly improving multi-swap of u
+// with 1 <= k <= maxK swapped edges (maxK <= 0 means no limit). Single
+// swaps (k = 1) are included.
+func MultiSwapImprovingMoves(gm Game, g *graph.Graph, u int, s *Scratch, maxK int) []Move {
+	moves, _ := multiSwapScan(gm, g, u, s, maxK, false)
+	return moves
+}
+
+// MultiSwapBest returns the multi-swaps of u achieving the minimum cost over
+// all multi-swaps with at most maxK edges, together with that cost, provided
+// it strictly improves; otherwise it returns (nil, current cost).
+func MultiSwapBest(gm Game, g *graph.Graph, u int, s *Scratch, maxK int) ([]Move, Cost) {
+	return multiSwapScan(gm, g, u, s, maxK, true)
+}
+
+func multiSwapScan(gm Game, g *graph.Graph, u int, s *Scratch, maxK int, bestOnly bool) ([]Move, Cost) {
+	drops, b := multiSwapDrops(gm, g, u)
+	targets := b.swapTargets(g, u, nil)
+	cur := agentCost(g, u, b.kind, modelSwap, s)
+	best := cur
+	var out []Move
+	limit := len(drops)
+	if maxK > 0 && maxK < limit {
+		limit = maxK
+	}
+	if limit > len(targets) {
+		limit = len(targets)
+	}
+	dsel := make([]int, 0, limit)
+	tsel := make([]int, 0, limit)
+
+	var chooseTargets func(k, from int)
+	evaluate := func() {
+		m := Move{Agent: u, Drop: append([]int(nil), dsel...), Add: append([]int(nil), tsel...)}
+		c := evalMove(g, m, b.kind, modelSwap, s)
+		if !bestOnly {
+			if c.Less(cur, b.alpha) {
+				out = append(out, m)
+			}
+			return
+		}
+		switch c.Cmp(best, b.alpha) {
+		case -1:
+			out = out[:0]
+			out = append(out, m)
+			best = c
+		case 0:
+			if best.Less(cur, b.alpha) {
+				out = append(out, m)
+			}
+		}
+	}
+	chooseTargets = func(k, from int) {
+		if len(tsel) == k {
+			evaluate()
+			return
+		}
+		for i := from; i < len(targets); i++ {
+			tsel = append(tsel, targets[i])
+			chooseTargets(k, i+1)
+			tsel = tsel[:len(tsel)-1]
+		}
+	}
+	var chooseDrops func(k, from int)
+	chooseDrops = func(k, from int) {
+		if len(dsel) == k {
+			chooseTargets(k, 0)
+			return
+		}
+		for i := from; i < len(drops); i++ {
+			dsel = append(dsel, drops[i])
+			chooseDrops(k, i+1)
+			dsel = dsel[:len(dsel)-1]
+		}
+	}
+	for k := 1; k <= limit; k++ {
+		chooseDrops(k, 0)
+	}
+	if bestOnly && !best.Less(cur, b.alpha) {
+		return nil, cur
+	}
+	return out, best
+}

@@ -1,0 +1,198 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ncg/internal/graph"
+)
+
+// randomOwnedGraph builds a random connected graph with random ownership.
+func randomOwnedGraph(n int, extra int, r *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		p := r.Intn(i)
+		if r.Intn(2) == 0 {
+			g.AddEdge(i, p)
+		} else {
+			g.AddEdge(p, i)
+		}
+	}
+	for e := 0; e < extra; e++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// TestASGMovesAreSGMoves: every improving ASG move is an improving SG move
+// (the ASG restricts the strategy space, Section 1.1), for both distance
+// kinds.
+func TestASGMovesAreSGMoves(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, kind := range []DistKind{Sum, Max} {
+		sg := NewSwap(kind)
+		ag := NewAsymSwap(kind)
+		s := NewScratch(16)
+		for trial := 0; trial < 25; trial++ {
+			g := randomOwnedGraph(16, r.Intn(8), r)
+			for u := 0; u < 16; u++ {
+				asgMoves := ag.ImprovingMoves(g, u, s, nil)
+				sgMoves := sg.ImprovingMoves(g, u, s, nil)
+				for _, am := range asgMoves {
+					found := false
+					for _, sm := range sgMoves {
+						if am.Equal(sm) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%v: ASG move %v missing from SG moves", kind, am)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGBGBestNeverWorseThanASG: the GBG extends the ASG with buys and
+// deletes, so its best response cost is never worse for the same agent
+// when the agent owns at least one edge... note the cost models differ
+// (the ASG has no edge cost), so compare attainable DISTANCE costs of pure
+// swap moves instead: every improving ASG swap appears among GBG moves.
+func TestGBGBestNeverWorseThanASG(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	ag := NewAsymSwap(Sum)
+	gb := NewGreedyBuy(Sum, AlphaInt(1000000)) // buys effectively disabled
+	s := NewScratch(14)
+	for trial := 0; trial < 25; trial++ {
+		g := randomOwnedGraph(14, r.Intn(6), r)
+		for u := 0; u < 14; u++ {
+			for _, am := range ag.ImprovingMoves(g, u, s, nil) {
+				ims := gb.ImprovingMoves(g, u, s, nil)
+				found := false
+				for _, gm := range ims {
+					if am.Equal(gm) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("ASG swap %v missing from GBG improving moves", am)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyUndoRoundTrip: applying and undoing random moves restores the
+// graph exactly, including ownership.
+func TestApplyUndoRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomOwnedGraph(12, r.Intn(10), r)
+		before := g.Clone()
+		for k := 0; k < 20; k++ {
+			u := r.Intn(12)
+			// Random applicable move: drop a random subset of owned
+			// neighbours, add a random subset of non-neighbours.
+			var drop, add []int
+			g.OwnedNeighbors(u).ForEach(func(v int) {
+				if r.Intn(2) == 0 {
+					drop = append(drop, v)
+				}
+			})
+			for v := 0; v < 12; v++ {
+				if v != u && !g.HasEdge(u, v) && r.Intn(4) == 0 {
+					add = append(add, v)
+				}
+			}
+			ap := Apply(g, Move{Agent: u, Drop: drop, Add: add})
+			ap.Undo()
+			if !g.Equal(before) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHasImprovingConsistentWithBestMoves: HasImproving and BestMoves must
+// agree for every game on random instances.
+func TestHasImprovingConsistentWithBestMoves(t *testing.T) {
+	games := []Game{
+		NewSwap(Sum), NewSwap(Max),
+		NewAsymSwap(Sum), NewAsymSwap(Max),
+		NewGreedyBuy(Sum, NewAlpha(3, 2)), NewGreedyBuy(Max, NewAlpha(3, 2)),
+		NewBuy(Sum, AlphaInt(2)), NewBilateral(Sum, AlphaInt(4)),
+	}
+	r := rand.New(rand.NewSource(47))
+	s := NewScratch(10)
+	for trial := 0; trial < 10; trial++ {
+		g := randomOwnedGraph(10, r.Intn(6), r)
+		for _, gm := range games {
+			for u := 0; u < 10; u++ {
+				has := gm.HasImproving(g, u, s)
+				best, _ := gm.BestMoves(g, u, s, nil)
+				if has != (len(best) > 0) {
+					t.Fatalf("%s agent %d: HasImproving=%v but %d best moves",
+						gm.Name(), u, has, len(best))
+				}
+				ims := gm.ImprovingMoves(g, u, s, nil)
+				if has != (len(ims) > 0) {
+					t.Fatalf("%s agent %d: HasImproving=%v but %d improving moves",
+						gm.Name(), u, has, len(ims))
+				}
+			}
+		}
+	}
+}
+
+// TestBestMovesAreImprovingMoves: every best move appears among the
+// improving moves and achieves their minimal cost.
+func TestBestMovesAreImprovingMoves(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	games := []Game{
+		NewSwap(Max), NewAsymSwap(Sum), NewGreedyBuy(Sum, NewAlpha(5, 2)),
+	}
+	for trial := 0; trial < 15; trial++ {
+		g := randomOwnedGraph(12, r.Intn(8), r)
+		s := NewScratch(12)
+		for _, gm := range games {
+			alpha := gm.Alpha()
+			for u := 0; u < 12; u++ {
+				best, bc := gm.BestMoves(g, u, s, nil)
+				ims := gm.ImprovingMoves(g, u, s, nil)
+				for _, bm := range best {
+					found := false
+					for _, im := range ims {
+						if bm.Equal(im) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%s: best move %v not improving", gm.Name(), bm)
+					}
+				}
+				// No improving move beats the best cost.
+				for _, im := range ims {
+					ap := Apply(g, im)
+					c := gm.Cost(g, u, s)
+					ap.Undo()
+					if c.Less(bc, alpha) {
+						t.Fatalf("%s: improving move %v (%v) beats best %v",
+							gm.Name(), im, c, bc)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package game
+
+import (
+	"ncg/internal/graph"
+)
+
+// Swap is the Swap Game of Alon et al. (SPAA'10): an agent may replace one
+// incident edge — regardless of who owns it — by an edge to a vertex that is
+// not currently a neighbour. Agents pay distance cost only.
+type Swap struct {
+	base
+}
+
+// NewSwap returns the Swap Game with the given distance-cost kind.
+func NewSwap(kind DistKind) *Swap {
+	return &Swap{base{kind: kind, alpha: AlphaInt(1)}}
+}
+
+// NewSwapHost returns the Swap Game restricted to a host graph: swap targets
+// must be host edges.
+func NewSwapHost(kind DistKind, host *graph.Graph) *Swap {
+	return &Swap{base{kind: kind, alpha: AlphaInt(1), host: host}}
+}
+
+func (sg *Swap) Name() string {
+	return sg.kind.String() + "-SG"
+}
+
+// OwnershipMatters is false: Swap Game states are edge sets.
+func (sg *Swap) OwnershipMatters() bool { return false }
+
+// Cost returns u's distance cost.
+func (sg *Swap) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+	return agentCost(g, u, sg.kind, modelSwap, s)
+}
+
+func (sg *Swap) dropCandidates(g *graph.Graph, u int, dst []int) []int {
+	return g.Neighbors(u).Elements(dst)
+}
+
+func (sg *Swap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	return swapScan(&sg.base, g, u, sg.dropCandidates, modelSwap, s, scanAny, nil) != nil
+}
+
+func (sg *Swap) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	return swapBest(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
+}
+
+func (sg *Swap) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	return swapScan(&sg.base, g, u, sg.dropCandidates, modelSwap, s, scanAll, dst)
+}
+
+// AsymSwap is the Asymmetric Swap Game of Mihalák & Schlegel: only the owner
+// of an edge may swap it.
+type AsymSwap struct {
+	base
+}
+
+// NewAsymSwap returns the Asymmetric Swap Game with the given distance-cost
+// kind.
+func NewAsymSwap(kind DistKind) *AsymSwap {
+	return &AsymSwap{base{kind: kind, alpha: AlphaInt(1)}}
+}
+
+// NewAsymSwapHost returns the ASG restricted to a host graph.
+func NewAsymSwapHost(kind DistKind, host *graph.Graph) *AsymSwap {
+	return &AsymSwap{base{kind: kind, alpha: AlphaInt(1), host: host}}
+}
+
+func (ag *AsymSwap) Name() string {
+	return ag.kind.String() + "-ASG"
+}
+
+// OwnershipMatters is true: ASG strategies are owned-neighbour sets.
+func (ag *AsymSwap) OwnershipMatters() bool { return true }
+
+// Cost returns u's distance cost (swap games have no edge-cost term).
+func (ag *AsymSwap) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+	return agentCost(g, u, ag.kind, modelSwap, s)
+}
+
+func (ag *AsymSwap) dropCandidates(g *graph.Graph, u int, dst []int) []int {
+	return g.OwnedNeighbors(u).Elements(dst)
+}
+
+func (ag *AsymSwap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	return swapScan(&ag.base, g, u, ag.dropCandidates, modelSwap, s, scanAny, nil) != nil
+}
+
+func (ag *AsymSwap) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	return swapBest(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
+}
+
+func (ag *AsymSwap) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	return swapScan(&ag.base, g, u, ag.dropCandidates, modelSwap, s, scanAll, dst)
+}
+
+type scanMode int
+
+const (
+	scanAny scanMode = iota // stop at the first improving move
+	scanAll                 // collect every improving move
+)
+
+type dropFunc func(g *graph.Graph, u int, dst []int) []int
+
+// evalSwap computes u's cost after swapping the edge {u,x} to {u,y},
+// mutating g in place and restoring it (including the original owner of
+// {u,x}) before returning. It allocates nothing.
+func evalSwap(b *base, g *graph.Graph, u, x, y int, model costModel, s *Scratch) Cost {
+	owner := g.Owner(u, x)
+	g.RemoveEdge(u, x)
+	g.AddEdge(u, y)
+	c := agentCost(g, u, b.kind, model, s)
+	g.RemoveEdge(u, y)
+	if owner == u {
+		g.AddEdge(u, x)
+	} else {
+		g.AddEdge(x, u)
+	}
+	return c
+}
+
+// swapScan enumerates single-edge swaps of u. In scanAny mode it returns a
+// non-nil slice (possibly sharing dst's backing array) as soon as one
+// improving swap exists; in scanAll mode it appends every improving swap to
+// dst and returns it (nil if none).
+func swapScan(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, mode scanMode, dst []Move) []Move {
+	cur := agentCost(g, u, b.kind, model, s)
+	s.buf = drops(g, u, s.buf[:0])
+	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+	found := false
+	for _, x := range s.buf {
+		for _, y := range s.buf2 {
+			c := evalSwap(b, g, u, x, y, model, s)
+			if c.Less(cur, b.alpha) {
+				found = true
+				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				if mode == scanAny {
+					return dst
+				}
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	return dst
+}
+
+// swapBest returns the best strictly improving swaps of u and their cost.
+func swapBest(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
+	cur := agentCost(g, u, b.kind, model, s)
+	best := cur
+	start := len(dst)
+	s.buf = drops(g, u, s.buf[:0])
+	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+	for _, x := range s.buf {
+		for _, y := range s.buf2 {
+			c := evalSwap(b, g, u, x, y, model, s)
+			switch c.Cmp(best, b.alpha) {
+			case -1:
+				dst = dst[:start]
+				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				best = c
+			case 0:
+				if best.Less(cur, b.alpha) {
+					dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				}
+			}
+		}
+	}
+	if !best.Less(cur, b.alpha) {
+		return dst[:start], cur
+	}
+	return dst, best
+}
+
+var (
+	_ Game = (*Swap)(nil)
+	_ Game = (*AsymSwap)(nil)
+)

@@ -1,0 +1,275 @@
+// Package gen builds the random initial networks of the paper's empirical
+// sections: the bounded-budget networks of Section 3.4.1, the random
+// connected m-edge networks of Section 4.2.1 and the rl/dl line topologies
+// of Section 4.2.2, plus uniform random trees (Prüfer) for the tree
+// theorems. All generators are deterministic given a *rand.Rand.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncg/internal/graph"
+)
+
+// Rand is the random source consumed by all generators.
+type Rand = rand.Rand
+
+// NewRand returns a rand.Rand seeded with seed.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SplitMix64 derives independent sub-seeds from a base seed; it is the
+// standard splitmix64 step and is used to give every (configuration, trial)
+// pair of an experiment its own reproducible stream.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Seed combines a base seed with index terms into a new seed.
+func Seed(base int64, idx ...uint64) int64 {
+	x := uint64(base)
+	for _, i := range idx {
+		x = SplitMix64(x ^ SplitMix64(i))
+	}
+	return int64(x >> 1)
+}
+
+// BudgetNetwork builds a random connected network on n agents in which
+// every agent owns exactly k edges, following Section 3.4.1 verbatim:
+//
+//  1. a random spanning tree is grown by repeatedly joining a uniformly
+//     random unmarked agent to a uniformly random marked one, ownership
+//     chosen uniformly among the endpoints subject to the budget;
+//  2. edges are then inserted between uniformly random (unmarked, other)
+//     pairs, owned by the first, until every agent owns exactly k edges.
+//
+// The construction requires n > 2k (otherwise some agent cannot place all
+// her edges); BudgetNetwork panics on infeasible parameters and retries
+// internally on the rare dead ends of the random process.
+func BudgetNetwork(n, k int, r *rand.Rand) *graph.Graph {
+	if k < 1 || n <= 2*k {
+		panic(fmt.Sprintf("gen: BudgetNetwork needs n > 2k, got n=%d k=%d", n, k))
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		if g, ok := tryBudgetNetwork(n, k, r); ok {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("gen: BudgetNetwork(n=%d, k=%d) failed to complete", n, k))
+}
+
+func tryBudgetNetwork(n, k int, r *rand.Rand) (*graph.Graph, bool) {
+	g := graph.New(n)
+	owned := make([]int, n)
+
+	// Phase 1: random spanning tree.
+	marked := make([]int, 0, n)
+	unmarked := make([]int, n)
+	for i := range unmarked {
+		unmarked[i] = i
+	}
+	popUnmarked := func() int {
+		i := r.Intn(len(unmarked))
+		u := unmarked[i]
+		unmarked[i] = unmarked[len(unmarked)-1]
+		unmarked = unmarked[:len(unmarked)-1]
+		return u
+	}
+	// First edge: a uniformly chosen random pair.
+	u := popUnmarked()
+	v := popUnmarked()
+	o, ok := chooseOwner(u, v, owned, k, r)
+	if !ok {
+		return nil, false
+	}
+	g.AddEdge(o, u+v-o)
+	owned[o]++
+	marked = append(marked, u, v)
+	for len(unmarked) > 0 {
+		u := popUnmarked()
+		v := marked[r.Intn(len(marked))]
+		o, ok := chooseOwner(u, v, owned, k, r)
+		if !ok {
+			return nil, false
+		}
+		g.AddEdge(o, u+v-o)
+		owned[o]++
+		marked = append(marked, u)
+	}
+
+	// Phase 2: fill every agent up to budget k.
+	var pending []int
+	for a := 0; a < n; a++ {
+		if owned[a] < k {
+			pending = append(pending, a)
+		}
+	}
+	for len(pending) > 0 {
+		i := r.Intn(len(pending))
+		a := pending[i]
+		// Draw partners until a non-edge is found; bail out if a is
+		// already adjacent to everyone.
+		if g.Degree(a) == n-1 {
+			return nil, false
+		}
+		for {
+			b := r.Intn(n)
+			if b == a || g.HasEdge(a, b) {
+				continue
+			}
+			g.AddEdge(a, b)
+			owned[a]++
+			break
+		}
+		if owned[a] == k {
+			pending[i] = pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+		}
+	}
+	return g, true
+}
+
+// chooseOwner picks the owner of a new edge {u,v} uniformly among the
+// endpoints that still have budget; ok is false if neither has.
+func chooseOwner(u, v int, owned []int, k int, r *rand.Rand) (int, bool) {
+	uOK := owned[u] < k
+	vOK := owned[v] < k
+	switch {
+	case uOK && vOK:
+		if r.Intn(2) == 0 {
+			return u, true
+		}
+		return v, true
+	case uOK:
+		return u, true
+	case vOK:
+		return v, true
+	}
+	return 0, false
+}
+
+// RandomConnected builds a connected network on n agents with exactly m
+// edges per Section 4.2.1: a random spanning tree first, then uniformly
+// random fill-in edges, each edge owned by a uniformly random endpoint.
+// It panics unless n-1 <= m <= n(n-1)/2.
+func RandomConnected(n, m int, r *rand.Rand) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m < n-1 || m > maxM {
+		panic(fmt.Sprintf("gen: RandomConnected needs n-1 <= m <= %d, got n=%d m=%d", maxM, n, m))
+	}
+	g := graph.New(n)
+	// Random spanning tree by random attachment, as in Section 3.4.1 but
+	// without the budget constraint.
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		v := perm[r.Intn(i)]
+		if r.Intn(2) == 0 {
+			g.AddEdge(u, v)
+		} else {
+			g.AddEdge(v, u)
+		}
+	}
+	for g.M() < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomLine builds the rl topology of Section 4.2.2: the path
+// v0-v1-...-v(n-1) with every edge owned by a uniformly random endpoint.
+func RandomLine(n int, r *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if r.Intn(2) == 0 {
+			g.AddEdge(i, i+1)
+		} else {
+			g.AddEdge(i+1, i)
+		}
+	}
+	return g
+}
+
+// DirectedLine builds the dl topology of Section 4.2.2: the path with all
+// edge ownerships forming a directed path (vertex i owns edge {i, i+1}).
+func DirectedLine(n int) *graph.Graph {
+	return graph.Path(n)
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices (via a
+// random Prüfer sequence) with each edge owned by a uniformly random
+// endpoint.
+func RandomTree(n int, r *rand.Rand) *graph.Graph {
+	if n == 1 {
+		return graph.New(1)
+	}
+	if n == 2 {
+		g := graph.New(2)
+		if r.Intn(2) == 0 {
+			g.AddEdge(0, 1)
+		} else {
+			g.AddEdge(1, 0)
+		}
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = r.Intn(n)
+	}
+	return TreeFromPrufer(n, prufer, r)
+}
+
+// TreeFromPrufer decodes a Prüfer sequence (length n-2, entries in [0,n))
+// into its labeled tree. If r is non-nil, edge owners are uniform random
+// endpoints; otherwise the lower-degree-sequence endpoint convention (the
+// non-leaf side) owns nothing special and the leaf owns its edge.
+func TreeFromPrufer(n int, prufer []int, r *rand.Rand) *graph.Graph {
+	if len(prufer) != n-2 {
+		panic(fmt.Sprintf("gen: Prüfer sequence length %d for n=%d", len(prufer), n))
+	}
+	g := graph.New(n)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, p := range prufer {
+		deg[p]++
+	}
+	// ptr/leaf scan gives O(n) decoding.
+	ptr := 0
+	for deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	addEdge := func(a, b int) {
+		if r != nil && r.Intn(2) == 0 {
+			g.AddEdge(b, a)
+		} else {
+			g.AddEdge(a, b)
+		}
+	}
+	for _, p := range prufer {
+		addEdge(leaf, p)
+		deg[p]--
+		if deg[p] == 1 && p < ptr {
+			leaf = p
+		} else {
+			ptr++
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// Final edge joins the last leaf with n-1.
+	addEdge(leaf, n-1)
+	return g
+}

@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBudgetNetworkInvariants(t *testing.T) {
+	r := NewRand(1)
+	for _, tc := range []struct{ n, k int }{
+		{10, 1}, {10, 2}, {25, 3}, {40, 6}, {30, 10}, {100, 4},
+	} {
+		if tc.n <= 2*tc.k {
+			continue
+		}
+		for trial := 0; trial < 5; trial++ {
+			g := BudgetNetwork(tc.n, tc.k, r)
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !g.Connected() {
+				t.Fatalf("n=%d k=%d: disconnected", tc.n, tc.k)
+			}
+			if g.M() != tc.n*tc.k {
+				t.Fatalf("n=%d k=%d: m=%d, want %d", tc.n, tc.k, g.M(), tc.n*tc.k)
+			}
+			for u := 0; u < tc.n; u++ {
+				if g.OutDegree(u) != tc.k {
+					t.Fatalf("n=%d k=%d: agent %d owns %d edges", tc.n, tc.k, u, g.OutDegree(u))
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetNetworkPanicsOnInfeasible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 2k")
+		}
+	}()
+	BudgetNetwork(6, 3, NewRand(1))
+}
+
+func TestRandomConnectedInvariants(t *testing.T) {
+	r := NewRand(2)
+	for _, tc := range []struct{ n, m int }{
+		{10, 9}, {10, 20}, {30, 120}, {50, 200}, {20, 190},
+	} {
+		g := RandomConnected(tc.n, tc.m, r)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() || g.M() != tc.m {
+			t.Fatalf("n=%d m=%d: connected=%v m=%d", tc.n, tc.m, g.Connected(), g.M())
+		}
+	}
+}
+
+func TestRandomConnectedPanicsOnBadM(t *testing.T) {
+	for _, m := range []int{3, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for m=%d", m)
+				}
+			}()
+			RandomConnected(5, m, NewRand(3))
+		}()
+	}
+}
+
+func TestLineTopologies(t *testing.T) {
+	r := NewRand(4)
+	rl := RandomLine(12, r)
+	if !rl.IsTree() || rl.Diameter() != 11 {
+		t.Fatal("rl is not a path")
+	}
+	dl := DirectedLine(12)
+	if !dl.IsTree() || dl.Diameter() != 11 {
+		t.Fatal("dl is not a path")
+	}
+	for i := 0; i+1 < 12; i++ {
+		if dl.Owner(i, i+1) != i {
+			t.Fatal("dl ownership must form a directed path")
+		}
+	}
+}
+
+func TestRandomTreeIsUniformishAndValid(t *testing.T) {
+	r := NewRand(5)
+	counts := map[uint64]int{}
+	// n=4 has 16 labeled trees; all should appear over enough draws.
+	for i := 0; i < 4000; i++ {
+		g := RandomTree(4, r)
+		if !g.IsTree() {
+			t.Fatal("not a tree")
+		}
+		counts[g.HashUnowned()]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("saw %d distinct labeled trees on 4 vertices, want 16", len(counts))
+	}
+	for h, c := range counts {
+		if c < 100 {
+			t.Fatalf("tree %x badly undersampled: %d", h, c)
+		}
+	}
+}
+
+func TestRandomTreeSmallSizes(t *testing.T) {
+	r := NewRand(6)
+	for n := 1; n <= 3; n++ {
+		g := RandomTree(n, r)
+		if !g.IsTree() {
+			t.Fatalf("n=%d: not a tree", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTreeFromPruferKnownSequence(t *testing.T) {
+	// Prüfer [3,3] on n=4 decodes to the star centered at 3.
+	g := TreeFromPrufer(4, []int{3, 3}, nil)
+	if g.Degree(3) != 3 {
+		t.Fatalf("decode failed: %v", g)
+	}
+	// Prüfer [1,2] decodes to path 0-1-2-3.
+	p := TreeFromPrufer(4, []int{1, 2}, nil)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if !p.HasEdge(e[0], e[1]) {
+			t.Fatalf("decode failed: %v", p)
+		}
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	a := Seed(1, 2, 3)
+	b := Seed(1, 2, 3)
+	c := Seed(1, 3, 2)
+	if a != b {
+		t.Fatal("Seed not deterministic")
+	}
+	if a == c {
+		t.Fatal("Seed ignores argument order")
+	}
+	if a < 0 || c < 0 {
+		t.Fatal("Seed must be non-negative")
+	}
+}
+
+func TestSplitMix64Reference(t *testing.T) {
+	// Reference value from the splitmix64 test vectors (seed 0 first
+	// output): 0xE220A8397B1DCDAF.
+	if got := SplitMix64(0); got != 0xE220A8397B1DCDAF {
+		t.Fatalf("SplitMix64(0) = %x", got)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	g1 := BudgetNetwork(20, 2, rand.New(rand.NewSource(7)))
+	g2 := BudgetNetwork(20, 2, rand.New(rand.NewSource(7)))
+	if !g1.Equal(g2) {
+		t.Fatal("BudgetNetwork not deterministic under fixed seed")
+	}
+	h1 := RandomConnected(20, 40, rand.New(rand.NewSource(8)))
+	h2 := RandomConnected(20, 40, rand.New(rand.NewSource(8)))
+	if !h1.Equal(h2) {
+		t.Fatal("RandomConnected not deterministic under fixed seed")
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+// Unreachable is the distance reported for vertices in a different connected
+// component. It is large enough that no sum of n-1 real distances can reach
+// it, yet small enough that sums of a few Unreachable values do not
+// overflow int64 cost arithmetic downstream.
+const Unreachable = int32(1) << 29
+
+// BFSScratch holds the reusable buffers of a breadth-first search. A single
+// scratch may be reused across many searches on graphs with the same vertex
+// count; it is not safe for concurrent use.
+type BFSScratch struct {
+	visited  Bitset
+	frontier Bitset
+	next     Bitset
+}
+
+// NewBFSScratch returns scratch space for BFS on n-vertex graphs.
+func NewBFSScratch(n int) *BFSScratch {
+	return &BFSScratch{
+		visited:  NewBitset(n),
+		frontier: NewBitset(n),
+		next:     NewBitset(n),
+	}
+}
+
+// BFSResult summarizes a single-source shortest-path computation.
+type BFSResult struct {
+	// Ecc is the eccentricity of the source restricted to its component.
+	Ecc int32
+	// Sum is the sum of distances from the source to every vertex of its
+	// component.
+	Sum int64
+	// Reached is the number of vertices in the source's component,
+	// including the source itself.
+	Reached int
+}
+
+// BFS computes shortest-path distances from src. If dist is non-nil it must
+// have length n and receives the distance to every vertex (Unreachable for
+// other components). The scratch s must have been created for n vertices.
+func (g *Graph) BFS(src int, dist []int32, s *BFSScratch) BFSResult {
+	s.visited.Reset()
+	s.frontier.Reset()
+	if dist != nil {
+		for i := range dist {
+			dist[i] = Unreachable
+		}
+		dist[src] = 0
+	}
+	s.visited.Set(src)
+	s.frontier.Set(src)
+	res := BFSResult{Reached: 1}
+	depth := int32(0)
+	for {
+		s.next.Reset()
+		// next = union of adjacency rows over the frontier, minus visited.
+		s.frontier.ForEach(func(u int) {
+			s.next.OrWith(g.adj[u])
+		})
+		s.next.AndNotWith(s.visited)
+		cnt := s.next.Count()
+		if cnt == 0 {
+			break
+		}
+		depth++
+		res.Reached += cnt
+		res.Sum += int64(depth) * int64(cnt)
+		res.Ecc = depth
+		s.visited.OrWith(s.next)
+		if dist != nil {
+			s.next.ForEach(func(u int) { dist[u] = depth })
+		}
+		s.frontier, s.next = s.next, s.frontier
+	}
+	return res
+}
+
+// Distances fills dist with shortest-path distances from src, allocating
+// scratch internally. Prefer BFS with a reused scratch in hot paths.
+func (g *Graph) Distances(src int) []int32 {
+	dist := make([]int32, g.n)
+	g.BFS(src, dist, NewBFSScratch(g.n))
+	return dist
+}
+
+// Dist returns the shortest-path distance between u and v, or Unreachable.
+func (g *Graph) Dist(u, v int) int32 {
+	if u == v {
+		return 0
+	}
+	s := NewBFSScratch(g.n)
+	dist := make([]int32, g.n)
+	g.BFS(u, dist, s)
+	return dist[v]
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// one-vertex graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	s := NewBFSScratch(g.n)
+	return g.BFS(0, nil, s).Reached == g.n
+}
+
+// ConnectedFrom reports whether all n vertices are reachable from src using
+// the provided scratch; it is the allocation-free form of Connected.
+func (g *Graph) ConnectedFrom(src int, s *BFSScratch) bool {
+	return g.BFS(src, nil, s).Reached == g.n
+}
+
+// AllDistances returns the full n x n distance matrix, row i holding
+// distances from vertex i. Rows of vertices in other components hold
+// Unreachable.
+func (g *Graph) AllDistances() [][]int32 {
+	d := make([][]int32, g.n)
+	s := NewBFSScratch(g.n)
+	for u := 0; u < g.n; u++ {
+		d[u] = make([]int32, g.n)
+		g.BFS(u, d[u], s)
+	}
+	return d
+}

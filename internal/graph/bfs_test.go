@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// floydWarshall is the reference all-pairs shortest path implementation.
+func floydWarshall(g *Graph) [][]int32 {
+	n := g.N()
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case g.HasEdge(i, j):
+				d[i][j] = 1
+			default:
+				d[i][j] = Unreachable
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+func randomGraph(n int, p float64, r *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				if r.Intn(2) == 0 {
+					g.AddEdge(u, v)
+				} else {
+					g.AddEdge(v, u)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestBFSMatchesFloydWarshall(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(40)
+		g := randomGraph(n, r.Float64()*0.5, r)
+		want := floydWarshall(g)
+		got := g.AllDistances()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				w := want[u][v]
+				if w > Unreachable {
+					w = Unreachable
+				}
+				if got[u][v] != w {
+					t.Fatalf("n=%d d(%d,%d) = %d, want %d\n%v", n, u, v, got[u][v], w, g)
+				}
+			}
+		}
+	}
+}
+
+func TestBFSResultAggregates(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	s := NewBFSScratch(30)
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(30, 0.1, r)
+		dist := make([]int32, 30)
+		for u := 0; u < 30; u++ {
+			res := g.BFS(u, dist, s)
+			var sum int64
+			var ecc int32
+			reached := 0
+			for _, d := range dist {
+				if d == Unreachable {
+					continue
+				}
+				reached++
+				sum += int64(d)
+				if d > ecc {
+					ecc = d
+				}
+			}
+			if res.Sum != sum || res.Ecc != ecc || res.Reached != reached {
+				t.Fatalf("aggregate mismatch: %+v vs sum=%d ecc=%d reached=%d", res, sum, ecc, reached)
+			}
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := Path(5)
+	if !g.Connected() {
+		t.Fatal("path should be connected")
+	}
+	g.RemoveEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("split path should be disconnected")
+	}
+	if !New(1).Connected() || !New(0).Connected() {
+		t.Fatal("trivial graphs are connected")
+	}
+	if New(2).Connected() {
+		t.Fatal("two isolated vertices are disconnected")
+	}
+}
+
+func TestDistAndDistances(t *testing.T) {
+	g := Cycle(8)
+	if g.Dist(0, 4) != 4 || g.Dist(0, 5) != 3 || g.Dist(3, 3) != 0 {
+		t.Fatal("cycle distances wrong")
+	}
+	d := g.Distances(0)
+	if d[4] != 4 || d[7] != 1 {
+		t.Fatal("Distances wrong")
+	}
+}
+
+func TestMetricsOnKnownGraphs(t *testing.T) {
+	p := Path(7) // diameter 6, radius 3, center {3}
+	if p.Diameter() != 6 || p.Radius() != 3 {
+		t.Fatalf("path metrics: diam=%d rad=%d", p.Diameter(), p.Radius())
+	}
+	c := p.Center()
+	if len(c) != 1 || c[0] != 3 {
+		t.Fatalf("path center = %v", c)
+	}
+	ecc := p.Eccentricities()
+	if ecc[0] != 6 || ecc[3] != 3 {
+		t.Fatalf("path ecc = %v", ecc)
+	}
+	sums := p.DistanceSums()
+	// v0: 1+2+3+4+5+6 = 21; v3: 3+2+1+1+2+3 = 12.
+	if sums[0] != 21 || sums[3] != 12 {
+		t.Fatalf("path sums = %v", sums)
+	}
+}
+
+func TestTotalDistancePath(t *testing.T) {
+	p := Path(4)
+	// Pair distances: 01:1 02:2 03:3 12:1 13:2 23:1 → sum 10, ordered 20.
+	if p.TotalDistance() != 20 {
+		t.Fatalf("TotalDistance = %d, want 20", p.TotalDistance())
+	}
+	q := Path(4)
+	q.RemoveEdge(1, 2)
+	if q.TotalDistance() != int64(Unreachable) {
+		t.Fatal("disconnected total distance should be sentinel")
+	}
+}
+
+func TestLongestPathFrom(t *testing.T) {
+	p := Path(9)
+	far, ecc := p.LongestPathFrom(2)
+	if far != 8 || ecc != 6 {
+		t.Fatalf("LongestPathFrom(2) = %d,%d", far, ecc)
+	}
+}

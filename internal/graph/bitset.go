@@ -1,0 +1,148 @@
+// Package graph implements the network substrate of network creation games:
+// undirected graphs on n agents together with an ownership function that
+// assigns every edge to exactly one of its endpoints (Kawald & Lenzner,
+// SPAA'13, Section 1.1). The representation is a bitset adjacency matrix,
+// which makes the breadth-first searches that dominate best-response
+// computations cheap and allocation-free.
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers backed by
+// 64-bit words. The zero value of a Bitset is not usable; create one with
+// NewBitset. All operations assume operands were created with the same
+// capacity.
+type Bitset []uint64
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set inserts i into the set.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes i from the set.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether i is in the set.
+func (b Bitset) Has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Flip toggles membership of i.
+func (b Bitset) Flip(i int) { b[i>>6] ^= 1 << uint(i&63) }
+
+// Reset removes all elements.
+func (b Bitset) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// CopyFrom overwrites b with the contents of src.
+func (b Bitset) CopyFrom(src Bitset) {
+	copy(b, src)
+}
+
+// Clone returns an independent copy of b.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Count returns the number of elements in the set.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OrWith sets b to the union of b and o.
+func (b Bitset) OrWith(o Bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+// AndWith sets b to the intersection of b and o.
+func (b Bitset) AndWith(o Bitset) {
+	for i, w := range o {
+		b[i] &= w
+	}
+}
+
+// AndNotWith removes from b every element of o.
+func (b Bitset) AndNotWith(o Bitset) {
+	for i, w := range o {
+		b[i] &^= w
+	}
+}
+
+// Equal reports whether b and o contain the same elements.
+func (b Bitset) Equal(o Bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i, w := range b {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and o share at least one element.
+func (b Bitset) Intersects(o Bitset) bool {
+	for i, w := range b {
+		if w&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every element of the set in increasing order.
+func (b Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Elements appends the elements of the set to dst in increasing order and
+// returns the extended slice. Pass nil to allocate a fresh slice.
+func (b Bitset) Elements(dst []int) []int {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// First returns the smallest element of the set, or -1 if it is empty.
+func (b Bitset) First() int {
+	for wi, w := range b {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasicOps(t *testing.T) {
+	b := NewBitset(130)
+	if !b.Empty() {
+		t.Fatal("new bitset not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Has(i) {
+			t.Fatalf("Set(%d) not visible", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Fatal("Clear(64) not visible")
+	}
+	if b.First() != 0 {
+		t.Fatalf("First = %d, want 0", b.First())
+	}
+	b.Reset()
+	if !b.Empty() || b.First() != -1 {
+		t.Fatal("Reset did not empty the set")
+	}
+}
+
+func TestBitsetFlip(t *testing.T) {
+	b := NewBitset(70)
+	b.Flip(69)
+	if !b.Has(69) {
+		t.Fatal("flip on")
+	}
+	b.Flip(69)
+	if b.Has(69) {
+		t.Fatal("flip off")
+	}
+}
+
+func TestBitsetElementsSorted(t *testing.T) {
+	b := NewBitset(200)
+	want := []int{3, 64, 65, 100, 199}
+	for _, i := range []int{199, 3, 100, 64, 65} {
+		b.Set(i)
+	}
+	got := b.Elements(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+// refSet is a map-based reference implementation.
+type refSet map[int]bool
+
+func TestBitsetAgainstReference(t *testing.T) {
+	const n = 150
+	r := rand.New(rand.NewSource(7))
+	b := NewBitset(n)
+	ref := refSet{}
+	for step := 0; step < 5000; step++ {
+		i := r.Intn(n)
+		switch r.Intn(3) {
+		case 0:
+			b.Set(i)
+			ref[i] = true
+		case 1:
+			b.Clear(i)
+			delete(ref, i)
+		case 2:
+			if b.Has(i) != ref[i] {
+				t.Fatalf("step %d: Has(%d) = %v, ref %v", step, i, b.Has(i), ref[i])
+			}
+		}
+	}
+	if b.Count() != len(ref) {
+		t.Fatalf("Count = %d, ref %d", b.Count(), len(ref))
+	}
+	b.ForEach(func(i int) {
+		if !ref[i] {
+			t.Fatalf("ForEach yields %d not in ref", i)
+		}
+	})
+}
+
+func TestBitsetSetAlgebra(t *testing.T) {
+	const n = 128
+	mk := func(xs []uint16) Bitset {
+		b := NewBitset(n)
+		for _, x := range xs {
+			b.Set(int(x) % n)
+		}
+		return b
+	}
+	f := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		union := a.Clone()
+		union.OrWith(b)
+		inter := a.Clone()
+		inter.AndWith(b)
+		diff := a.Clone()
+		diff.AndNotWith(b)
+		// |A∪B| + |A∩B| == |A| + |B|, A\B == A∩¬B, intersect consistency.
+		if union.Count()+inter.Count() != a.Count()+b.Count() {
+			return false
+		}
+		if diff.Count() != a.Count()-inter.Count() {
+			return false
+		}
+		if a.Intersects(b) != (inter.Count() > 0) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if union.Has(i) != (a.Has(i) || b.Has(i)) {
+				return false
+			}
+			if inter.Has(i) != (a.Has(i) && b.Has(i)) {
+				return false
+			}
+			if diff.Has(i) != (a.Has(i) && !b.Has(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetEqualClone(t *testing.T) {
+	a := NewBitset(99)
+	a.Set(5)
+	a.Set(98)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(7)
+	if a.Equal(b) {
+		t.Fatal("diverged clones equal")
+	}
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom not equal")
+	}
+}

@@ -1,0 +1,96 @@
+package graph
+
+// FromEdges builds a graph on n vertices from an edge list; each Edge's U
+// field is its owner.
+func FromEdges(n int, edges []Edge) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// Path returns the path v0 - v1 - ... - v(n-1). Edge {i, i+1} is owned by
+// vertex i.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// PathReversedOwners returns the path v0 - ... - v(n-1) with edge {i, i+1}
+// owned by vertex i+1, i.e. all edges pointing towards lower indices (the
+// "directed line" dl of Section 4.2.2 reads in the other direction; both
+// orientations are available via Path and PathReversedOwners).
+func PathReversedOwners(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i+1, i)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle v0 - v1 - ... - v(n-1) - v0 with edge
+// {i, i+1 mod n} owned by vertex i. It panics for n < 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs at least 3 vertices")
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Star returns the star with center 0 and leaves 1..n-1; the center owns all
+// edges.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// DoubleStar returns a double star on n >= 4 vertices: hubs 0 and 1 joined
+// by an edge (owned by 0), with a leaves attached to hub 0 and the remaining
+// n-2-a leaves attached to hub 1. Hubs own their leaf edges.
+func DoubleStar(n, a int) *Graph {
+	if n < 4 || a < 1 || a > n-3 {
+		panic("graph: invalid double star parameters")
+	}
+	g := New(n)
+	g.AddEdge(0, 1)
+	for i := 0; i < a; i++ {
+		g.AddEdge(0, 2+i)
+	}
+	for i := a; i < n-2; i++ {
+		g.AddEdge(1, 2+i)
+	}
+	return g
+}
+
+// Complete returns the complete graph on n vertices with edge {u,v}, u < v,
+// owned by u.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteMinus returns the complete graph on n vertices minus the given
+// edges; used to build the host graphs of Corollaries 3.6 and 4.2.
+func CompleteMinus(n int, missing []Edge) *Graph {
+	g := Complete(n)
+	for _, e := range missing {
+		g.RemoveEdge(e.U, e.V)
+	}
+	return g
+}

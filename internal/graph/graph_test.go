@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} missing")
+	}
+	if g.Owner(0, 1) != 0 || g.Owner(1, 2) != 2 {
+		t.Fatal("wrong owners")
+	}
+	if !g.Owns(0, 1) || g.Owns(1, 0) {
+		t.Fatal("Owns inconsistent")
+	}
+	if g.M() != 2 || g.Degree(1) != 2 || g.OutDegree(0) != 1 {
+		t.Fatal("counters wrong")
+	}
+	g.RemoveEdge(1, 0)
+	if g.HasEdge(0, 1) || g.M() != 1 || g.Degree(1) != 1 {
+		t.Fatal("removal failed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	for _, fn := range []func(){
+		func() { g.AddEdge(0, 1) },
+		func() { g.AddEdge(1, 0) },
+		func() { g.AddEdge(2, 2) },
+		func() { g.RemoveEdge(0, 2) },
+		func() { g.Owner(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetOwner(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.SetOwner(1, 0)
+	if g.Owner(0, 1) != 1 {
+		t.Fatal("SetOwner failed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := Path(6)
+	h := g.Clone()
+	if !g.Equal(h) || !g.EqualUnowned(h) || g.Hash() != h.Hash() {
+		t.Fatal("clone differs")
+	}
+	h.RemoveEdge(2, 3)
+	h.AddEdge(3, 2) // same edge, different owner
+	if g.Equal(h) {
+		t.Fatal("ownership change should break Equal")
+	}
+	if !g.EqualUnowned(h) || g.HashUnowned() != h.HashUnowned() {
+		t.Fatal("edge sets should still match")
+	}
+	g2 := New(6)
+	g2.CopyFrom(h)
+	if !g2.Equal(h) {
+		t.Fatal("CopyFrom differs")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(20)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		h := FromEdges(n, g.Edges())
+		if !g.Equal(h) {
+			t.Fatalf("round trip differs:\n%v\n%v", g, h)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	p := Path(5)
+	if p.M() != 4 || !p.IsTree() || p.Diameter() != 4 {
+		t.Fatalf("Path(5): m=%d tree=%v diam=%d", p.M(), p.IsTree(), p.Diameter())
+	}
+	s := Star(7)
+	if !s.IsStar() || s.Diameter() != 2 || s.Degree(0) != 6 {
+		t.Fatal("Star(7) malformed")
+	}
+	if s.IsDoubleStar() {
+		t.Fatal("star is not a double star")
+	}
+	d := DoubleStar(8, 3)
+	if !d.IsDoubleStar() || d.IsStar() || d.Diameter() != 3 {
+		t.Fatal("DoubleStar(8,3) malformed")
+	}
+	c := Cycle(6)
+	if c.M() != 6 || c.Diameter() != 3 || c.IsTree() {
+		t.Fatal("Cycle(6) malformed")
+	}
+	k := Complete(5)
+	if k.M() != 10 || k.Diameter() != 1 {
+		t.Fatal("Complete(5) malformed")
+	}
+	km := CompleteMinus(5, []Edge{{0, 1}, {2, 3}})
+	if km.M() != 8 || km.HasEdge(0, 1) || km.HasEdge(2, 3) {
+		t.Fatal("CompleteMinus malformed")
+	}
+	for _, g := range []*Graph{p, s, d, c, k, km} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPathReversedOwners(t *testing.T) {
+	g := PathReversedOwners(4)
+	for i := 0; i+1 < 4; i++ {
+		if g.Owner(i, i+1) != i+1 {
+			t.Fatalf("edge {%d,%d} owner = %d", i, i+1, g.Owner(i, i+1))
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 1)
+	want := "n=3 m=2 [0->1 2->0]"
+	if g.String() != want {
+		t.Fatalf("String = %q, want %q", g.String(), want)
+	}
+}
+
+func TestHashDistinguishesSmallGraphs(t *testing.T) {
+	// All 3-vertex owned graphs should hash distinctly (sanity, not a
+	// guarantee).
+	seen := map[uint64]string{}
+	var build func(g *Graph, pairs [][2]int)
+	pairs := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+	build = func(g *Graph, rest [][2]int) {
+		if len(rest) == 0 {
+			h := g.Hash()
+			if prev, ok := seen[h]; ok && prev != g.String() {
+				t.Fatalf("hash collision: %s vs %s", prev, g.String())
+			}
+			seen[h] = g.String()
+			return
+		}
+		p, tail := rest[0], rest[1:]
+		build(g, tail) // absent
+		g.AddEdge(p[0], p[1])
+		build(g, tail)
+		g.RemoveEdge(p[0], p[1])
+		g.AddEdge(p[1], p[0])
+		build(g, tail)
+		g.RemoveEdge(p[0], p[1])
+	}
+	build(New(3), pairs)
+	if len(seen) != 27 {
+		t.Fatalf("expected 27 distinct graphs, got %d", len(seen))
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import "sort"
+
+// Isomorphic reports whether g and h are isomorphic as unowned undirected
+// graphs. Intended for the small construction graphs of the paper (n <= 32
+// or so); it uses iterated colour refinement to prune a backtracking search,
+// which is exact at any size but exponential in the worst case.
+func Isomorphic(g, h *Graph) bool {
+	return isomorphic(g, h, false) != nil
+}
+
+// IsomorphicOwned is Isomorphic but additionally requires the mapping to
+// preserve edge ownership: phi(o({u,v})) = o({phi(u), phi(v)}).
+func IsomorphicOwned(g, h *Graph) bool {
+	return isomorphic(g, h, true) != nil
+}
+
+// IsomorphismTo returns a vertex mapping phi with phi preserving adjacency
+// (and ownership if owned is set), or nil if none exists.
+func IsomorphismTo(g, h *Graph, owned bool) []int {
+	return isomorphic(g, h, owned)
+}
+
+func isomorphic(g, h *Graph, owned bool) []int {
+	if g.n != h.n || g.m != h.m {
+		return nil
+	}
+	n := g.n
+	if n == 0 {
+		return []int{}
+	}
+	cg := refineColors(g, owned)
+	ch := refineColors(h, owned)
+	if !sameColorMultiset(cg, ch) {
+		return nil
+	}
+
+	// Candidate sets: u in g may map to v in h only when colours agree.
+	cands := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if cg[u] == ch[v] {
+				cands[u] = append(cands[u], v)
+			}
+		}
+		if len(cands[u]) == 0 {
+			return nil
+		}
+	}
+	// Assign the most constrained vertices first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return len(cands[order[i]]) < len(cands[order[j]])
+	})
+
+	phi := make([]int, n)
+	used := make([]bool, n)
+	for i := range phi {
+		phi[i] = -1
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return true
+		}
+		u := order[k]
+		for _, v := range cands[u] {
+			if used[v] || !compatible(g, h, phi, u, v, owned) {
+				continue
+			}
+			phi[u] = v
+			used[v] = true
+			if rec(k + 1) {
+				return true
+			}
+			phi[u] = -1
+			used[v] = false
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil
+	}
+	return phi
+}
+
+// compatible checks that mapping u -> v is consistent with every already
+// assigned vertex.
+func compatible(g, h *Graph, phi []int, u, v int, owned bool) bool {
+	for w, pw := range phi {
+		if pw < 0 || w == u {
+			continue
+		}
+		if g.HasEdge(u, w) != h.HasEdge(v, pw) {
+			return false
+		}
+		if owned && g.HasEdge(u, w) {
+			if g.Owns(u, w) != h.Owns(v, pw) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refineColors runs 1-dimensional Weisfeiler-Leman colour refinement until
+// the partition stabilizes and returns the final colour of every vertex.
+// Colours are canonical across graphs: equal multisets of (colour,
+// neighbour-colour-multiset) pairs refine to equal colours.
+func refineColors(g *Graph, owned bool) []uint64 {
+	n := g.n
+	col := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		c := uint64(g.deg[u])
+		if owned {
+			c = c<<16 | uint64(g.OutDegree(u))
+		}
+		col[u] = c
+	}
+	sig := make([]uint64, n)
+	neigh := make([]uint64, 0, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			neigh = neigh[:0]
+			g.adj[u].ForEach(func(v int) {
+				c := col[v]
+				if owned {
+					if g.Owns(u, v) {
+						c = mix(c, 0x9e3779b97f4a7c15)
+					} else {
+						c = mix(c, 0xc2b2ae3d27d4eb4f)
+					}
+				}
+				neigh = append(neigh, c)
+			})
+			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
+			s := col[u]
+			for _, c := range neigh {
+				s = mix(s, c)
+			}
+			sig[u] = s
+		}
+		for u := 0; u < n; u++ {
+			if sig[u] != col[u] {
+				changed = true
+			}
+			col[u] = sig[u]
+		}
+		if !changed {
+			break
+		}
+	}
+	return col
+}
+
+func mix(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func sameColorMultiset(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := append([]uint64(nil), a...)
+	cb := append([]uint64(nil), b...)
+	sort.Slice(ca, func(i, j int) bool { return ca[i] < ca[j] })
+	sort.Slice(cb, func(i, j int) bool { return cb[i] < cb[j] })
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// permuted returns g with vertices relabeled by perm (ownership preserved).
+func permuted(g *Graph, perm []int) *Graph {
+	h := New(g.N())
+	for _, e := range g.Edges() {
+		h.AddEdge(perm[e.U], perm[e.V])
+	}
+	return h
+}
+
+func TestIsomorphicPermutedGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(14)
+		g := randomGraph(n, r.Float64(), r)
+		perm := r.Perm(n)
+		h := permuted(g, perm)
+		if !Isomorphic(g, h) {
+			t.Fatalf("permuted graph not isomorphic:\n%v\n%v", g, h)
+		}
+		if !IsomorphicOwned(g, h) {
+			t.Fatalf("ownership-preserving permutation rejected:\n%v\n%v", g, h)
+		}
+	}
+}
+
+func TestNonIsomorphicPairs(t *testing.T) {
+	cases := []struct{ a, b *Graph }{
+		{Path(5), Star(5)},
+		{Cycle(6), Path(6)},
+		{DoubleStar(6, 2), Star(6)},
+		{Complete(4), Cycle(4)},
+	}
+	for i, c := range cases {
+		if Isomorphic(c.a, c.b) {
+			t.Fatalf("case %d: distinct graphs reported isomorphic", i)
+		}
+	}
+	// Same degree sequence, not isomorphic: C6 vs 2x C3.
+	twoTriangles := New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		twoTriangles.AddEdge(e[0], e[1])
+	}
+	if Isomorphic(Cycle(6), twoTriangles) {
+		t.Fatal("C6 ~ 2C3 reported isomorphic")
+	}
+}
+
+func TestIsomorphicOwnedDistinguishesOwnership(t *testing.T) {
+	// Directed path 0->1->2 vs path with both edges owned by the middle.
+	a := New(3)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	b := New(3)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	if !Isomorphic(a, b) {
+		t.Fatal("same shape should be unowned-isomorphic")
+	}
+	if IsomorphicOwned(a, b) {
+		t.Fatal("ownership out-degree sequences differ (1,1,0) vs (0,2,0)")
+	}
+}
+
+func TestIsomorphismToMapping(t *testing.T) {
+	g := DoubleStar(7, 2)
+	perm := []int{3, 6, 0, 1, 2, 4, 5}
+	h := permuted(g, perm)
+	phi := IsomorphismTo(g, h, true)
+	if phi == nil {
+		t.Fatal("no mapping found")
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(phi[e.U], phi[e.V]) || !h.Owns(phi[e.U], phi[e.V]) {
+			t.Fatalf("mapping does not preserve owned edge %v", e)
+		}
+	}
+}
+
+func TestIsomorphicSizeMismatch(t *testing.T) {
+	if Isomorphic(Path(4), Path(5)) {
+		t.Fatal("different sizes cannot be isomorphic")
+	}
+	g := Path(4)
+	h := Path(4)
+	h.AddEdge(0, 2)
+	if Isomorphic(g, h) {
+		t.Fatal("different edge counts cannot be isomorphic")
+	}
+}
+
+func TestIsomorphicEmptyAndTiny(t *testing.T) {
+	if !Isomorphic(New(0), New(0)) || !Isomorphic(New(3), New(3)) {
+		t.Fatal("empty graphs are isomorphic")
+	}
+}

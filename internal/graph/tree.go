@@ -1,0 +1,141 @@
+package graph
+
+// IsTree reports whether g is a tree: connected with exactly n-1 edges.
+func (g *Graph) IsTree() bool {
+	return g.m == g.n-1 && g.Connected()
+}
+
+// IsForest reports whether g is acyclic.
+func (g *Graph) IsForest() bool {
+	return g.m == g.n-g.componentCount()
+}
+
+func (g *Graph) componentCount() int {
+	seen := NewBitset(g.n)
+	s := NewBFSScratch(g.n)
+	count := 0
+	for u := 0; u < g.n; u++ {
+		if seen.Has(u) {
+			continue
+		}
+		count++
+		dist := make([]int32, g.n)
+		g.BFS(u, dist, s)
+		for v, d := range dist {
+			if d != Unreachable {
+				seen.Set(v)
+			}
+		}
+	}
+	return count
+}
+
+// Components returns the vertex sets of the connected components.
+func (g *Graph) Components() [][]int {
+	seen := NewBitset(g.n)
+	s := NewBFSScratch(g.n)
+	var comps [][]int
+	dist := make([]int32, g.n)
+	for u := 0; u < g.n; u++ {
+		if seen.Has(u) {
+			continue
+		}
+		g.BFS(u, dist, s)
+		var comp []int
+		for v, d := range dist {
+			if d != Unreachable {
+				seen.Set(v)
+				comp = append(comp, v)
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Bridges returns every bridge of g (edges whose removal disconnects their
+// component), reported with the lower endpoint first and the true owner in
+// the U position preserved when the owner is the lower endpoint; callers
+// that need ownership should query the graph. Tarjan's low-link algorithm,
+// iterative to stay safe on long paths.
+func (g *Graph) Bridges() []Edge {
+	disc := make([]int32, g.n)
+	low := make([]int32, g.n)
+	parent := make([]int32, g.n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	var bridges []Edge
+	timer := int32(0)
+
+	type frame struct {
+		u    int32
+		iter int // next neighbour index to examine
+	}
+	neighbors := make([][]int32, g.n)
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) {
+			neighbors[u] = append(neighbors[u], int32(v))
+		})
+	}
+
+	for start := 0; start < g.n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		stack := []frame{{u: int32(start)}}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.u
+			if f.iter < len(neighbors[u]) {
+				v := neighbors[u][f.iter]
+				f.iter++
+				switch {
+				case disc[v] == -1:
+					parent[v] = u
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					stack = append(stack, frame{u: v})
+				case v != parent[u]:
+					if disc[v] < low[u] {
+						low[u] = disc[v]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[u]; p != -1 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if low[u] > disc[p] {
+					a, b := int(p), int(u)
+					if a > b {
+						a, b = b, a
+					}
+					bridges = append(bridges, Edge{a, b})
+				}
+			}
+		}
+	}
+	return bridges
+}
+
+// IsBridge reports whether {u,v} is a bridge, via a connectivity probe of
+// the modified graph. The edge must exist.
+func (g *Graph) IsBridge(u, v int) bool {
+	owner := g.Owner(u, v)
+	other := u + v - owner
+	g.RemoveEdge(u, v)
+	s := NewBFSScratch(g.n)
+	dist := make([]int32, g.n)
+	g.BFS(u, dist, s)
+	sep := dist[v] == Unreachable
+	g.AddEdge(owner, other)
+	return sep
+}

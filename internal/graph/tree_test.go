@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func bruteBridges(g *Graph) []Edge {
+	var out []Edge
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if g.IsBridge(u, v) {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			out = append(out, Edge{a, b})
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}
+
+func TestBridgesAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + r.Intn(25)
+		g := randomGraph(n, r.Float64()*0.3, r)
+		got := g.Bridges()
+		sortEdges(got)
+		want := bruteBridges(g)
+		if len(got) != len(want) {
+			t.Fatalf("bridges %v, want %v on %v", got, want, g)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("bridges %v, want %v on %v", got, want, g)
+			}
+		}
+	}
+}
+
+func TestBridgesOnKnownGraphs(t *testing.T) {
+	if n := len(Path(6).Bridges()); n != 5 {
+		t.Fatalf("path bridges = %d, want 5", n)
+	}
+	if n := len(Cycle(6).Bridges()); n != 0 {
+		t.Fatalf("cycle bridges = %d, want 0", n)
+	}
+	// Cycle with a pendant edge: only the pendant is a bridge.
+	g := Cycle(4)
+	gg := New(5)
+	for _, e := range g.Edges() {
+		gg.AddEdge(e.U, e.V)
+	}
+	gg.AddEdge(0, 4)
+	bs := gg.Bridges()
+	if len(bs) != 1 || bs[0] != (Edge{0, 4}) {
+		t.Fatalf("pendant bridges = %v", bs)
+	}
+}
+
+func TestIsTreeForest(t *testing.T) {
+	if !Path(9).IsTree() || !Star(5).IsTree() {
+		t.Fatal("paths and stars are trees")
+	}
+	if Cycle(5).IsTree() || Cycle(5).IsForest() {
+		t.Fatal("cycles are not trees/forests")
+	}
+	f := New(6)
+	f.AddEdge(0, 1)
+	f.AddEdge(2, 3)
+	if f.IsTree() || !f.IsForest() {
+		t.Fatal("two components with no cycles is a forest, not a tree")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("components = %v", comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 2 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestIsBridgePreservesGraph(t *testing.T) {
+	g := Path(5)
+	before := g.Clone()
+	_ = g.IsBridge(1, 2)
+	if !g.Equal(before) {
+		t.Fatal("IsBridge mutated the graph")
+	}
+}

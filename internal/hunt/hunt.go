@@ -1,0 +1,84 @@
+package hunt
+
+import (
+	"math/rand"
+
+	"ncg/internal/cycles"
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+	"ncg/internal/search"
+)
+
+// Structured hunting for unit-budget best response cycles (Theorem 3.7 /
+// Section 3.3). Uniformly random unit-budget networks essentially never
+// cycle (the paper's own simulations, reproduced by internal/experiments,
+// never met one), but the constructions of Figures 5 and 6 share a shape:
+// one long cycle with pendant paths. HuntUnitBudgetCycle samples that
+// family deterministically and searches each instance's best-response
+// state graph for a directed cycle.
+
+// HuntResult is a best-response cycle found on a unit-budget network.
+type HuntResult struct {
+	// Start is the sampled initial network (every agent owns one edge).
+	Start *graph.Graph
+	// Cycle is a reachable best-response cycle.
+	Cycle *cycles.FoundCycle
+	// Instance is the sample index the network was derived from.
+	Instance int
+}
+
+// HuntUnitBudgetCycle samples maxInstances structured unit-budget networks
+// for the given ASG distance kind and returns the first one whose
+// best-response state graph (capped at stateCap states per instance)
+// contains a cycle, or nil.
+func HuntUnitBudgetCycle(kind game.DistKind, seed int64, maxInstances, stateCap int) *HuntResult {
+	gm := game.NewAsymSwap(kind)
+	for i := 0; i < maxInstances; i++ {
+		g := SampleCyclePendantNetwork(gen.Seed(seed, uint64(i)))
+		if g == nil {
+			continue
+		}
+		if fc := cycles.FindBestResponseCycle(g, gm, stateCap); fc != nil {
+			return &HuntResult{Start: g, Cycle: fc, Instance: i}
+		}
+	}
+	return nil
+}
+
+// SampleCyclePendantNetwork builds a unit-budget network consisting of one
+// cycle of length 6..13 with 2..4 pendant paths of lengths 1..6, ownership
+// assigned by matching. Returns nil for degenerate samples.
+func SampleCyclePendantNetwork(seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	cycleLen := 6 + r.Intn(8)
+	pendants := 2 + r.Intn(3)
+	type pendant struct{ pos, length int }
+	var ps []pendant
+	n := cycleLen
+	for i := 0; i < pendants; i++ {
+		p := pendant{pos: r.Intn(cycleLen), length: 1 + r.Intn(6)}
+		ps = append(ps, p)
+		n += p.length
+	}
+	g := graph.New(n)
+	for i := 0; i < cycleLen; i++ {
+		g.AddEdge(i, (i+1)%cycleLen)
+	}
+	next := cycleLen
+	for _, p := range ps {
+		prev := p.pos
+		for j := 0; j < p.length; j++ {
+			g.AddEdge(next, prev) // pendant vertices own their edges
+			prev = next
+			next++
+		}
+	}
+	if g.M() != n {
+		return nil
+	}
+	if !search.AssignUnitOwnership(g, nil) {
+		return nil
+	}
+	return g
+}

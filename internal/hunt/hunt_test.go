@@ -1,0 +1,49 @@
+package hunt
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+)
+
+func TestSampleCyclePendantNetworkInvariants(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := SampleCyclePendantNetwork(seed)
+		if g == nil {
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+		if g.M() != g.N() {
+			t.Fatalf("seed %d: %d edges on %d vertices (not unit budget)", seed, g.M(), g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.OutDegree(v) != 1 {
+				t.Fatalf("seed %d: vertex %d owns %d edges", seed, v, g.OutDegree(v))
+			}
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a := SampleCyclePendantNetwork(5)
+	b := SampleCyclePendantNetwork(5)
+	if (a == nil) != (b == nil) {
+		t.Fatal("nondeterministic sampling")
+	}
+	if a != nil && !a.Equal(b) {
+		t.Fatal("nondeterministic sampling")
+	}
+}
+
+func TestHuntSmallBudgetRuns(t *testing.T) {
+	// A tiny hunt must terminate without finding cycles on so few
+	// instances (random unit-budget networks essentially never cycle).
+	if res := HuntUnitBudgetCycle(game.Sum, 1, 5, 200); res != nil {
+		t.Logf("unexpectedly found a cycle: instance %d", res.Instance)
+	}
+}

@@ -1,0 +1,133 @@
+// Package median computes the small facility-location quantities the
+// paper's proofs lean on: 1-medians (SUM version best single connection
+// points), 2-median sets, and 1-centers (MAX version), all by exhaustive
+// evaluation, which is exact and fast at construction sizes.
+package median
+
+import (
+	"ncg/internal/graph"
+)
+
+// OneMedian returns the vertices minimizing the sum of distances to all
+// vertices of g, together with that minimum. Disconnected graphs return
+// (nil, Unreachable-based sentinel).
+func OneMedian(g *graph.Graph) ([]int, int64) {
+	sums := g.DistanceSums()
+	best := int64(graph.Unreachable)
+	var out []int
+	for u, s := range sums {
+		switch {
+		case s < best:
+			best = s
+			out = out[:0]
+			out = append(out, u)
+		case s == best && s < int64(graph.Unreachable):
+			out = append(out, u)
+		}
+	}
+	if best >= int64(graph.Unreachable) {
+		return nil, best
+	}
+	return out, best
+}
+
+// OneCenter returns the vertices minimizing eccentricity, with the radius.
+func OneCenter(g *graph.Graph) ([]int, int32) {
+	ecc := g.Eccentricities()
+	best := graph.Unreachable
+	var out []int
+	for u, e := range ecc {
+		switch {
+		case e < best:
+			best = e
+			out = out[:0]
+			out = append(out, u)
+		case e == best && e < graph.Unreachable:
+			out = append(out, u)
+		}
+	}
+	if best >= graph.Unreachable {
+		return nil, best
+	}
+	return out, best
+}
+
+// TwoMedianSets returns every unordered pair {u,v} minimizing
+// sum_w min(d(u,w), d(v,w)), with the minimum value. Used to check the
+// "2-median-set" arguments in the proofs of Theorems 5.1 and 5.2.
+func TwoMedianSets(g *graph.Graph) ([][2]int, int64) {
+	n := g.N()
+	d := g.AllDistances()
+	best := int64(1) << 60
+	var out [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			var s int64
+			for w := 0; w < n; w++ {
+				du, dv := d[u][w], d[v][w]
+				if dv < du {
+					du = dv
+				}
+				s += int64(du)
+			}
+			switch {
+			case s < best:
+				best = s
+				out = out[:0]
+				out = append(out, [2]int{u, v})
+			case s == best:
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out, best
+}
+
+// MedianOfSubgraph returns the 1-medians of the subgraph of g induced by
+// keep (a vertex filter); distances are computed within the induced
+// subgraph. The returned vertex ids are in g's numbering. This mirrors the
+// proofs' frequent "1-median vertex of G - {x,y,z}" arguments.
+func MedianOfSubgraph(g *graph.Graph, keep func(v int) bool) ([]int, int64) {
+	sub, fromSub := InducedSubgraph(g, keep)
+	meds, best := OneMedian(sub)
+	out := make([]int, len(meds))
+	for i, m := range meds {
+		out[i] = fromSub[m]
+	}
+	return out, best
+}
+
+// CenterOfSubgraph is MedianOfSubgraph for eccentricity.
+func CenterOfSubgraph(g *graph.Graph, keep func(v int) bool) ([]int, int32) {
+	sub, fromSub := InducedSubgraph(g, keep)
+	cs, best := OneCenter(sub)
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = fromSub[c]
+	}
+	return out, best
+}
+
+// InducedSubgraph returns the subgraph of g induced by the vertices
+// accepted by keep, plus the mapping from new ids back to g's ids.
+// Ownership is preserved.
+func InducedSubgraph(g *graph.Graph, keep func(v int) bool) (*graph.Graph, []int) {
+	var fromSub []int
+	toSub := make([]int, g.N())
+	for v := range toSub {
+		toSub[v] = -1
+	}
+	for v := 0; v < g.N(); v++ {
+		if keep(v) {
+			toSub[v] = len(fromSub)
+			fromSub = append(fromSub, v)
+		}
+	}
+	sub := graph.New(len(fromSub))
+	for _, e := range g.Edges() {
+		if toSub[e.U] >= 0 && toSub[e.V] >= 0 {
+			sub.AddEdge(toSub[e.U], toSub[e.V])
+		}
+	}
+	return sub, fromSub
+}

@@ -1,0 +1,119 @@
+package median
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncg/internal/graph"
+)
+
+func TestOneMedianPath(t *testing.T) {
+	meds, best := OneMedian(graph.Path(5))
+	if len(meds) != 1 || meds[0] != 2 || best != 6 {
+		t.Fatalf("medians = %v best = %d", meds, best)
+	}
+	meds, best = OneMedian(graph.Path(6))
+	if len(meds) != 2 || meds[0] != 2 || meds[1] != 3 || best != 9 {
+		t.Fatalf("P6 medians = %v best = %d", meds, best)
+	}
+}
+
+func TestOneCenterPath(t *testing.T) {
+	cs, rad := OneCenter(graph.Path(7))
+	if len(cs) != 1 || cs[0] != 3 || rad != 3 {
+		t.Fatalf("centers = %v rad = %d", cs, rad)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	if ms, _ := OneMedian(g); ms != nil {
+		t.Fatal("disconnected median should be nil")
+	}
+	if cs, _ := OneCenter(g); cs != nil {
+		t.Fatal("disconnected center should be nil")
+	}
+}
+
+func TestTwoMedianSetsStar(t *testing.T) {
+	// On a star, every pair containing the hub is optimal: cost n-2.
+	g := graph.Star(6)
+	sets, best := TwoMedianSets(g)
+	if best != 4 {
+		t.Fatalf("best = %d, want 4", best)
+	}
+	if len(sets) != 5 {
+		t.Fatalf("sets = %v", sets)
+	}
+	for _, s := range sets {
+		if s[0] != 0 {
+			t.Fatalf("every optimal pair must contain the hub: %v", s)
+		}
+	}
+}
+
+func TestTwoMedianSetsBruteForceAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(8)
+		g := graph.New(n)
+		// random connected-ish graph
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, r.Intn(i))
+		}
+		for e := 0; e < n/2; e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		sets, best := TwoMedianSets(g)
+		d := g.AllDistances()
+		for _, s := range sets {
+			var sum int64
+			for w := 0; w < n; w++ {
+				du, dv := d[s[0]][w], d[s[1]][w]
+				if dv < du {
+					du = dv
+				}
+				sum += int64(du)
+			}
+			if sum != best {
+				t.Fatalf("claimed optimal pair %v has cost %d != %d", s, sum, best)
+			}
+		}
+	}
+}
+
+func TestMedianOfSubgraph(t *testing.T) {
+	// P7 minus both leaves = P5 on {1..5}: median is vertex 3 in original
+	// numbering.
+	g := graph.Path(7)
+	meds, best := MedianOfSubgraph(g, func(v int) bool { return v != 0 && v != 6 })
+	if len(meds) != 1 || meds[0] != 3 || best != 6 {
+		t.Fatalf("meds = %v best = %d", meds, best)
+	}
+}
+
+func TestCenterOfSubgraph(t *testing.T) {
+	// P9 minus leaf 0 is the even path on {1..8}: centers {4,5}, radius 4.
+	g := graph.Path(9)
+	cs, rad := CenterOfSubgraph(g, func(v int) bool { return v != 0 })
+	if len(cs) != 2 || cs[0] != 4 || cs[1] != 5 || rad != 4 {
+		t.Fatalf("centers = %v rad = %d", cs, rad)
+	}
+}
+
+func TestInducedSubgraphPreservesOwnership(t *testing.T) {
+	g := graph.Path(5)
+	sub, fromSub := InducedSubgraph(g, func(v int) bool { return v >= 1 })
+	if sub.N() != 4 || sub.M() != 3 {
+		t.Fatalf("sub = %v", sub)
+	}
+	for i := 0; i+1 < sub.N(); i++ {
+		if fromSub[sub.Owner(i, i+1)] != fromSub[i] {
+			t.Fatal("ownership not preserved")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package quality measures the equilibrium quality notions that motivate
+// the paper (Section 1 and 1.3): social cost, the social optimum of the
+// Buy Game's cost model, and the resulting price-of-anarchy style ratios
+// of the stable networks that the dynamics converge to. The paper argues
+// network creation games are attractive for decentralized network design
+// because their stable states are near-optimal; this package quantifies
+// that for the networks the process engine actually produces.
+package quality
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// SocialCost is the sum of all agents' costs under the game's cost model.
+// For unilateral buy games this equals alpha*m + sum of distance costs;
+// for swap games it is the pure distance cost.
+type SocialCost struct {
+	// EdgeHalves counts alpha/2 units paid in total (2 per edge for
+	// unilateral owners, 2 per edge in the bilateral game — one per
+	// endpoint).
+	EdgeHalves int64
+	// Dist is the summed distance cost; game.DistInf-based if the
+	// network is disconnected.
+	Dist int64
+}
+
+// Float converts the social cost to a float under edge price a.
+func (s SocialCost) Float(a game.Alpha) float64 {
+	return float64(s.EdgeHalves)*a.Float()/2 + float64(s.Dist)
+}
+
+// Less compares social costs exactly under edge price a.
+func (s SocialCost) Less(o SocialCost, a game.Alpha) bool {
+	return (game.Cost{Halves: s.EdgeHalves, Dist: s.Dist}).
+		Less(game.Cost{Halves: o.EdgeHalves, Dist: o.Dist}, a)
+}
+
+// Of computes the social cost of g under gm.
+func Of(g *graph.Graph, gm game.Game) SocialCost {
+	s := game.NewScratch(g.N())
+	var out SocialCost
+	for u := 0; u < g.N(); u++ {
+		c := gm.Cost(g, u, s)
+		out.EdgeHalves += c.Halves
+		out.Dist += c.Dist
+	}
+	return out
+}
+
+// SumBGOptimum returns the social optimum of the SUM Buy Game cost model
+// on n agents (Fabrikant et al.): the clique for alpha < 2 and the star
+// for alpha >= 2, together with its exact social cost. For alpha == 2 both
+// are optimal; the star is returned.
+func SumBGOptimum(n int, alpha game.Alpha) (*graph.Graph, SocialCost) {
+	if n <= 1 {
+		return graph.New(n), SocialCost{}
+	}
+	// Clique: m = n(n-1)/2 edges, every distance 1.
+	clique := SocialCost{
+		EdgeHalves: int64(n) * int64(n-1),
+		Dist:       int64(n) * int64(n-1),
+	}
+	// Star: m = n-1; center has dist n-1; each leaf 1 + 2(n-2).
+	star := SocialCost{
+		EdgeHalves: 2 * int64(n-1),
+		Dist:       int64(n-1) + int64(n-1)*(1+2*int64(n-2)),
+	}
+	if clique.Less(star, alpha) {
+		return graph.Complete(n), clique
+	}
+	return graph.Star(n), star
+}
+
+// Report summarizes the quality of a (stable) network against the social
+// optimum of its game.
+type Report struct {
+	Cost     SocialCost
+	Optimum  SocialCost
+	Ratio    float64 // Cost / Optimum under the game's alpha
+	Diameter int32
+}
+
+// Evaluate computes the quality report of g under the SUM Buy Game cost
+// model with the game's edge price (the paper's headline price-of-anarchy
+// setting). It also works for GBG-produced networks, which share the cost
+// model.
+func Evaluate(g *graph.Graph, gm game.Game) Report {
+	cost := Of(g, gm)
+	_, opt := SumBGOptimum(g.N(), gm.Alpha())
+	r := Report{
+		Cost:     cost,
+		Optimum:  opt,
+		Diameter: g.Diameter(),
+	}
+	if o := opt.Float(gm.Alpha()); o > 0 {
+		r.Ratio = cost.Float(gm.Alpha()) / o
+	}
+	return r
+}

@@ -1,0 +1,117 @@
+package quality
+
+import (
+	"testing"
+
+	"ncg/internal/dynamics"
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+func TestSocialCostStar(t *testing.T) {
+	g := graph.Star(5)
+	gm := game.NewGreedyBuy(game.Sum, game.AlphaInt(4))
+	sc := Of(g, gm)
+	// 4 edges owned by the center: 8 halves. Distances: center 4; each
+	// leaf 1 + 3*2 = 7: total 4 + 28 = 32.
+	if sc.EdgeHalves != 8 || sc.Dist != 32 {
+		t.Fatalf("social cost = %+v", sc)
+	}
+	if sc.Float(game.AlphaInt(4)) != 16+32 {
+		t.Fatalf("float = %v", sc.Float(game.AlphaInt(4)))
+	}
+}
+
+func TestSumBGOptimumCrossover(t *testing.T) {
+	// alpha < 2: clique optimal; alpha > 2: star optimal.
+	gOpt, c := SumBGOptimum(6, game.NewAlpha(3, 2))
+	if gOpt.M() != 15 {
+		t.Fatalf("alpha=1.5 optimum should be the clique, got m=%d", gOpt.M())
+	}
+	if c.Dist != 30 || c.EdgeHalves != 30 {
+		t.Fatalf("clique cost = %+v", c)
+	}
+	gOpt, _ = SumBGOptimum(6, game.AlphaInt(3))
+	if !gOpt.IsStar() {
+		t.Fatal("alpha=3 optimum should be the star")
+	}
+	// At alpha == 2 both tie; the star is returned.
+	gOpt, _ = SumBGOptimum(6, game.AlphaInt(2))
+	if !gOpt.IsStar() {
+		t.Fatal("alpha=2 should return the star")
+	}
+}
+
+func TestOptimumIsOptimalByBruteForce(t *testing.T) {
+	// For n = 5 and several alphas, no graph beats the claimed optimum.
+	n := 5
+	gm := func(a game.Alpha) game.Game { return game.NewGreedyBuy(game.Sum, a) }
+	pairs := [][2]int{}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	for _, alpha := range []game.Alpha{game.NewAlpha(1, 2), game.NewAlpha(3, 2), game.AlphaInt(2), game.AlphaInt(5)} {
+		_, opt := SumBGOptimum(n, alpha)
+		for mask := 0; mask < 1<<len(pairs); mask++ {
+			g := graph.New(n)
+			for i, p := range pairs {
+				if mask&(1<<i) != 0 {
+					g.AddEdge(p[0], p[1])
+				}
+			}
+			if !g.Connected() {
+				continue
+			}
+			sc := Of(g, gm(alpha))
+			if sc.Less(opt, alpha) {
+				t.Fatalf("alpha=%v: %v beats claimed optimum (%+v < %+v)", alpha, g, sc, opt)
+			}
+		}
+	}
+}
+
+// TestConvergedNetworksAreNearOptimal quantifies the paper's motivating
+// claim: the stable networks reached by distributed local search in the
+// SUM-GBG have social cost close to the optimum (constant price of
+// anarchy regime) and small diameter.
+func TestConvergedNetworksAreNearOptimal(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + 4*trial
+		r := gen.NewRand(int64(trial))
+		g := gen.RandomConnected(n, 2*n, r)
+		gm := game.NewGreedyBuy(game.Sum, game.NewAlpha(int64(n), 4))
+		res := dynamics.Run(g, dynamics.Config{Game: gm, Policy: dynamics.MaxCost{}, Seed: int64(trial)})
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		rep := Evaluate(g, gm)
+		if rep.Diameter > 4 {
+			t.Fatalf("trial %d: stable diameter %d too large", trial, rep.Diameter)
+		}
+		if rep.Ratio > 1.5 {
+			t.Fatalf("trial %d: stable network %.2fx optimum", trial, rep.Ratio)
+		}
+	}
+}
+
+func TestEvaluateOnOptimum(t *testing.T) {
+	alpha := game.AlphaInt(10)
+	gm := game.NewGreedyBuy(game.Sum, alpha)
+	gOpt, _ := SumBGOptimum(12, alpha)
+	rep := Evaluate(gOpt, gm)
+	if rep.Ratio != 1 {
+		t.Fatalf("optimum ratio = %v, want 1", rep.Ratio)
+	}
+}
+
+func TestTrivialSizes(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		g, c := SumBGOptimum(n, game.AlphaInt(1))
+		if g.N() != n || c.EdgeHalves != 0 || c.Dist != 0 {
+			t.Fatalf("n=%d: %+v", n, c)
+		}
+	}
+}

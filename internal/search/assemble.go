@@ -1,0 +1,219 @@
+package search
+
+import (
+	"ncg/internal/graph"
+)
+
+// Component-assembly search used to reconstruct the unit-budget
+// constructions of Theorem 3.7 (Figures 5 and 6): the proofs fix several
+// path components ("chains") and the two oscillating edges, and leave only
+// a handful of connector edges to the drawing. Assemble enumerates every
+// way of adding k connector edges from candidate pools, keeps assemblies
+// that are connected with exactly n edges (hence unicyclic), assigns
+// unit-budget ownership (every agent owns exactly one incident edge,
+// honouring forced assignments), and passes survivors to a checker.
+
+// AssembleSpec describes an assembly family.
+type AssembleSpec struct {
+	N int
+	// Fixed edges always present, given as owner -> vertex where the
+	// ownership is forced (the movers own their oscillating edges);
+	// ownership of other fixed edges is resolved by the matching.
+	ForcedOwned [][2]int
+	// Chains are vertex paths whose consecutive pairs are edges.
+	Chains [][]int
+	// Pools lists, for each of the k connector slots, the candidate
+	// endpoints pairs. Slots are filled independently; duplicate edge
+	// sets are deduplicated by construction order (slot i index strictly
+	// less than slot j index for i < j when pools are identical).
+	Pools [][][2]int
+	// Check receives each valid assembly (with ownership assigned) and
+	// reports whether it satisfies the figure's constraints.
+	Check func(g *graph.Graph) bool
+	// Limit stops the search after this many hits (0 = unlimited).
+	Limit int
+}
+
+// Run enumerates the family and returns the graphs accepted by Check, in
+// deterministic order.
+func (sp *AssembleSpec) Run() []*graph.Graph {
+	base := make([][2]int, 0, sp.N)
+	for _, e := range sp.ForcedOwned {
+		base = append(base, e)
+	}
+	for _, ch := range sp.Chains {
+		for i := 0; i+1 < len(ch); i++ {
+			base = append(base, [2]int{ch[i], ch[i+1]})
+		}
+	}
+	var out []*graph.Graph
+	sel := make([][2]int, len(sp.Pools))
+	var rec func(slot int)
+	rec = func(slot int) {
+		if sp.Limit > 0 && len(out) >= sp.Limit {
+			return
+		}
+		if slot == len(sp.Pools) {
+			g := sp.assemble(base, sel)
+			if g != nil && sp.Check(g) {
+				out = append(out, g)
+			}
+			return
+		}
+		for _, cand := range sp.Pools[slot] {
+			sel[slot] = cand
+			rec(slot + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// assemble builds the graph if the edge set is simple, connected, and has
+// exactly N edges with a valid unit-budget ownership.
+func (sp *AssembleSpec) assemble(base, connectors [][2]int) *graph.Graph {
+	g := graph.New(sp.N)
+	edges := make([][2]int, 0, len(base)+len(connectors))
+	edges = append(edges, base...)
+	edges = append(edges, connectors...)
+	if len(edges) != sp.N {
+		return nil
+	}
+	for _, e := range edges {
+		if e[0] == e[1] || g.HasEdge(e[0], e[1]) {
+			return nil
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	if !g.Connected() {
+		return nil
+	}
+	if !AssignUnitOwnership(g, sp.ForcedOwned) {
+		return nil
+	}
+	return g
+}
+
+// AssignUnitOwnership reorients edge ownership so that every vertex owns
+// exactly one incident edge, keeping the forced assignments. It returns
+// false if no such orientation exists. Since the graph is connected with
+// n = m, the unique cycle is oriented consistently and every tree edge is
+// owned by its far-from-cycle endpoint; forced assignments may conflict,
+// which is detected by the matching below.
+func AssignUnitOwnership(g *graph.Graph, forced [][2]int) bool {
+	n := g.N()
+	// owner[e] for each edge index; build edge list and incidence.
+	edges := g.Edges()
+	if len(edges) != n {
+		return false
+	}
+	forcedOwner := map[[2]int]int{}
+	for _, f := range forced {
+		forcedOwner[normEdge(f[0], f[1])] = f[0]
+	}
+	// Bipartite matching agents -> incident edges with forced pairs
+	// pre-assigned.
+	ownerOf := make([]int, len(edges)) // edge -> agent, -1 unset
+	edgeOf := make([]int, n)           // agent -> edge, -1 unset
+	incident := make([][]int, n)       // agent -> candidate edge indices
+	for i := range ownerOf {
+		ownerOf[i] = -1
+	}
+	for i := range edgeOf {
+		edgeOf[i] = -1
+	}
+	for idx, e := range edges {
+		key := normEdge(e.U, e.V)
+		if fo, ok := forcedOwner[key]; ok {
+			if ownerOf[idx] != -1 || edgeOf[fo] != -1 {
+				return false
+			}
+			ownerOf[idx] = fo
+			edgeOf[fo] = idx
+			continue
+		}
+		incident[e.U] = append(incident[e.U], idx)
+		incident[e.V] = append(incident[e.V], idx)
+	}
+	// Augmenting-path matching for the remaining agents.
+	var try func(u int, seen []bool) bool
+	try = func(u int, seen []bool) bool {
+		for _, ei := range incident[u] {
+			if seen[ei] {
+				continue
+			}
+			seen[ei] = true
+			if ownerOf[ei] == -1 || try(ownerOf[ei], seen) {
+				ownerOf[ei] = u
+				edgeOf[u] = ei
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if edgeOf[u] != -1 {
+			continue
+		}
+		seen := make([]bool, len(edges))
+		if !try(u, seen) {
+			return false
+		}
+	}
+	// Apply the orientation.
+	for idx, e := range edges {
+		o := ownerOf[idx]
+		if o != e.U && o != e.V {
+			return false
+		}
+		if g.Owner(e.U, e.V) != o {
+			g.SetOwner(o, e.U+e.V-o)
+		}
+	}
+	return true
+}
+
+func normEdge(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// UniqueCycleLength returns the length of the unique cycle of a connected
+// graph with n = m (unit-budget networks), by pruning leaves. It returns 0
+// if the graph has no cycle.
+func UniqueCycleLength(g *graph.Graph) int {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] <= 1 {
+			queue = append(queue, v)
+			removed[v] = true
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.Neighbors(v).ForEach(func(w int) {
+			if removed[w] {
+				return
+			}
+			deg[w]--
+			if deg[w] <= 1 {
+				removed[w] = true
+				queue = append(queue, w)
+			}
+		})
+	}
+	count := 0
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			count++
+		}
+	}
+	return count
+}

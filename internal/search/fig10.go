@@ -1,0 +1,227 @@
+package search
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Figure 10 reconstruction: the MAX-(G)BG best response cycle for
+// 1 < alpha < 2 on 8 agents a..h (= 0..7). The proof pins the move
+// sequence
+//
+//	G1: g buys ga   (5        -> 3+alpha)
+//	G2: e buys ea   (4        -> 2+alpha)
+//	G3: g deletes ga (3+alpha -> 4)
+//	G4: e deletes ea (3+alpha -> 4)
+//
+// so the base network B = G1 must satisfy, writing B+X for edge additions:
+//
+//	ecc_B(g) = 5                (g's cost in G1)
+//	ecc_{B+ga}(g) = 3           (g's cost after the buy)
+//	ecc_{B+ga}(e) = 4           (e's cost in G2)
+//	ecc_{B+ga+ea}(e) = 2        (e's cost in G3)
+//	ecc_{B+ea}(g) = 4           (g's deletion target in G3)
+//	ecc_{B+ea}(e) = 3           (e's cost in G4)
+//
+// and g, e own no edges of B. Fig10Candidates enumerates all labeled trees
+// on 8 vertices (via Prüfer sequences, deterministically ordered) plus all
+// unicyclic augmentations, filters by the eccentricity profile, and then
+// requires each of the four moves to be a best response in the MAX Buy
+// Game (which subsumes the Greedy Buy Game).
+
+const (
+	f10a = iota
+	f10b
+	f10c
+	f10d
+	f10e
+	f10f
+	f10g
+	f10h
+)
+
+// Fig10Alpha is a rational edge price strictly inside (1, 2).
+var Fig10Alpha = game.NewAlpha(3, 2)
+
+// Fig10Candidates returns the base networks satisfying all Figure 10
+// constraints, in deterministic order. If unicyclic is true, bases with
+// one extra edge beyond a spanning tree are also enumerated (not needed:
+// tree bases exist).
+func Fig10Candidates(unicyclic bool, limit int) []*graph.Graph {
+	var out []*graph.Graph
+	prufer := make([]int, 6)
+	gm := game.NewBuy(game.Max, Fig10Alpha)
+	s := game.NewScratch(8)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if pos == len(prufer) {
+			base := treeWithOwnership(prufer)
+			if base == nil {
+				return
+			}
+			if fig10Check(base, gm, s) {
+				out = append(out, base)
+			}
+			if unicyclic {
+				for u := 0; u < 8; u++ {
+					for v := u + 1; v < 8; v++ {
+						if base.HasEdge(u, v) || u == f10e || u == f10g || v == f10e || v == f10g {
+							continue
+						}
+						base.AddEdge(u, v)
+						if fig10Check(base, gm, s) {
+							out = append(out, base.Clone())
+						}
+						base.RemoveEdge(u, v)
+					}
+				}
+			}
+			return
+		}
+		for v := 0; v < 8; v++ {
+			prufer[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// treeWithOwnership decodes the Prüfer sequence and assigns ownership so
+// that agents e and g own nothing; it returns nil if impossible (an edge
+// between e and g).
+func treeWithOwnership(prufer []int) *graph.Graph {
+	t := decodePrufer(8, prufer)
+	if t == nil {
+		return nil
+	}
+	g := graph.New(8)
+	for _, e := range t {
+		u, v := e[0], e[1]
+		if (u == f10e || u == f10g) && (v == f10e || v == f10g) {
+			return nil
+		}
+		// The owner must not be e or g.
+		if u == f10e || u == f10g {
+			u, v = v, u
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// decodePrufer returns the edge list of the tree encoded by the sequence.
+func decodePrufer(n int, prufer []int) [][2]int {
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, p := range prufer {
+		deg[p]++
+	}
+	edges := make([][2]int, 0, n-1)
+	ptr := 0
+	for deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, p := range prufer {
+		edges = append(edges, [2]int{leaf, p})
+		deg[p]--
+		if deg[p] == 1 && p < ptr {
+			leaf = p
+		} else {
+			ptr++
+			for ptr < n && deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	edges = append(edges, [2]int{leaf, n - 1})
+	return edges
+}
+
+// fig10Check applies the eccentricity filters and then the best-response
+// requirements of all four cycle steps.
+func fig10Check(base *graph.Graph, gm game.Game, s *game.Scratch) bool {
+	if !base.Connected() {
+		return false
+	}
+	if base.HasEdge(f10g, f10a) || base.HasEdge(f10e, f10a) {
+		return false
+	}
+	if ecc(base, f10g) != 5 {
+		return false
+	}
+	base.AddEdge(f10g, f10a)
+	okGa := ecc(base, f10g) == 3 && ecc(base, f10e) == 4
+	if okGa {
+		base.AddEdge(f10e, f10a)
+		okGa = ecc(base, f10e) == 2
+		base.RemoveEdge(f10e, f10a)
+	}
+	base.RemoveEdge(f10g, f10a)
+	if !okGa {
+		return false
+	}
+	base.AddEdge(f10e, f10a)
+	ok := ecc(base, f10g) == 4 && ecc(base, f10e) == 3
+	base.RemoveEdge(f10e, f10a)
+	if !ok {
+		return false
+	}
+	// Best-response requirements, cheapest rejections first.
+	steps := []struct {
+		move  game.Move
+		setup []game.Move
+	}{
+		{move: game.Move{Agent: f10g, Add: []int{f10a}}},
+		{move: game.Move{Agent: f10e, Add: []int{f10a}},
+			setup: []game.Move{{Agent: f10g, Add: []int{f10a}}}},
+		{move: game.Move{Agent: f10g, Drop: []int{f10a}},
+			setup: []game.Move{{Agent: f10g, Add: []int{f10a}}, {Agent: f10e, Add: []int{f10a}}}},
+		{move: game.Move{Agent: f10e, Drop: []int{f10a}},
+			setup: []game.Move{{Agent: f10e, Add: []int{f10a}}}},
+	}
+	ok = true
+	for _, st := range steps {
+		var undo []game.Applied
+		for _, m := range st.setup {
+			undo = append(undo, game.Apply(base, m))
+		}
+		if !isBestResponse(base, gm, st.move, s) {
+			ok = false
+		}
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i].Undo()
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func ecc(g *graph.Graph, v int) int32 {
+	r := g.BFS(v, nil, graph.NewBFSScratch(g.N()))
+	if r.Reached < g.N() {
+		return graph.Unreachable
+	}
+	return r.Ecc
+}
+
+// isBestResponse reports whether m is among the best responses of its agent.
+func isBestResponse(g *graph.Graph, gm game.Game, m game.Move, s *game.Scratch) bool {
+	best, bestCost := gm.BestMoves(g, m.Agent, s, nil)
+	if len(best) == 0 {
+		return false
+	}
+	ap := game.Apply(g, m)
+	c := gm.Cost(g, m.Agent, s)
+	ap.Undo()
+	return c.Cmp(bestCost, gm.Alpha()) == 0
+}

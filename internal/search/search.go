@@ -1,0 +1,161 @@
+// Package search reconstructs the paper's figure constructions whose exact
+// graphs are given only as drawings, by enumerating candidate graphs under
+// the structural constraints stated in the proofs:
+//
+//   - Figure 2 (MAX-SG best response cycle): the 9-vertex instance is
+//     invariant under the rotation a->b->c->a outside the rotating edge, so
+//     candidates are unions of rotation orbits of vertex pairs (2^11).
+//   - Figure 10 (MAX-(G)BG best response cycle): the 8-vertex base network
+//     is enumerated over all labeled trees (Prüfer sequences) and unicyclic
+//     graphs, filtered by the eccentricity facts quoted in the proof.
+//
+// The searches are deterministic, so the instances they return are stable
+// across runs; the cycles package pins the found graphs and verifies every
+// claim via cycles.Instance.Verify.
+package search
+
+import (
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Fig2Rotation is the vertex permutation sigma of the Figure 2 search:
+// a_i -> b_i -> c_i -> a_i with vertex numbering a1,a2,a3,b1,b2,b3,c1,c2,c3
+// = 0..8.
+func Fig2Rotation(v int) int { return (v + 3) % 9 }
+
+// fig2Orbits lists the rotation orbits of unordered vertex pairs on 9
+// vertices, excluding the orbit of the rotating edge {a1,b1} itself.
+func fig2Orbits() [][][2]int {
+	seen := map[[2]int]bool{}
+	var orbits [][][2]int
+	for u := 0; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			p := [2]int{u, v}
+			if seen[p] {
+				continue
+			}
+			var orbit [][2]int
+			a, b := u, v
+			for {
+				q := [2]int{min(a, b), max(a, b)}
+				if seen[q] {
+					break
+				}
+				seen[q] = true
+				orbit = append(orbit, q)
+				a, b = Fig2Rotation(a), Fig2Rotation(b)
+			}
+			// Exclude the {a1,b1} orbit: it contains the rotating edge.
+			if orbit[0] == [2]int{0, 3} {
+				continue
+			}
+			orbits = append(orbits, orbit)
+		}
+	}
+	return orbits
+}
+
+// Fig2Candidates enumerates every 9-vertex network of the Figure 2 family
+// that satisfies the proof's stated facts:
+//
+//   - G1 = H + {a1,b1} + {b1,c1} for a rotation-invariant H;
+//   - G1 is connected with eccentricities 3 for a1, a3, b3, c3 and 2 for
+//     all other agents;
+//   - a1 is the only unhappy agent of the MAX-SG, and the swap
+//     a1b1 -> a1c1 is a best response (achieving eccentricity 2).
+//
+// It returns the candidates in deterministic (mask) order.
+func Fig2Candidates() []*graph.Graph {
+	const (
+		a1, a2, a3 = 0, 1, 2
+		b1, b3     = 3, 5
+		c1, c3     = 6, 8
+	)
+	orbits := fig2Orbits()
+	gm := game.NewSwap(game.Max)
+	s := game.NewScratch(9)
+	var out []*graph.Graph
+	for mask := 0; mask < 1<<len(orbits); mask++ {
+		g := graph.New(9)
+		for i, orbit := range orbits {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for _, p := range orbit {
+				g.AddEdge(p[0], p[1])
+			}
+		}
+		// The rotating edge sits at a1-b1; b1-c1 is its rotated sibling
+		// still present in G1 (it is swapped away only two steps later).
+		g.AddEdge(a1, b1)
+		g.AddEdge(b1, c1)
+		if !g.Connected() {
+			continue
+		}
+		if !fig2EccProfile(g) {
+			continue
+		}
+		// Exactly one unhappy agent: a1.
+		if !fig2UnhappyOnlyA1(g, gm, s) {
+			continue
+		}
+		// a1's best response reaches eccentricity 2 and the designated
+		// swap a1b1 -> a1c1 attains it.
+		best, c := gm.BestMoves(g, a1, s, nil)
+		if c.Dist != 2 {
+			continue
+		}
+		want := game.Move{Agent: a1, Drop: []int{b1}, Add: []int{c1}}
+		found := false
+		for _, m := range best {
+			if m.Equal(want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func fig2EccProfile(g *graph.Graph) bool {
+	ecc := g.Eccentricities()
+	for v, e := range ecc {
+		want := int32(2)
+		switch v {
+		case 0, 2, 5, 8: // a1, a3, b3, c3
+			want = 3
+		}
+		if e != want {
+			return false
+		}
+	}
+	return true
+}
+
+func fig2UnhappyOnlyA1(g *graph.Graph, gm game.Game, s *game.Scratch) bool {
+	for u := 0; u < 9; u++ {
+		if gm.HasImproving(g, u, s) != (u == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

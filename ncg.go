@@ -1,0 +1,213 @@
+// Package ncg is a from-scratch Go implementation of the network creation
+// game dynamics studied by Kawald & Lenzner, "On Dynamics in Selfish
+// Network Creation" (SPAA 2013): the Swap Game, Asymmetric Swap Game,
+// Greedy Buy Game, Buy Game and bilateral equal-split Buy Game, played as
+// sequential-move processes under configurable move policies, together
+// with the paper's best-response-cycle constructions, non-weak-acyclicity
+// analyses and empirical convergence-time study.
+//
+// The facade re-exports the core types of the internal packages so
+// downstream users can build and run processes without importing
+// internals:
+//
+//	g := ncg.Path(9)
+//	res := ncg.Run(g, ncg.ProcessConfig{
+//		Game:   ncg.NewMaxSwapGame(),
+//		Policy: ncg.MaxCostPolicy(),
+//	})
+//	fmt.Println(res.Steps, res.Converged)
+//
+// See the examples directory for richer scenarios and the cmd directory
+// for the figure-regeneration tools.
+package ncg
+
+import (
+	"ncg/internal/cycles"
+	"ncg/internal/dynamics"
+	"ncg/internal/experiments"
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+	"ncg/internal/quality"
+)
+
+// Core graph types.
+type (
+	// Graph is an undirected network with an edge-ownership function.
+	Graph = graph.Graph
+	// Edge is an owned edge (U owns it).
+	Edge = graph.Edge
+)
+
+// Graph constructors.
+var (
+	NewGraph      = graph.New
+	FromEdges     = graph.FromEdges
+	Path          = graph.Path
+	Cycle         = graph.Cycle
+	Star          = graph.Star
+	DoubleStar    = graph.DoubleStar
+	Complete      = graph.Complete
+	CompleteMinus = graph.CompleteMinus
+	Isomorphic    = graph.Isomorphic
+)
+
+// Game types and cost model.
+type (
+	// Game is a network creation game variant.
+	Game = game.Game
+	// Alpha is the exact rational edge price.
+	Alpha = game.Alpha
+	// Cost is an agent's exact cost.
+	Cost = game.Cost
+	// Move is a strategy change of one agent.
+	Move = game.Move
+	// DistKind selects SUM or MAX distance cost.
+	DistKind = game.DistKind
+)
+
+// Distance-cost kinds.
+const (
+	SUM = game.Sum
+	MAX = game.Max
+)
+
+// Edge price constructors.
+var (
+	NewAlpha = game.NewAlpha
+	AlphaInt = game.AlphaInt
+)
+
+// NewSumSwapGame returns the SUM Swap Game of Alon et al.
+func NewSumSwapGame() Game { return game.NewSwap(game.Sum) }
+
+// NewMaxSwapGame returns the MAX Swap Game.
+func NewMaxSwapGame() Game { return game.NewSwap(game.Max) }
+
+// NewAsymSwapGame returns the Asymmetric Swap Game (owner-only swaps).
+func NewAsymSwapGame(kind DistKind) Game { return game.NewAsymSwap(kind) }
+
+// NewGreedyBuyGame returns the Greedy Buy Game (buy/delete/swap one edge).
+func NewGreedyBuyGame(kind DistKind, alpha Alpha) Game {
+	return game.NewGreedyBuy(kind, alpha)
+}
+
+// NewBuyGame returns the original Fabrikant et al. Buy Game; best responses
+// are computed exhaustively (intended for small n).
+func NewBuyGame(kind DistKind, alpha Alpha) Game { return game.NewBuy(kind, alpha) }
+
+// NewBilateralGame returns the Corbo-Parkes bilateral equal-split Buy Game.
+func NewBilateralGame(kind DistKind, alpha Alpha) Game {
+	return game.NewBilateral(kind, alpha)
+}
+
+// Process types.
+type (
+	// ProcessConfig parameterizes a sequential-move process.
+	ProcessConfig = dynamics.Config
+	// ProcessResult summarizes a finished process.
+	ProcessResult = dynamics.Result
+	// Policy selects the moving agent each step.
+	Policy = dynamics.Policy
+)
+
+// Run executes a network creation process on g (mutating it) and returns
+// the summary.
+func Run(g *Graph, cfg ProcessConfig) ProcessResult { return dynamics.Run(g, cfg) }
+
+// Stable reports whether g is a pure Nash equilibrium of gm.
+func Stable(g *Graph, gm Game) bool { return dynamics.Stable(g, gm) }
+
+// MaxCostPolicy returns the max cost policy of Section 3.4.1.
+func MaxCostPolicy() Policy { return dynamics.MaxCost{} }
+
+// RandomPolicy returns the random policy of Section 3.4.1.
+func RandomPolicy() Policy { return dynamics.Random{} }
+
+// Tie-breaking rules among best moves.
+const (
+	TieRandom = dynamics.TieRandom
+	TieFirst  = dynamics.TieFirst
+)
+
+// Generators of the paper's initial-network ensembles.
+var (
+	// BudgetNetwork builds the Section 3.4.1 bounded-budget ensemble.
+	BudgetNetwork = gen.BudgetNetwork
+	// RandomConnected builds the Section 4.2.1 m-edge ensemble.
+	RandomConnected = gen.RandomConnected
+	// RandomTree builds a uniform labeled tree with random ownership.
+	RandomTree = gen.RandomTree
+	// NewRand builds the deterministic random source the generators use.
+	NewRand = gen.NewRand
+)
+
+// Cycle analysis.
+type (
+	// CycleInstance is a verified better/best-response cycle.
+	CycleInstance = cycles.Instance
+	// ReachResult summarizes an exhaustive improving-move exploration.
+	ReachResult = cycles.ReachResult
+)
+
+var (
+	// ExploreImproving exhaustively explores the improving-move state
+	// space (non-weak-acyclicity checks).
+	ExploreImproving = cycles.ExploreImproving
+	// ExploreBestResponse restricts the exploration to best responses.
+	ExploreBestResponse = cycles.ExploreBestResponse
+	// FindBestResponseCycle searches the best-response state graph for a
+	// directed cycle.
+	FindBestResponseCycle = cycles.FindBestResponseCycle
+)
+
+// PaperCycles returns the verified cycle constructions of the paper, keyed
+// by figure.
+func PaperCycles() []CycleInstance {
+	return []CycleInstance{
+		cycles.Fig2MaxSG(),
+		cycles.Fig3SumASG(),
+		cycles.Fig9SumGBG(),
+		cycles.Fig9SumBG(),
+		cycles.Fig10MaxGBG(),
+		cycles.Fig10MaxBG(),
+		cycles.Fig15SumBilateral(),
+		cycles.Fig16MaxBilateral(),
+	}
+}
+
+// Experiment harness.
+type (
+	// ExperimentOptions scale a figure regeneration.
+	ExperimentOptions = experiments.Options
+	// FigureResult is a regenerated empirical figure.
+	FigureResult = experiments.FigureResult
+)
+
+var (
+	// RegenerateFigure regenerates one of the empirical figures (7, 8,
+	// 11-14).
+	RegenerateFigure = experiments.Figure
+	// DefaultExperimentOptions returns the scaled-down defaults.
+	DefaultExperimentOptions = experiments.DefaultOptions
+)
+
+// Equilibrium quality (price-of-anarchy style measurements).
+type (
+	// QualityReport compares a network's social cost to the social
+	// optimum of its game.
+	QualityReport = quality.Report
+	// PhaseProfile is the move-kind mix of a trajectory in thirds.
+	PhaseProfile = experiments.PhaseProfile
+)
+
+var (
+	// EvaluateQuality measures a (stable) network against the SUM Buy
+	// Game social optimum.
+	EvaluateQuality = quality.Evaluate
+	// SumBGOptimum returns the social optimum network and cost.
+	SumBGOptimum = quality.SumBGOptimum
+	// ProfilePhases segments a trajectory of move kinds into thirds
+	// (Section 4.2.2 phase analysis).
+	ProfilePhases = experiments.Profile
+)
