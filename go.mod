@@ -1,0 +1,3 @@
+module ncg
+
+go 1.24

@@ -96,9 +96,12 @@ func FindBestResponseCycle(start *graph.Graph, gm game.Game, maxStates int) *Fou
 		stackStates = append(stackStates, nd.g)
 		var moves []game.Move
 		for u := 0; u < g.N() && found == nil; u++ {
+			// Clone the batch: the recursive dfs below rescans with the
+			// shared scratch, which reuses the enumeration move pool.
 			moves, _ = gm.BestMoves(g, u, s, moves[:0])
+			moves = game.CloneMoves(moves)
 			for _, m := range moves {
-				mc := m.Clone()
+				mc := m
 				ap := game.Apply(g, mc)
 				next := lookup(g)
 				switch {

@@ -1,0 +1,370 @@
+package dynamics
+
+import (
+	"sync"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// engine carries the per-run acceleration state of a process: a worker pool
+// with per-worker scratches over which happiness probes are fanned out, and
+// an incrementally maintained all-pairs distance matrix from which the cost
+// policies read agent costs instead of re-running n breadth-first searches
+// every step.
+//
+// Both accelerations are exact: probe fan-out preserves the serial probe
+// order (waves are collected in order, so results are identical at any
+// worker count), and the distance cache reproduces BFS distances to the
+// bit, so seeded runs and TieFirst/TieLast traces match the unaccelerated
+// process step for step.
+type engine struct {
+	g       *graph.Graph
+	gm      game.Game
+	workers int
+	scr     []*game.Scratch
+	// pure records that the game's HasImproving never mutates the graph,
+	// the precondition for probing a shared graph concurrently.
+	pure bool
+	// halvesOK records that the game's edge-cost term is derivable from
+	// degrees, the precondition for serving costs from the distance cache.
+	halvesOK bool
+	cache    *costCache
+	probe    []bool
+}
+
+func newEngine(g *graph.Graph, gm game.Game, workers int) *engine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &engine{
+		g:       g,
+		gm:      gm,
+		workers: workers,
+		scr:     make([]*game.Scratch, workers),
+		pure:    game.ProbesPurely(gm),
+	}
+	for i := range e.scr {
+		e.scr[i] = game.NewScratch(g.N())
+	}
+	if g.N() > 0 {
+		_, e.halvesOK = game.EdgeCostHalves(gm, g, 0)
+	}
+	e.probe = make([]bool, workers)
+	return e
+}
+
+// scratch returns the primary scratch, for serial work.
+func (e *engine) scratch() *game.Scratch { return e.scr[0] }
+
+// cost returns agent u's current cost, served from the distance cache when
+// the game's cost model allows it. The first call builds the cache and
+// installs it as the scratches' distance oracle, which lets delta scans
+// score additions searchlessly and prune hopeless swap targets.
+func (e *engine) cost(u int) game.Cost {
+	if !e.halvesOK {
+		return e.gm.Cost(e.g, u, e.scr[0])
+	}
+	if e.cache == nil {
+		e.cache = newCostCache(e.g)
+		for _, s := range e.scr {
+			s.SetDistOracle(e.cache)
+		}
+	}
+	h, _ := game.EdgeCostHalves(e.gm, e.g, u)
+	return game.Cost{Halves: h, Dist: e.cache.distCost(u, e.gm.DistKind())}
+}
+
+// afterMove folds an applied move into the cache; g must already be in the
+// post-move state.
+func (e *engine) afterMove(mv game.Move) {
+	if e.cache != nil {
+		e.cache.update(e.g, mv)
+	}
+}
+
+// firstUnhappy returns the first agent of order with an improving move, or
+// -1. With multiple workers and a pure-probing game, probes run in waves of
+// one agent per worker; the waves are scanned in order, so the result is
+// independent of scheduling.
+func (e *engine) firstUnhappy(order []int) int {
+	if e.workers <= 1 || !e.pure || len(order) < 2 {
+		s := e.scr[0]
+		for _, u := range order {
+			if e.gm.HasImproving(e.g, u, s) {
+				return u
+			}
+		}
+		return -1
+	}
+	// Wave sizes ramp up exponentially: the first probed agent is very
+	// often already the mover, so speculation only widens while a streak
+	// of happy agents keeps paying for it.
+	wave := 1
+	for base := 0; base < len(order); base += wave {
+		if base > 0 {
+			wave *= 2
+			if wave > e.workers {
+				wave = e.workers
+			}
+		}
+		end := base + wave
+		if end > len(order) {
+			end = len(order)
+		}
+		chunk := order[base:end]
+		if len(chunk) == 1 {
+			if e.gm.HasImproving(e.g, chunk[0], e.scr[0]) {
+				return chunk[0]
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		for i := range chunk {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				e.probe[i] = e.gm.HasImproving(e.g, chunk[i], e.scr[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range chunk {
+			if e.probe[i] {
+				return chunk[i]
+			}
+		}
+	}
+	return -1
+}
+
+// unhappy appends every unhappy agent to dst in increasing order, probing
+// in parallel waves when possible.
+func (e *engine) unhappy(dst []int) []int {
+	n := e.g.N()
+	if e.workers <= 1 || !e.pure {
+		s := e.scr[0]
+		for u := 0; u < n; u++ {
+			if e.gm.HasImproving(e.g, u, s) {
+				dst = append(dst, u)
+			}
+		}
+		return dst
+	}
+	for base := 0; base < n; base += e.workers {
+		end := base + e.workers
+		if end > n {
+			end = n
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < end-base; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				e.probe[i] = e.gm.HasImproving(e.g, base+i, e.scr[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < end-base; i++ {
+			if e.probe[i] {
+				dst = append(dst, base+i)
+			}
+		}
+	}
+	return dst
+}
+
+// costCache is the incrementally maintained all-pairs shortest-path state
+// of the current network: the full distance matrix plus the per-source
+// aggregates that agent distance costs are read from.
+//
+// Added edges are folded in with the exact single-insertion rule
+// d'(a,b) = min(d(a,b), d(a,u)+1+d(y,b), d(a,y)+1+d(u,b)); for removed
+// edges {u,x}, a source row can only change if some shortest path from it
+// crossed the edge, which requires |d(a,u) - d(a,x)| = 1, and exactly the
+// rows meeting that are re-run by BFS on the post-move network.
+type costCache struct {
+	n       int
+	d       []int32 // row-major distance matrix
+	sum     []int64 // per-source sum of distances within its component
+	ecc     []int32 // per-source eccentricity within its component
+	reached []int   // per-source component size (including the source)
+	bfs     *graph.BFSScratch
+	repair  *graph.RepairScratch
+	suspect graph.Bitset
+	oldU    []int32 // pre-removal rows of the dropped edge's endpoints
+	oldX    []int32
+}
+
+func newCostCache(g *graph.Graph) *costCache {
+	n := g.N()
+	c := &costCache{
+		n:       n,
+		d:       make([]int32, n*n),
+		sum:     make([]int64, n),
+		ecc:     make([]int32, n),
+		reached: make([]int, n),
+		bfs:     graph.NewBFSScratch(n),
+		repair:  graph.NewRepairScratch(n),
+		suspect: graph.NewBitset(n),
+		oldU:    make([]int32, n),
+		oldX:    make([]int32, n),
+	}
+	for u := 0; u < n; u++ {
+		c.refreshRow(g, u)
+	}
+	return c
+}
+
+func (c *costCache) row(u int) []int32 { return c.d[u*c.n : (u+1)*c.n] }
+
+// Row implements game.DistOracle. Run keeps the cache exact across moves
+// (update runs before any subsequent scan), so scans may trust it.
+func (c *costCache) Row(u int) []int32 { return c.row(u) }
+
+// refreshRow recomputes row u by BFS and its aggregates.
+func (c *costCache) refreshRow(g *graph.Graph, u int) {
+	r := g.BFS(u, c.row(u), c.bfs)
+	c.sum[u] = r.Sum
+	c.ecc[u] = r.Ecc
+	c.reached[u] = r.Reached
+}
+
+// aggregateRow rebuilds the aggregates of row u from the matrix.
+func (c *costCache) aggregateRow(u int) {
+	row := c.row(u)
+	var sum int64
+	var ecc int32
+	reached := 0
+	for _, dv := range row {
+		if dv >= graph.Unreachable {
+			continue
+		}
+		reached++
+		sum += int64(dv)
+		if dv > ecc {
+			ecc = dv
+		}
+	}
+	c.sum[u] = sum
+	c.ecc[u] = ecc
+	c.reached[u] = reached
+}
+
+// distCost returns the distance cost of agent u under the given kind,
+// matching game cost semantics (DistInf when the network is disconnected).
+func (c *costCache) distCost(u int, kind game.DistKind) int64 {
+	if c.reached[u] < c.n {
+		return game.DistInf
+	}
+	if kind == game.Sum {
+		return c.sum[u]
+	}
+	return int64(c.ecc[u])
+}
+
+// update folds an applied move into the matrix; g must be post-move.
+func (c *costCache) update(g *graph.Graph, mv game.Move) {
+	u := mv.Agent
+	for _, y := range mv.Add {
+		c.addEdge(u, y)
+	}
+	switch len(mv.Drop) {
+	case 0:
+	case 1:
+		c.dropEdge(g, u, mv.Drop[0])
+	default:
+		// Multi-edge removals (Buy, bilateral strategy changes) fall back
+		// to re-searching every row that might have used a dropped edge.
+		for a := 0; a < c.n; a++ {
+			row := c.row(a)
+			for _, x := range mv.Drop {
+				// The edge {u,x} existed before removal, so its endpoint
+				// distances from a differ by at most one; they differ by
+				// exactly one iff the edge lay on a shortest-path tree of
+				// a.
+				if row[u] != row[x] {
+					c.refreshRow(g, a)
+					break
+				}
+			}
+		}
+	}
+}
+
+// dropEdge folds the removal of edge {u,x} into the matrix; g must be the
+// post-move network. An affected row keeps every entry with a shortest
+// path avoiding the edge — entry v survives unless
+// d(a,p) + 1 + d(q,v) = d(a,v) with p the nearer endpoint and q the
+// farther — and the damaged entries are settled by PartialBFS from the
+// survivors, costing O(n) plus local work instead of a full search.
+func (c *costCache) dropEdge(g *graph.Graph, u, x int) {
+	n := c.n
+	copy(c.oldU, c.row(u))
+	copy(c.oldX, c.row(x))
+	for a := 0; a < n; a++ {
+		row := c.row(a)
+		au, ax := row[u], row[x]
+		if au == ax {
+			continue // the edge was on no shortest-path tree of a
+		}
+		oldQ := c.oldX
+		ap := au
+		if ax < au {
+			oldQ = c.oldU
+			ap = ax
+		}
+		c.suspect.Reset()
+		damaged := false
+		for v := 0; v < n; v++ {
+			if row[v] == ap+1+oldQ[v] {
+				row[v] = graph.Unreachable
+				c.suspect.Set(v)
+				damaged = true
+			}
+		}
+		if !damaged {
+			continue
+		}
+		g.PartialBFS(row, c.suspect, c.repair)
+		c.aggregateRow(a)
+	}
+}
+
+// addEdge applies the exact single-edge-insertion rule for {u,y}. Working
+// in place is sound: every already-updated value is a true post-insertion
+// distance, so the minima never undershoot.
+func (c *costCache) addEdge(u, y int) {
+	n := c.n
+	ru := c.row(u)
+	ry := c.row(y)
+	for a := 0; a < n; a++ {
+		row := c.row(a)
+		au, ay := row[u], row[y]
+		if au >= graph.Unreachable && ay >= graph.Unreachable {
+			continue
+		}
+		// The new edge shortens a path from a only if it bridges endpoint
+		// distances at least two apart: otherwise a->u->y->b is already
+		// matched by the triangle route through the nearer endpoint.
+		if d := au - ay; d >= -1 && d <= 1 {
+			continue
+		}
+		changed := false
+		for b := 0; b < n; b++ {
+			best := row[b]
+			if v := au + 1 + ry[b]; v < best {
+				best = v
+			}
+			if v := ay + 1 + ru[b]; v < best {
+				best = v
+			}
+			if best < row[b] {
+				row[b] = best
+				changed = true
+			}
+		}
+		if changed {
+			c.aggregateRow(a)
+		}
+	}
+}

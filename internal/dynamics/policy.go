@@ -24,6 +24,15 @@ type Policy interface {
 	Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int
 }
 
+// enginePolicy is implemented by the built-in policies that can exploit a
+// process engine: costs are then served from the incremental distance
+// cache and happiness probes fan out over the engine's worker pool. Both
+// accelerations are exact, so pickEngine returns the same agent as Pick
+// and consumes the RNG identically.
+type enginePolicy interface {
+	pickEngine(e *engine, r *rand.Rand) int
+}
+
 // MaxCost is the max cost policy: agents are examined in order of
 // descending current cost and the first unhappy one moves. Ties between
 // equal-cost agents are broken uniformly at random, matching the
@@ -32,8 +41,9 @@ type MaxCost struct{}
 
 func (MaxCost) Name() string { return "max cost" }
 
-func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
-	n := g.N()
+// maxCostOrder returns the agents sorted by descending cost with random
+// tie order (n Int63 draws, one per agent, in index order).
+func maxCostOrder(n int, cost func(u int) game.Cost, alpha game.Alpha, r *rand.Rand) []int {
 	type agentCost struct {
 		u    int
 		c    game.Cost
@@ -41,14 +51,13 @@ func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand)
 	}
 	agents := make([]agentCost, n)
 	for u := 0; u < n; u++ {
-		agents[u] = agentCost{u: u, c: gm.Cost(g, u, s)}
+		agents[u] = agentCost{u: u, c: cost(u)}
 		if r != nil {
 			agents[u].tieR = r.Int63()
 		}
 	}
-	alpha := gm.Alpha()
 	// Insertion sort by descending cost with random tie order; n is small
-	// and the dominant cost is the happiness probing below anyway.
+	// and the dominant cost is the happiness probing afterwards anyway.
 	for i := 1; i < n; i++ {
 		a := agents[i]
 		j := i - 1
@@ -62,12 +71,26 @@ func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand)
 		}
 		agents[j+1] = a
 	}
-	for _, a := range agents {
-		if gm.HasImproving(g, a.u, s) {
-			return a.u
+	order := make([]int, n)
+	for i, a := range agents {
+		order[i] = a.u
+	}
+	return order
+}
+
+func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+	order := maxCostOrder(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha(), r)
+	for _, u := range order {
+		if gm.HasImproving(g, u, s) {
+			return u
 		}
 	}
 	return -1
+}
+
+func (MaxCost) pickEngine(e *engine, r *rand.Rand) int {
+	order := maxCostOrder(e.g.N(), e.cost, e.gm.Alpha(), r)
+	return e.firstUnhappy(order)
 }
 
 // MaxCostDeterministic is the max cost policy with deterministic
@@ -78,15 +101,15 @@ type MaxCostDeterministic struct{}
 
 func (MaxCostDeterministic) Name() string { return "max cost (smallest index)" }
 
-func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
-	n := g.N()
+// maxCostOrderDeterministic returns the agents sorted by descending cost,
+// index order on ties.
+func maxCostOrderDeterministic(n int, cost func(u int) game.Cost, alpha game.Alpha) []int {
 	costs := make([]game.Cost, n)
 	order := make([]int, n)
 	for u := 0; u < n; u++ {
-		costs[u] = gm.Cost(g, u, s)
+		costs[u] = cost(u)
 		order[u] = u
 	}
-	alpha := gm.Alpha()
 	// Stable insertion sort by descending cost keeps index order on ties.
 	for i := 1; i < n; i++ {
 		u := order[i]
@@ -97,6 +120,11 @@ func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, 
 		}
 		order[j+1] = u
 	}
+	return order
+}
+
+func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+	order := maxCostOrderDeterministic(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha())
 	for _, u := range order {
 		if gm.HasImproving(g, u, s) {
 			return u
@@ -105,10 +133,19 @@ func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, 
 	return -1
 }
 
+func (MaxCostDeterministic) pickEngine(e *engine, r *rand.Rand) int {
+	order := maxCostOrderDeterministic(e.g.N(), e.cost, e.gm.Alpha())
+	return e.firstUnhappy(order)
+}
+
 // Random is the random policy of Section 3.4.1: one agent is chosen
 // uniformly at random; if she is happy she is removed from the candidate
 // set and another is drawn, until an unhappy agent is found or no candidate
 // remains.
+//
+// Random has no engine fast path on purpose: the number of RNG draws it
+// consumes depends on how many probes fail, so speculative parallel
+// probing would shift the RNG stream and change seeded traces.
 type Random struct{}
 
 func (Random) Name() string { return "random" }
@@ -149,6 +186,15 @@ func (MinIndex) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand
 	return -1
 }
 
+func (MinIndex) pickEngine(e *engine, r *rand.Rand) int {
+	n := e.g.N()
+	order := make([]int, n)
+	for u := range order {
+		order[u] = u
+	}
+	return e.firstUnhappy(order)
+}
+
 // Adversarial wraps a caller-supplied selection function receiving the set
 // of unhappy agents; it models the adversary of the negative results ("an
 // adversary chooses the worst possible moving agent").
@@ -170,6 +216,14 @@ func (a Adversarial) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand
 		return -1
 	}
 	return a.Choose(g, unhappy)
+}
+
+func (a Adversarial) pickEngine(e *engine, r *rand.Rand) int {
+	unhappy := e.unhappy(nil)
+	if len(unhappy) == 0 {
+		return -1
+	}
+	return a.Choose(e.g, unhappy)
 }
 
 // Unhappy returns the set of unhappy agents of g under gm (U_i of Section

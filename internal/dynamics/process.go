@@ -49,11 +49,19 @@ type Config struct {
 	MaxSteps int
 	// Seed feeds the deterministic RNG used by policy and tie-breaking.
 	Seed int64
+	// Workers sets how many goroutines fan out the per-agent happiness
+	// probes of the built-in policies; 0 or 1 probes serially. Probe
+	// results are collected in deterministic order and the cost cache is
+	// exact, so the trace of a seeded run is identical at any worker
+	// count. Games whose probes mutate the graph transiently (Buy,
+	// Bilateral) are always probed serially.
+	Workers int
 	// DetectCycles records visited states and stops when a state repeats,
 	// proving non-convergence of the played trajectory. States are
 	// compared with or without ownership according to the game.
 	DetectCycles bool
-	// OnStep, if non-nil, is invoked after each applied move.
+	// OnStep, if non-nil, is invoked after each applied move. It must not
+	// mutate g; the move is a private copy the callback may retain.
 	OnStep func(step int, mover int, mv game.Move, g *graph.Graph)
 }
 
@@ -90,7 +98,9 @@ func Run(g *graph.Graph, cfg Config) Result {
 		cfg.MaxSteps = 200*g.N() + 1000
 	}
 	r := rand.New(rand.NewSource(cfg.Seed))
-	s := game.NewScratch(g.N())
+	e := newEngine(g, cfg.Game, cfg.Workers)
+	s := e.scratch()
+	ep, hasEngine := cfg.Policy.(enginePolicy)
 
 	var seen map[uint64][]seenState
 	stepOf := func(*graph.Graph) (int, bool) { return 0, false }
@@ -128,7 +138,12 @@ func Run(g *graph.Graph, cfg Config) Result {
 	var moves []game.Move
 	record(g, 0)
 	for res.Steps < cfg.MaxSteps {
-		mover := cfg.Policy.Pick(g, cfg.Game, s, r)
+		var mover int
+		if hasEngine {
+			mover = ep.pickEngine(e, r)
+		} else {
+			mover = cfg.Policy.Pick(g, cfg.Game, s, r)
+		}
 		if mover < 0 {
 			res.Converged = true
 			return res
@@ -139,8 +154,11 @@ func Run(g *graph.Graph, cfg Config) Result {
 			// that is a policy bug, not a game state.
 			panic(fmt.Sprintf("dynamics: policy %q picked happy agent %d", cfg.Policy.Name(), mover))
 		}
-		mv := pickMove(moves, cfg.Tie, r)
+		// Clone: enumerated moves share the scratch's pooled backing, and
+		// the copy outlives the next scan (OnStep may retain it).
+		mv := pickMove(moves, cfg.Tie, r).Clone()
 		game.Apply(g, mv)
+		e.afterMove(mv)
 		res.Steps++
 		res.MoveKinds[mv.Kind()]++
 		res.Kinds = append(res.Kinds, mv.Kind())

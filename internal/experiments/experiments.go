@@ -60,6 +60,12 @@ type Config struct {
 	Policy PolicyKind
 	// MaxSteps caps each run (0: dynamics default).
 	MaxSteps int
+	// ProbeWorkers fans the happiness probes of each run over a worker
+	// pool (see dynamics.Config.Workers); 0 probes serially. Sweeps at
+	// small n saturate cores by running trials in parallel, so leave this
+	// at 0 there; at large n, trade trial parallelism for probe
+	// parallelism instead. Traces are identical either way.
+	ProbeWorkers int
 }
 
 // Stats aggregates convergence times over the trials of one configuration.
@@ -104,6 +110,7 @@ func Run(cfg Config, workers int) Stats {
 					Tie:      dynamics.TieRandom,
 					MaxSteps: cfg.MaxSteps,
 					Seed:     seed + 1,
+					Workers:  cfg.ProbeWorkers,
 				})
 				mu.Lock()
 				if res.Converged {

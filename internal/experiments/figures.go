@@ -11,12 +11,18 @@ import (
 // Options scale a figure regeneration: the paper uses 10000 trials (ASG)
 // and 5000 trials (GBG) on n = 10..100; the defaults here are reduced so
 // the whole suite runs in minutes (see DESIGN.md §3). All conclusions are
-// about curve shapes, which are stable at these counts.
+// about curve shapes, which are stable at these counts. The delta-evaluated
+// best-response engine keeps per-step work near O(n) searches, so Ns well
+// beyond the paper's grid are feasible; combine that with ProbeWorkers to
+// parallelize within a run once trial-level parallelism stops saturating.
 type Options struct {
 	Ns      []int
 	Trials  int
 	Seed    int64
 	Workers int
+	// ProbeWorkers fans each run's happiness probes over a worker pool;
+	// see Config.ProbeWorkers.
+	ProbeWorkers int
 }
 
 // DefaultOptions returns the scaled-down defaults.
@@ -93,12 +99,13 @@ func figASG(name string, kind game.DistKind, opt Options) FigureResult {
 				continue
 			}
 			tmpl := Config{
-				Name:       fmt.Sprintf("k=%d %s", k, pol),
-				Trials:     opt.Trials,
-				Seed:       opt.Seed,
-				NewGame:    func(int) game.Game { return game.NewAsymSwap(kind) },
-				NewInitial: budgetInitial(k),
-				Policy:     pol,
+				Name:         fmt.Sprintf("k=%d %s", k, pol),
+				Trials:       opt.Trials,
+				Seed:         opt.Seed,
+				NewGame:      func(int) game.Game { return game.NewAsymSwap(kind) },
+				NewInitial:   budgetInitial(k),
+				Policy:       pol,
+				ProbeWorkers: opt.ProbeWorkers,
 			}
 			fr.Series = append(fr.Series, Sweep(tmpl, ns, opt.Workers))
 		}
@@ -144,7 +151,8 @@ func figGBG(name string, kind game.DistKind, opt Options) FigureResult {
 					NewInitial: func(n int, r *gen.Rand) *graph.Graph {
 						return gen.RandomConnected(n, mm*n, r)
 					},
-					Policy: pol,
+					Policy:       pol,
+					ProbeWorkers: opt.ProbeWorkers,
 				}
 				fr.Series = append(fr.Series, Sweep(tmpl, opt.Ns, opt.Workers))
 			}
@@ -197,8 +205,9 @@ func figTopo(name string, kind game.DistKind, opt Options) FigureResult {
 					NewGame: func(n int) game.Game {
 						return game.NewGreedyBuy(kind, game.NewAlpha(int64(n), alName.Den))
 					},
-					NewInitial: tp.New,
-					Policy:     pol,
+					NewInitial:   tp.New,
+					Policy:       pol,
+					ProbeWorkers: opt.ProbeWorkers,
 				}
 				fr.Series = append(fr.Series, Sweep(tmpl, opt.Ns, opt.Workers))
 			}

@@ -105,6 +105,13 @@ func (bg *Buy) forEachStrategy(g *graph.Graph, u int, s *Scratch, fn func(m Move
 
 func (bg *Buy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 	cur := agentCost(g, u, bg.kind, modelUnilateral, s)
+	// Delta-evaluated pre-pass over the single-added-edge and
+	// single-removed-edge strategies (see delta.go): when one of these
+	// already improves — the common case along a dynamics trajectory — the
+	// exponential enumeration below never runs.
+	if bg.hasImprovingSingle(g, u, cur, s) {
+		return true
+	}
 	found := false
 	bg.forEachStrategy(g, u, s, func(m Move, c Cost) bool {
 		if c.Less(cur, bg.alpha) {
@@ -114,6 +121,35 @@ func (bg *Buy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 		return true
 	})
 	return found
+}
+
+// hasImprovingSingle reports whether buying one edge or deleting one owned
+// edge strictly improves on cur. Single-edge additions range over exactly
+// the unconnected strategy candidates (swapTargets) and single-edge
+// deletions over the owned neighbours, so this scans a subset of the full
+// strategy space and can return false negatives only.
+func (bg *Buy) hasImprovingSingle(g *graph.Graph, u int, cur Cost, s *Scratch) bool {
+	s.buf = g.OwnedNeighbors(u).Elements(s.buf[:0])
+	s.buf2 = bg.swapTargets(g, u, s.buf2[:0])
+	if len(s.buf) == 0 && len(s.buf2) == 0 {
+		return false
+	}
+	s.deltaBegin(g, u)
+	s.deltaInit(g, u)
+	halves := curHalves(g, u, modelUnilateral)
+	for _, x := range s.buf {
+		c := Cost{Halves: halves - 2, Dist: s.deltaDropDist(x, bg.kind)}
+		if c.Less(cur, bg.alpha) {
+			return true
+		}
+	}
+	for _, y := range s.buf2 {
+		c := Cost{Halves: halves + 2, Dist: s.deltaAddDist(g, u, y, bg.kind)}
+		if c.Less(cur, bg.alpha) {
+			return true
+		}
+	}
+	return false
 }
 
 func (bg *Buy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {

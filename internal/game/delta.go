@@ -1,0 +1,549 @@
+package game
+
+import (
+	"ncg/internal/graph"
+)
+
+// Delta-evaluated best-response scanning.
+//
+// Every single-edge strategy change of an agent u — dropping an incident
+// edge, adding a new one, or swapping — leaves the rest of the network
+// untouched. A path from u never revisits u, so its first edge goes to one
+// of u's neighbours and the remainder runs in the vertex-deleted subgraph
+// G-u, which no single-edge change of u alters:
+//
+//	d_{G'}(u, v) = 1 + min_{w in N'(u)} d_{G-u}(w, v)   for v != u,
+//
+// where N'(u) is u's neighbourhood after the change. One bitset BFS per
+// relevant vertex of G-u (current neighbours eagerly, candidate targets
+// lazily, all cached in the Scratch matrix for the duration of the scan)
+// therefore replaces the per-candidate full BFS of the naive scan.
+//
+// Scoring is split so the per-candidate work shrinks below O(n). With
+// a(v) = 1 + min_w d_{G-u}(w, v) over the current neighbours and the
+// witness arg(v) attaining it, adding a target y changes only the minimum:
+// cost(+y) aggregates min(a(v), 1 + d_{G-u}(y, v)), an O(n) pass done once
+// per target and cached. Dropping a neighbour x additionally affects only
+// the vertices whose witness is x (their minimum falls back to the second
+// minimum), so each (drop x, add y) pair costs O(|S_x|), where the witness
+// buckets S_x partition the vertex set — O(n / deg(u)) on average — on top
+// of the cached per-target aggregate. For MAX costs the same split keeps,
+// per target, the maximum together with its witness class and the best
+// value outside that class, which answers "max with class x removed" in
+// O(1) before the bucket correction.
+type deltaScratch struct {
+	// n is the allocated capacity; dn the vertex count of the graph of
+	// the current scan (scratches may be reused across sizes).
+	n  int
+	dn int
+	// mat row w holds d_{G-u}(w, .) for the current scan agent u; done
+	// marks computed rows.
+	mat  []int32
+	done graph.Bitset
+	// min1/arg1/min2: per-vertex minimum over the neighbour rows, the
+	// neighbour attaining it (as a position in nbrs, -1 if none), and the
+	// minimum over the remaining neighbours.
+	min1 []int32
+	min2 []int32
+	arg1 []int32
+	// pos maps a neighbour vertex to its position in nbrs (-1 otherwise).
+	pos []int32
+	// witBuf/witOff: vertices bucketed by witness position; bucket i is
+	// witBuf[witOff[i]:witOff[i+1]].
+	witBuf []int32
+	witOff []int32
+	cnt    []int32
+	// Current-cost aggregates over a(v): the sum, the maximum with its
+	// witness class, and the best value outside that class.
+	curSum  int64
+	curMax1 int32
+	curC1   int32
+	curMax2 int32
+	// Per-target aggregates of f_y(v) = min(a(v), 1 + d_{G-u}(y, v)),
+	// computed together with the target's row: the sum, the maximum with
+	// its witness class, and the best value outside that class.
+	ySum  []int64
+	yMax1 []int32
+	yC1   []int32
+	yMax2 []int32
+	// Per-target oracle bounds (see deltaTargetBound): bndDone marks
+	// cached entries, bndExact the ones computed without an early exit.
+	bnd      []int64
+	bndDone  graph.Bitset
+	bndExact graph.Bitset
+	// minsReady records that deltaInit ran for the current scan, so the
+	// lazy probe path can defer the neighbour searches until a target
+	// survives its bound.
+	minsReady bool
+	// suspects is the damage set of oracle-seeded row repairs.
+	suspects graph.Bitset
+}
+
+// grow ensures capacity for n-vertex graphs.
+func (d *deltaScratch) grow(n int) {
+	if d.n >= n {
+		return
+	}
+	d.n = n
+	d.mat = make([]int32, n*n)
+	d.done = graph.NewBitset(n)
+	d.min1 = make([]int32, n)
+	d.min2 = make([]int32, n)
+	d.arg1 = make([]int32, n)
+	d.pos = make([]int32, n)
+	d.witBuf = make([]int32, n)
+	d.witOff = make([]int32, n+2)
+	d.cnt = make([]int32, n+1)
+	d.ySum = make([]int64, n)
+	d.yMax1 = make([]int32, n)
+	d.yC1 = make([]int32, n)
+	d.yMax2 = make([]int32, n)
+	d.bnd = make([]int64, n)
+	d.bndDone = graph.NewBitset(n)
+	d.bndExact = graph.NewBitset(n)
+	d.suspects = graph.NewBitset(n)
+}
+
+// deltaBegin opens a delta scan of agent u: it sizes the scratch and
+// resets the per-scan lazy state. Every scan starts here; the heavy
+// neighbour-row preparation of deltaInit can then be deferred until a
+// candidate actually needs it.
+func (s *Scratch) deltaBegin(g *graph.Graph, u int) {
+	d := &s.delta
+	d.grow(g.N())
+	d.dn = g.N()
+	d.bndDone.Reset()
+	d.minsReady = false
+}
+
+// deltaInit prepares s for delta scans of agent u: it computes the
+// distance rows of G-u for every current neighbour of u, the per-vertex
+// minima over those rows, the witness buckets, and the current-cost
+// aggregates. Target rows and aggregates are computed on demand. It is a
+// no-op if it already ran for the current scan (opened by deltaBegin).
+// The preparation reads the graph but never mutates it.
+func (s *Scratch) deltaInit(g *graph.Graph, u int) {
+	n := g.N()
+	d := &s.delta
+	if d.minsReady {
+		return
+	}
+	d.minsReady = true
+	d.done.Reset()
+	s.nbrs = g.NeighborList(u, s.nbrs[:0])
+	for v := 0; v < n; v++ {
+		d.min1[v] = graph.Unreachable
+		d.min2[v] = graph.Unreachable
+		d.arg1[v] = -1
+		d.pos[v] = -1
+	}
+	for i, w := range s.nbrs {
+		d.pos[w] = int32(i)
+		row := s.deltaRow(g, u, w)
+		for v, dv := range row {
+			switch {
+			case dv < d.min1[v]:
+				d.min2[v] = d.min1[v]
+				d.min1[v] = dv
+				d.arg1[v] = int32(i)
+			case dv < d.min2[v]:
+				d.min2[v] = dv
+			}
+		}
+	}
+	// Witness buckets by counting sort over witness positions.
+	deg := len(s.nbrs)
+	cnt := d.cnt[: deg+1 : deg+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		if v != u && d.arg1[v] >= 0 {
+			cnt[d.arg1[v]]++
+		}
+	}
+	off := d.witOff[: deg+2 : deg+2]
+	off[0] = 0
+	for i := 0; i <= deg; i++ {
+		off[i+1] = off[i] + cnt[i]
+	}
+	for v := 0; v < n; v++ {
+		if v != u && d.arg1[v] >= 0 {
+			i := d.arg1[v]
+			d.witBuf[off[i]] = int32(v)
+			off[i]++
+		}
+	}
+	for i := deg; i >= 0; i-- {
+		off[i+1] = off[i]
+	}
+	off[0] = 0
+	// Current-cost aggregates over a(v) = 1 + min1[v].
+	d.curSum = 0
+	d.curMax1, d.curC1, d.curMax2 = 0, -2, 0
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		a := d.min1[v] + 1
+		d.curSum += int64(a)
+		cls := d.arg1[v]
+		if a > d.curMax1 {
+			if cls != d.curC1 {
+				d.curMax2 = d.curMax1
+				d.curC1 = cls
+			}
+			d.curMax1 = a
+		} else if cls != d.curC1 && a > d.curMax2 {
+			d.curMax2 = a
+		}
+	}
+}
+
+// deltaRow returns d_{G-u}(w, .), computing and caching it on first use.
+// With an oracle it is derived from the current-network row by partial
+// repair: deleting u invalidates d(w,v) only when every shortest w-v path
+// crosses u, i.e. d(w,u) + d(u,v) = d(w,v); the surviving entries reseed a
+// PartialBFS over the damage. Without an oracle it is a fresh search.
+func (s *Scratch) deltaRow(g *graph.Graph, u, w int) []int32 {
+	d := &s.delta
+	row := d.mat[w*d.dn : (w+1)*d.dn]
+	if d.done.Has(w) {
+		return row
+	}
+	d.done.Set(w)
+	if s.oracle == nil {
+		g.BFSExcluding(w, u, row, s.bfs)
+		return row
+	}
+	dw := s.oracle.Row(w)
+	du := s.oracle.Row(u)
+	base := dw[u]
+	d.suspects.Reset()
+	for v := 0; v < d.dn; v++ {
+		if v == u {
+			row[v] = graph.Unreachable
+			continue
+		}
+		if base+du[v] == dw[v] {
+			row[v] = graph.Unreachable
+			d.suspects.Set(v)
+		} else {
+			row[v] = dw[v]
+		}
+	}
+	g.PartialBFS(row, d.suspects, s.repair)
+	return row
+}
+
+// deltaTarget ensures the row and aggregates of target y and returns its
+// row. The aggregates are over f_y(v) = min(a(v), 1 + row_y(v)), v != u:
+// exactly the distance profile of u after adding the edge {u,y}.
+func (s *Scratch) deltaTarget(g *graph.Graph, u, y int) []int32 {
+	d := &s.delta
+	if d.done.Has(y) {
+		return d.mat[y*d.dn : (y+1)*d.dn]
+	}
+	row := s.deltaRow(g, u, y)
+	var sum int64
+	m1, c1, m2 := int32(0), int32(-2), int32(0)
+	for v, rv := range row {
+		if v == u {
+			continue
+		}
+		f := d.min1[v]
+		if rv < f {
+			f = rv
+		}
+		f++
+		sum += int64(f)
+		cls := d.arg1[v]
+		if rv < d.min1[v] {
+			// The target row is the effective minimum, so dropping a
+			// neighbour cannot raise this vertex's distance.
+			cls = -1
+		}
+		if f > m1 {
+			if cls != c1 {
+				m2 = m1
+				c1 = cls
+			}
+			m1 = f
+		} else if cls != c1 && f > m2 {
+			m2 = f
+		}
+	}
+	d.ySum[y] = sum
+	d.yMax1[y], d.yC1[y], d.yMax2[y] = m1, c1, m2
+	return row
+}
+
+// deltaFinite converts an aggregated distance value to cost semantics:
+// any vertex left unreachable pushes the aggregate past Unreachable, which
+// saturates to DistInf (finite aggregates stay below Unreachable as long
+// as n*n < Unreachable, i.e. n < 23170).
+func deltaFinite(v int64) int64 {
+	if v >= int64(graph.Unreachable) {
+		return DistInf
+	}
+	return v
+}
+
+// deltaCurDist returns u's current distance cost.
+func (s *Scratch) deltaCurDist(kind DistKind) int64 {
+	d := &s.delta
+	if kind == Sum {
+		return deltaFinite(d.curSum)
+	}
+	return deltaFinite(int64(d.curMax1))
+}
+
+// deltaOracleCurDist returns u's current distance cost read from the
+// oracle, identical to deltaCurDist but without needing deltaInit.
+func (s *Scratch) deltaOracleCurDist(u int, kind DistKind) int64 {
+	du := s.oracle.Row(u)
+	var sum int64
+	var max int32
+	for v, t := range du {
+		if v == u {
+			continue
+		}
+		if kind == Sum {
+			sum += int64(t)
+		} else if t > max {
+			max = t
+		}
+	}
+	if kind == Max {
+		return deltaFinite(int64(max))
+	}
+	return deltaFinite(sum)
+}
+
+// deltaTargetBound returns a lower bound on u's distance cost after any
+// single-edge change that adds the edge {u,y}, computed from the oracle's
+// current-network distances without a search; ok is false without an
+// oracle. The changed network G' = G - {u,x} + {u,y} is an edge-subgraph
+// of G + {u,y}, whose distances from u are exactly
+// min(d_G(u,v), 1 + d_G(y,v)) by the single-insertion rule, so that
+// aggregate bounds every swap with target y from below — and scores a pure
+// addition exactly.
+//
+// The aggregation stops early once the bound provably reaches limit,
+// returning a sound but possibly truncated bound; pass a limit above any
+// cost (e.g. > DistInf) to force the exact aggregate. Pruning callers pass
+// their skip threshold so hopeless targets are dismissed after a few
+// vertices.
+func (s *Scratch) deltaTargetBound(u, y int, kind DistKind, limit int64) (int64, bool) {
+	if s.oracle == nil {
+		return 0, false
+	}
+	d := &s.delta
+	if d.bndDone.Has(y) && (d.bndExact.Has(y) || d.bnd[y] >= limit) {
+		return d.bnd[y], true
+	}
+	du := s.oracle.Row(u)
+	dy := s.oracle.Row(y)
+	n := d.dn
+	var b int64
+	exact := true
+	if kind == Sum {
+		// Every vertex contributes at least distance 1, so the running
+		// sum plus the unprocessed count is already a valid lower bound;
+		// it is checked between 32-vertex blocks to keep the inner loop
+		// branch-light. The two segments skip v == u.
+		sum := int64(0)
+	sumLoop:
+		for seg := 0; seg < 2; seg++ {
+			lo, hi := 0, u
+			if seg == 1 {
+				lo, hi = u+1, n
+			}
+			for lo < hi {
+				blk := lo + 32
+				if blk > hi {
+					blk = hi
+				}
+				for v := lo; v < blk; v++ {
+					t := dy[v] + 1
+					if du[v] < t {
+						t = du[v]
+					}
+					sum += int64(t)
+				}
+				lo = blk
+				rest := int64(n - blk)
+				if seg == 0 {
+					rest-- // u itself contributes nothing
+				}
+				if rest > 0 && sum+rest >= limit {
+					sum += rest
+					exact = false
+					break sumLoop
+				}
+			}
+		}
+		b = sum
+	} else {
+		var max int32
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			t := dy[v] + 1
+			if du[v] < t {
+				t = du[v]
+			}
+			if t > max {
+				max = t
+				if int64(max) >= limit {
+					exact = v == n-1
+					break
+				}
+			}
+		}
+		b = int64(max)
+	}
+	if exact {
+		b = deltaFinite(b)
+		d.bndExact.Set(y)
+	} else {
+		d.bndExact.Clear(y)
+	}
+	d.bnd[y] = b
+	d.bndDone.Set(y)
+	return b, true
+}
+
+// boundExact forces deltaTargetBound to aggregate without an early exit.
+const boundExact = int64(1) << 62
+
+// deltaPairBoundSum tightens a SUM target bound for a concrete drop x: the
+// drop penalty Σ_{v in S_x} [min(min2, r) - min(min1, r)] is nondecreasing
+// in the target row r, and the oracle row of y undercuts d_{G-u}(y, .), so
+// adding the oracle-evaluated penalty to the exact add-cost bound still
+// bounds the swap cost from below — without materializing y's row.
+// deltaInit must have run; bound must be the exact (non-truncated) target
+// bound of y.
+func (s *Scratch) deltaPairBoundSum(u, x, y int, bound int64) int64 {
+	d := &s.delta
+	dy := s.oracle.Row(y)
+	xi := d.pos[x]
+	pen := int64(0)
+	for _, v := range d.witBuf[d.witOff[xi]:d.witOff[xi+1]] {
+		f0, f1, r := d.min1[v], d.min2[v], dy[v]
+		if r < f0 {
+			f0 = r
+		}
+		if r < f1 {
+			f1 = r
+		}
+		pen += int64(f1 - f0)
+	}
+	return bound + pen
+}
+
+// deltaAddDist returns u's distance cost after adding the edge {u,y}. With
+// an oracle installed the single-insertion rule scores it exactly without
+// a search; otherwise it falls back to the target's G-u row.
+func (s *Scratch) deltaAddDist(g *graph.Graph, u, y int, kind DistKind) int64 {
+	if b, ok := s.deltaTargetBound(u, y, kind, boundExact); ok {
+		return b
+	}
+	d := &s.delta
+	s.deltaTarget(g, u, y)
+	if kind == Sum {
+		return deltaFinite(d.ySum[y])
+	}
+	return deltaFinite(int64(d.yMax1[y]))
+}
+
+// deltaDropDist returns u's distance cost after removing the edge {u,x}.
+func (s *Scratch) deltaDropDist(x int, kind DistKind) int64 {
+	d := &s.delta
+	xi := d.pos[x]
+	bucket := d.witBuf[d.witOff[xi]:d.witOff[xi+1]]
+	if kind == Sum {
+		sum := d.curSum
+		for _, v := range bucket {
+			sum += int64(d.min2[v] - d.min1[v])
+		}
+		return deltaFinite(sum)
+	}
+	m := d.curMax1
+	if d.curC1 == xi {
+		m = d.curMax2
+	}
+	for _, v := range bucket {
+		if f := d.min2[v] + 1; f > m {
+			m = f
+		}
+	}
+	return deltaFinite(int64(m))
+}
+
+// deltaSwapDist returns u's distance cost after swapping the edge {u,x}
+// for {u,y}.
+func (s *Scratch) deltaSwapDist(g *graph.Graph, u, x, y int, kind DistKind) int64 {
+	d := &s.delta
+	ry := s.deltaTarget(g, u, y)
+	xi := d.pos[x]
+	bucket := d.witBuf[d.witOff[xi]:d.witOff[xi+1]]
+	if kind == Sum {
+		sum := d.ySum[y]
+		for _, v := range bucket {
+			f0, f1, rv := d.min1[v], d.min2[v], ry[v]
+			if rv < f0 {
+				f0 = rv
+			}
+			if rv < f1 {
+				f1 = rv
+			}
+			sum += int64(f1 - f0)
+		}
+		return deltaFinite(sum)
+	}
+	m := d.yMax1[y]
+	if d.yC1[y] == xi {
+		m = d.yMax2[y]
+	}
+	for _, v := range bucket {
+		f := d.min2[v]
+		if rv := ry[v]; rv < f {
+			f = rv
+		}
+		if f++; f > m {
+			m = f
+		}
+	}
+	return deltaFinite(int64(m))
+}
+
+// deltaSwapHalves returns the alpha/2-unit count of agent u after swapping
+// the edge {u,x} for {u,y} (the added edge is owned by u), matching
+// agentCost on the post-swap network.
+func deltaSwapHalves(g *graph.Graph, u, x int, model costModel) int64 {
+	switch model {
+	case modelUnilateral:
+		od := g.OutDegree(u) + 1
+		if g.Owns(u, x) {
+			od--
+		}
+		return 2 * int64(od)
+	case modelBilateral:
+		return int64(g.Degree(u))
+	}
+	return 0
+}
+
+// curHalves returns the alpha/2-unit count of agent u in the current
+// network under the given cost model.
+func curHalves(g *graph.Graph, u int, model costModel) int64 {
+	switch model {
+	case modelUnilateral:
+		return 2 * int64(g.OutDegree(u))
+	case modelBilateral:
+		return int64(g.Degree(u))
+	}
+	return 0
+}

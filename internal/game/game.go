@@ -37,23 +37,97 @@ type Game interface {
 	ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move
 }
 
+// PureProber is implemented by games whose HasImproving never mutates the
+// graph, making concurrent happiness probes of distinct agents on a shared
+// graph safe provided each goroutine uses its own Scratch. Games that probe
+// by transiently applying candidate moves (Buy, Bilateral) must not
+// implement it.
+type PureProber interface {
+	// ProbesPurely reports that HasImproving is read-only on the graph.
+	ProbesPurely() bool
+}
+
+// ProbesPurely reports whether gm guarantees read-only happiness probes.
+func ProbesPurely(gm Game) bool {
+	p, ok := gm.(PureProber)
+	return ok && p.ProbesPurely()
+}
+
+// EdgeCostHalves returns the alpha/2-unit edge-cost count of agent u in g
+// under gm's cost model, and whether that model is known. It lets process
+// engines combine cached distance costs with the degree-derived edge-cost
+// term instead of re-running the game's full Cost computation.
+func EdgeCostHalves(gm Game, g *graph.Graph, u int) (int64, bool) {
+	if ng, ok := gm.(naiveGame); ok {
+		gm = ng.Game
+	}
+	switch gm.(type) {
+	case *Swap, *AsymSwap:
+		return 0, true
+	case *Buy, *GreedyBuy:
+		return 2 * int64(g.OutDegree(u)), true
+	case *Bilateral:
+		return int64(g.Degree(u)), true
+	}
+	return 0, false
+}
+
 // Scratch bundles the reusable buffers of cost and best-response
 // computations for one goroutine.
 type Scratch struct {
-	n    int
-	bfs  *graph.BFSScratch
-	buf  []int
-	buf2 []int
-	set  graph.Bitset
+	n      int
+	bfs    *graph.BFSScratch
+	repair *graph.RepairScratch
+	buf    []int
+	buf2   []int
+	nbrs   []int
+	set    graph.Bitset
+
+	// delta holds the lazily allocated state of delta-evaluated scans
+	// (see delta.go).
+	delta deltaScratch
+
+	// pool backs the Drop/Add slices of enumerated moves. It is reset at
+	// the start of every enumeration (BestMoves, ImprovingMoves), so moves
+	// returned by those methods are valid only until the next enumeration
+	// on the same Scratch; callers that retain them must Clone.
+	pool []int
+
+	// oracle, when installed, provides exact current-network distances
+	// that delta scans use to score additions without a search and to
+	// prune hopeless swap targets. See SetDistOracle.
+	oracle DistOracle
 }
+
+// DistOracle provides exact all-pairs shortest-path distances of the
+// current network, typically an incrementally maintained matrix owned by a
+// process engine.
+type DistOracle interface {
+	// Row returns the distances from v to every vertex (Unreachable for
+	// other components). The caller must not modify the slice.
+	Row(v int) []int32
+}
+
+// SetDistOracle installs (or, with nil, removes) a distance oracle on s.
+// The oracle MUST reflect the scanned network exactly whenever a scan
+// runs: callers that mutate the network must update the oracle before the
+// next scan or clear it. A stale oracle yields wrong scan results.
+func (s *Scratch) SetDistOracle(o DistOracle) { s.oracle = o }
 
 // NewScratch returns scratch space for games on n-vertex networks.
 func NewScratch(n int) *Scratch {
 	return &Scratch{
-		n:   n,
-		bfs: graph.NewBFSScratch(n),
-		set: graph.NewBitset(n),
+		n:      n,
+		bfs:    graph.NewBFSScratch(n),
+		set:    graph.NewBitset(n),
+		repair: graph.NewRepairScratch(n),
 	}
+}
+
+// single returns a pool-backed one-element slice, for Move Drop/Add lists.
+func (s *Scratch) single(x int) []int {
+	s.pool = append(s.pool, x)
+	return s.pool[len(s.pool)-1 : len(s.pool) : len(s.pool)]
 }
 
 // base carries the configuration shared by all concrete games.

@@ -38,16 +38,25 @@ func (gb *GreedyBuy) Cost(g *graph.Graph, u int, s *Scratch) Cost {
 // forEachGreedyMove enumerates u's greedy moves in the order deletions,
 // swaps, additions (the preference order of Section 4.2.1) and calls fn with
 // each move's cost. fn returns false to stop the enumeration. The x and y
-// parameters are the dropped and added neighbours (-1 when absent).
-func (gb *GreedyBuy) forEachGreedyMove(g *graph.Graph, u int, s *Scratch, fn func(x, y int, c Cost) bool) {
+// parameters are the dropped and added neighbours (-1 when absent). Every
+// move is scored by the delta evaluator (see delta.go): one distance row of
+// G-u per current neighbour up front, one per added target on demand, and
+// sub-O(n) arithmetic per candidate; the graph is never mutated.
+//
+// pruneSwap, if non-nil, receives a cost known to bound every swap with a
+// given target from below (the oracle add-bound with the swap edge-cost
+// term) and returns true to skip that target's swaps; it is only consulted
+// when a distance oracle is installed, where it saves the target's search.
+// Skipped swaps must be ones the caller would ignore anyway.
+func (gb *GreedyBuy) forEachGreedyMove(g *graph.Graph, u int, s *Scratch, pruneSwap func(Cost) bool, fn func(x, y int, c Cost) bool) {
 	s.buf = g.OwnedNeighbors(u).Elements(s.buf[:0])
 	s.buf2 = gb.swapTargets(g, u, s.buf2[:0])
+	s.deltaBegin(g, u)
+	s.deltaInit(g, u)
+	halves := curHalves(g, u, modelUnilateral)
 	// Deletions.
 	for _, x := range s.buf {
-		owner := u
-		g.RemoveEdge(u, x)
-		c := agentCost(g, u, gb.kind, modelUnilateral, s)
-		g.AddEdge(owner, x)
+		c := Cost{Halves: halves - 2, Dist: s.deltaDropDist(x, gb.kind)}
 		if !fn(x, -1, c) {
 			return
 		}
@@ -55,7 +64,17 @@ func (gb *GreedyBuy) forEachGreedyMove(g *graph.Graph, u int, s *Scratch, fn fun
 	// Swaps.
 	for _, x := range s.buf {
 		for _, y := range s.buf2 {
-			c := evalSwap(&gb.base, g, u, x, y, modelUnilateral, s)
+			if pruneSwap != nil && s.oracle != nil {
+				if bound, ok := s.deltaTargetBound(u, y, gb.kind, boundExact); ok {
+					if pruneSwap(Cost{Halves: halves, Dist: bound}) {
+						continue
+					}
+					if gb.kind == Sum && pruneSwap(Cost{Halves: halves, Dist: s.deltaPairBoundSum(u, x, y, bound)}) {
+						continue
+					}
+				}
+			}
+			c := Cost{Halves: halves, Dist: s.deltaSwapDist(g, u, x, y, gb.kind)}
 			if !fn(x, y, c) {
 				return
 			}
@@ -63,22 +82,22 @@ func (gb *GreedyBuy) forEachGreedyMove(g *graph.Graph, u int, s *Scratch, fn fun
 	}
 	// Additions.
 	for _, y := range s.buf2 {
-		g.AddEdge(u, y)
-		c := agentCost(g, u, gb.kind, modelUnilateral, s)
-		g.RemoveEdge(u, y)
+		c := Cost{Halves: halves + 2, Dist: s.deltaAddDist(g, u, y, gb.kind)}
 		if !fn(-1, y, c) {
 			return
 		}
 	}
 }
 
-func greedyMove(u, x, y int) Move {
+// greedyMove builds a move with pool-backed Drop/Add slices; it is valid
+// only until the next enumeration on s.
+func greedyMove(s *Scratch, u, x, y int) Move {
 	m := Move{Agent: u}
 	if x >= 0 {
-		m.Drop = []int{x}
+		m.Drop = s.single(x)
 	}
 	if y >= 0 {
-		m.Add = []int{y}
+		m.Add = s.single(y)
 	}
 	return m
 }
@@ -86,7 +105,8 @@ func greedyMove(u, x, y int) Move {
 func (gb *GreedyBuy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	found := false
-	gb.forEachGreedyMove(g, u, s, func(x, y int, c Cost) bool {
+	prune := func(c Cost) bool { return !c.Less(cur, gb.alpha) }
+	gb.forEachGreedyMove(g, u, s, prune, func(x, y int, c Cost) bool {
 		if c.Less(cur, gb.alpha) {
 			found = true
 			return false
@@ -96,19 +116,25 @@ func (gb *GreedyBuy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 	return found
 }
 
+// ProbesPurely reports that HasImproving never mutates the graph, so
+// concurrent probes on a shared graph are safe with per-goroutine scratch.
+func (gb *GreedyBuy) ProbesPurely() bool { return true }
+
 func (gb *GreedyBuy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	best := cur
 	start := len(dst)
-	gb.forEachGreedyMove(g, u, s, func(x, y int, c Cost) bool {
+	prune := func(c Cost) bool { return c.Cmp(best, gb.alpha) > 0 }
+	gb.forEachGreedyMove(g, u, s, prune, func(x, y int, c Cost) bool {
 		switch c.Cmp(best, gb.alpha) {
 		case -1:
 			dst = dst[:start]
-			dst = append(dst, greedyMove(u, x, y))
+			dst = append(dst, greedyMove(s, u, x, y))
 			best = c
 		case 0:
 			if best.Less(cur, gb.alpha) {
-				dst = append(dst, greedyMove(u, x, y))
+				dst = append(dst, greedyMove(s, u, x, y))
 			}
 		}
 		return true
@@ -120,10 +146,12 @@ func (gb *GreedyBuy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([
 }
 
 func (gb *GreedyBuy) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
-	gb.forEachGreedyMove(g, u, s, func(x, y int, c Cost) bool {
+	prune := func(c Cost) bool { return !c.Less(cur, gb.alpha) }
+	gb.forEachGreedyMove(g, u, s, prune, func(x, y int, c Cost) bool {
 		if c.Less(cur, gb.alpha) {
-			dst = append(dst, greedyMove(u, x, y))
+			dst = append(dst, greedyMove(s, u, x, y))
 		}
 		return true
 	})

@@ -73,14 +73,25 @@ func (m Move) String() string {
 	return sb.String()
 }
 
-// Clone returns a deep copy of the move (enumeration code reuses backing
-// slices).
+// Clone returns a deep copy of the move. Enumeration reuses backing slices
+// pooled in the Scratch: moves returned by BestMoves or ImprovingMoves are
+// valid only until the next enumeration on the same Scratch, so callers
+// that retain a move across scans must Clone it.
 func (m Move) Clone() Move {
 	return Move{
 		Agent: m.Agent,
 		Drop:  append([]int(nil), m.Drop...),
 		Add:   append([]int(nil), m.Add...),
 	}
+}
+
+// CloneMoves deep-copies every move in ms in place and returns ms, for
+// callers that retain an enumerated batch across later scans.
+func CloneMoves(ms []Move) []Move {
+	for i := range ms {
+		ms[i] = ms[i].Clone()
+	}
+	return ms
 }
 
 // Equal reports whether two moves are identical up to the order of their

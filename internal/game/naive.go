@@ -1,0 +1,244 @@
+package game
+
+import (
+	"ncg/internal/graph"
+)
+
+// Reference implementations of the best-response scans that re-evaluate
+// every candidate strategy change with a full BFS (apply, search, undo).
+// They predate the delta evaluator of delta.go and are kept as the ground
+// truth for equivalence tests and before/after benchmarks. Unlike the
+// delta scans they mutate the graph transiently, so they must never run
+// concurrently on a shared graph.
+
+// evalSwap computes u's cost after swapping the edge {u,x} to {u,y},
+// mutating g in place and restoring it (including the original owner of
+// {u,x}) before returning. It allocates nothing.
+func evalSwap(b *base, g *graph.Graph, u, x, y int, model costModel, s *Scratch) Cost {
+	owner := g.Owner(u, x)
+	g.RemoveEdge(u, x)
+	g.AddEdge(u, y)
+	c := agentCost(g, u, b.kind, model, s)
+	g.RemoveEdge(u, y)
+	if owner == u {
+		g.AddEdge(u, x)
+	} else {
+		g.AddEdge(x, u)
+	}
+	return c
+}
+
+// swapAnyNaive is the full-BFS form of swapAny.
+func swapAnyNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch) bool {
+	cur := agentCost(g, u, b.kind, model, s)
+	s.buf = drops(g, u, s.buf[:0])
+	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+	for _, x := range s.buf {
+		for _, y := range s.buf2 {
+			if evalSwap(b, g, u, x, y, model, s).Less(cur, b.alpha) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// swapScanNaive is the full-BFS form of swapScan.
+func swapScanNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) []Move {
+	cur := agentCost(g, u, b.kind, model, s)
+	s.buf = drops(g, u, s.buf[:0])
+	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+	for _, x := range s.buf {
+		for _, y := range s.buf2 {
+			if evalSwap(b, g, u, x, y, model, s).Less(cur, b.alpha) {
+				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+			}
+		}
+	}
+	return dst
+}
+
+// swapBestNaive is the full-BFS form of swapBest.
+func swapBestNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
+	cur := agentCost(g, u, b.kind, model, s)
+	best := cur
+	start := len(dst)
+	s.buf = drops(g, u, s.buf[:0])
+	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+	for _, x := range s.buf {
+		for _, y := range s.buf2 {
+			c := evalSwap(b, g, u, x, y, model, s)
+			switch c.Cmp(best, b.alpha) {
+			case -1:
+				dst = dst[:start]
+				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				best = c
+			case 0:
+				if best.Less(cur, b.alpha) {
+					dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				}
+			}
+		}
+	}
+	if !best.Less(cur, b.alpha) {
+		return dst[:start], cur
+	}
+	return dst, best
+}
+
+// forEachGreedyMoveNaive is the full-BFS form of GreedyBuy.forEachGreedyMove,
+// enumerating deletions, swaps and additions in the same order.
+func (gb *GreedyBuy) forEachGreedyMoveNaive(g *graph.Graph, u int, s *Scratch, fn func(x, y int, c Cost) bool) {
+	s.buf = g.OwnedNeighbors(u).Elements(s.buf[:0])
+	s.buf2 = gb.swapTargets(g, u, s.buf2[:0])
+	// Deletions.
+	for _, x := range s.buf {
+		g.RemoveEdge(u, x)
+		c := agentCost(g, u, gb.kind, modelUnilateral, s)
+		g.AddEdge(u, x)
+		if !fn(x, -1, c) {
+			return
+		}
+	}
+	// Swaps.
+	for _, x := range s.buf {
+		for _, y := range s.buf2 {
+			c := evalSwap(&gb.base, g, u, x, y, modelUnilateral, s)
+			if !fn(x, y, c) {
+				return
+			}
+		}
+	}
+	// Additions.
+	for _, y := range s.buf2 {
+		g.AddEdge(u, y)
+		c := agentCost(g, u, gb.kind, modelUnilateral, s)
+		g.RemoveEdge(u, y)
+		if !fn(-1, y, c) {
+			return
+		}
+	}
+}
+
+// naiveScanner is implemented by games with a dedicated full-BFS reference
+// scan; games whose regular methods already re-evaluate every candidate
+// with a BFS (Buy, Bilateral) do not need one.
+type naiveScanner interface {
+	naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool
+	naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost)
+	naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move
+}
+
+func (sg *Swap) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	return swapAnyNaive(&sg.base, g, u, sg.dropCandidates, modelSwap, s)
+}
+
+func (sg *Swap) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	return swapBestNaive(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
+}
+
+func (sg *Swap) naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	return swapScanNaive(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
+}
+
+func (ag *AsymSwap) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	return swapAnyNaive(&ag.base, g, u, ag.dropCandidates, modelSwap, s)
+}
+
+func (ag *AsymSwap) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	return swapBestNaive(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
+}
+
+func (ag *AsymSwap) naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	return swapScanNaive(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
+}
+
+func (gb *GreedyBuy) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
+	found := false
+	gb.forEachGreedyMoveNaive(g, u, s, func(x, y int, c Cost) bool {
+		if c.Less(cur, gb.alpha) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (gb *GreedyBuy) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
+	best := cur
+	start := len(dst)
+	gb.forEachGreedyMoveNaive(g, u, s, func(x, y int, c Cost) bool {
+		switch c.Cmp(best, gb.alpha) {
+		case -1:
+			dst = dst[:start]
+			dst = append(dst, greedyMoveNaive(u, x, y))
+			best = c
+		case 0:
+			if best.Less(cur, gb.alpha) {
+				dst = append(dst, greedyMoveNaive(u, x, y))
+			}
+		}
+		return true
+	})
+	if !best.Less(cur, gb.alpha) {
+		return dst[:start], cur
+	}
+	return dst, best
+}
+
+func (gb *GreedyBuy) naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
+	gb.forEachGreedyMoveNaive(g, u, s, func(x, y int, c Cost) bool {
+		if c.Less(cur, gb.alpha) {
+			dst = append(dst, greedyMoveNaive(u, x, y))
+		}
+		return true
+	})
+	return dst
+}
+
+func greedyMoveNaive(u, x, y int) Move {
+	m := Move{Agent: u}
+	if x >= 0 {
+		m.Drop = []int{x}
+	}
+	if y >= 0 {
+		m.Add = []int{y}
+	}
+	return m
+}
+
+// naiveGame wraps a game so its scans run the full-BFS reference path.
+type naiveGame struct {
+	Game
+}
+
+// Naive returns gm with its best-response scans replaced by the full-BFS
+// reference implementations, for equivalence tests and before/after
+// benchmarks. Games without a dedicated reference scan (Buy, Bilateral,
+// whose regular methods already BFS every candidate) are returned as-is.
+func Naive(gm Game) Game {
+	if _, ok := gm.(naiveScanner); !ok {
+		return gm
+	}
+	return naiveGame{gm}
+}
+
+// ProbesPurely reports false: the reference scans mutate the graph while
+// probing, overriding any promoted claim of the wrapped game.
+func (ng naiveGame) ProbesPurely() bool { return false }
+
+func (ng naiveGame) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+	return ng.Game.(naiveScanner).naiveHasImproving(g, u, s)
+}
+
+func (ng naiveGame) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	return ng.Game.(naiveScanner).naiveBestMoves(g, u, s, dst)
+}
+
+func (ng naiveGame) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	return ng.Game.(naiveScanner).naiveImprovingMoves(g, u, s, dst)
+}

@@ -72,7 +72,8 @@ func TestGBGBestNeverWorseThanASG(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		g := randomOwnedGraph(14, r.Intn(6), r)
 		for u := 0; u < 14; u++ {
-			for _, am := range ag.ImprovingMoves(g, u, s, nil) {
+			// Clone: the GBG scans below reuse the scratch move pool.
+			for _, am := range CloneMoves(ag.ImprovingMoves(g, u, s, nil)) {
 				ims := gb.ImprovingMoves(g, u, s, nil)
 				found := false
 				for _, gm := range ims {
@@ -168,7 +169,9 @@ func TestBestMovesAreImprovingMoves(t *testing.T) {
 		for _, gm := range games {
 			alpha := gm.Alpha()
 			for u := 0; u < 12; u++ {
+				// Clone: the ImprovingMoves scan reuses the move pool.
 				best, bc := gm.BestMoves(g, u, s, nil)
+				best = CloneMoves(best)
 				ims := gm.ImprovingMoves(g, u, s, nil)
 				for _, bm := range best {
 					found := false

@@ -39,15 +39,19 @@ func (sg *Swap) dropCandidates(g *graph.Graph, u int, dst []int) []int {
 }
 
 func (sg *Swap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
-	return swapScan(&sg.base, g, u, sg.dropCandidates, modelSwap, s, scanAny, nil) != nil
+	return swapAny(&sg.base, g, u, sg.dropCandidates, modelSwap, s)
 }
+
+// ProbesPurely reports that HasImproving never mutates the graph, so
+// concurrent probes on a shared graph are safe with per-goroutine scratch.
+func (sg *Swap) ProbesPurely() bool { return true }
 
 func (sg *Swap) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	return swapBest(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
 }
 
 func (sg *Swap) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
-	return swapScan(&sg.base, g, u, sg.dropCandidates, modelSwap, s, scanAll, dst)
+	return swapScan(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
 }
 
 // AsymSwap is the Asymmetric Swap Game of Mihalák & Schlegel: only the owner
@@ -84,88 +88,143 @@ func (ag *AsymSwap) dropCandidates(g *graph.Graph, u int, dst []int) []int {
 }
 
 func (ag *AsymSwap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
-	return swapScan(&ag.base, g, u, ag.dropCandidates, modelSwap, s, scanAny, nil) != nil
+	return swapAny(&ag.base, g, u, ag.dropCandidates, modelSwap, s)
 }
+
+// ProbesPurely reports that HasImproving never mutates the graph, so
+// concurrent probes on a shared graph are safe with per-goroutine scratch.
+func (ag *AsymSwap) ProbesPurely() bool { return true }
 
 func (ag *AsymSwap) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	return swapBest(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
 }
 
 func (ag *AsymSwap) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
-	return swapScan(&ag.base, g, u, ag.dropCandidates, modelSwap, s, scanAll, dst)
+	return swapScan(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
 }
-
-type scanMode int
-
-const (
-	scanAny scanMode = iota // stop at the first improving move
-	scanAll                 // collect every improving move
-)
 
 type dropFunc func(g *graph.Graph, u int, dst []int) []int
 
-// evalSwap computes u's cost after swapping the edge {u,x} to {u,y},
-// mutating g in place and restoring it (including the original owner of
-// {u,x}) before returning. It allocates nothing.
-func evalSwap(b *base, g *graph.Graph, u, x, y int, model costModel, s *Scratch) Cost {
-	owner := g.Owner(u, x)
-	g.RemoveEdge(u, x)
-	g.AddEdge(u, y)
-	c := agentCost(g, u, b.kind, model, s)
-	g.RemoveEdge(u, y)
-	if owner == u {
-		g.AddEdge(u, x)
-	} else {
-		g.AddEdge(x, u)
-	}
-	return c
-}
-
-// swapScan enumerates single-edge swaps of u. In scanAny mode it returns a
-// non-nil slice (possibly sharing dst's backing array) as soon as one
-// improving swap exists; in scanAll mode it appends every improving swap to
-// dst and returns it (nil if none).
-func swapScan(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, mode scanMode, dst []Move) []Move {
-	cur := agentCost(g, u, b.kind, model, s)
+// swapPrepare fills s.buf with u's drop candidates, s.buf2 with its swap
+// targets, opens and initializes the delta scan, and returns u's current
+// cost, all without mutating the graph.
+func swapPrepare(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch) Cost {
 	s.buf = drops(g, u, s.buf[:0])
 	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
-	found := false
-	for _, x := range s.buf {
+	s.deltaBegin(g, u)
+	s.deltaInit(g, u)
+	return Cost{Halves: curHalves(g, u, model), Dist: s.deltaCurDist(b.kind)}
+}
+
+// swapAny reports whether u has a strictly improving single-edge swap. It
+// exits as soon as one is found. With a distance oracle installed (swap
+// games have no edge-cost term, so costs are pure distances) each target
+// is first checked against its oracle bound; hopeless targets cost no
+// search at all, and the neighbour-row preparation itself is deferred
+// until some target survives — a happy agent is then certified without a
+// single BFS.
+func swapAny(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch) bool {
+	if model == modelSwap && s.oracle != nil {
+		s.buf = drops(g, u, s.buf[:0])
+		if len(s.buf) == 0 {
+			return false
+		}
+		s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+		s.deltaBegin(g, u)
+		cur := s.deltaOracleCurDist(u, b.kind)
 		for _, y := range s.buf2 {
-			c := evalSwap(b, g, u, x, y, model, s)
-			if c.Less(cur, b.alpha) {
-				found = true
-				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
-				if mode == scanAny {
-					return dst
+			bound, _ := s.deltaTargetBound(u, y, b.kind, cur)
+			if bound >= cur {
+				continue
+			}
+			s.deltaInit(g, u)
+			for _, x := range s.buf {
+				if b.kind == Sum && s.deltaPairBoundSum(u, x, y, bound) >= cur {
+					continue
+				}
+				if s.deltaSwapDist(g, u, x, y, b.kind) < cur {
+					return true
 				}
 			}
 		}
+		return false
 	}
-	if !found {
-		return nil
+	cur := swapPrepare(b, g, u, drops, model, s)
+	for _, x := range s.buf {
+		halves := deltaSwapHalves(g, u, x, model)
+		for _, y := range s.buf2 {
+			c := Cost{Halves: halves, Dist: s.deltaSwapDist(g, u, x, y, b.kind)}
+			if c.Less(cur, b.alpha) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// swapScan appends every strictly improving single-edge swap of u to dst.
+// The moves' Drop/Add slices are pooled in s and remain valid only until
+// the next enumeration on s; callers that retain them must Clone.
+func swapScan(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) []Move {
+	s.pool = s.pool[:0]
+	cur := swapPrepare(b, g, u, drops, model, s)
+	prune := model == modelSwap && s.oracle != nil
+	for _, x := range s.buf {
+		halves := deltaSwapHalves(g, u, x, model)
+		for _, y := range s.buf2 {
+			if prune {
+				// A target whose oracle bound cannot beat the current
+				// cost yields no improving swap for any drop; for SUM the
+				// pair bound also folds in this drop's penalty.
+				bound, _ := s.deltaTargetBound(u, y, b.kind, cur.Dist)
+				if bound >= cur.Dist {
+					continue
+				}
+				if b.kind == Sum && s.deltaPairBoundSum(u, x, y, bound) >= cur.Dist {
+					continue
+				}
+			}
+			c := Cost{Halves: halves, Dist: s.deltaSwapDist(g, u, x, y, b.kind)}
+			if c.Less(cur, b.alpha) {
+				dst = append(dst, Move{Agent: u, Drop: s.single(x), Add: s.single(y)})
+			}
+		}
 	}
 	return dst
 }
 
 // swapBest returns the best strictly improving swaps of u and their cost.
+// Like swapScan, the returned moves' Drop/Add slices are pooled in s.
 func swapBest(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
-	cur := agentCost(g, u, b.kind, model, s)
+	s.pool = s.pool[:0]
+	cur := swapPrepare(b, g, u, drops, model, s)
 	best := cur
 	start := len(dst)
-	s.buf = drops(g, u, s.buf[:0])
-	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+	prune := model == modelSwap && s.oracle != nil
 	for _, x := range s.buf {
+		halves := deltaSwapHalves(g, u, x, model)
 		for _, y := range s.buf2 {
-			c := evalSwap(b, g, u, x, y, model, s)
+			if prune {
+				// A target bounded strictly above the running best can
+				// neither improve on it nor tie it; for SUM the pair
+				// bound also folds in this drop's penalty.
+				bound, _ := s.deltaTargetBound(u, y, b.kind, best.Dist+1)
+				if bound > best.Dist {
+					continue
+				}
+				if b.kind == Sum && s.deltaPairBoundSum(u, x, y, bound) > best.Dist {
+					continue
+				}
+			}
+			c := Cost{Halves: halves, Dist: s.deltaSwapDist(g, u, x, y, b.kind)}
 			switch c.Cmp(best, b.alpha) {
 			case -1:
 				dst = dst[:start]
-				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				dst = append(dst, Move{Agent: u, Drop: s.single(x), Add: s.single(y)})
 				best = c
 			case 0:
 				if best.Less(cur, b.alpha) {
-					dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+					dst = append(dst, Move{Agent: u, Drop: s.single(x), Add: s.single(y)})
 				}
 			}
 		}

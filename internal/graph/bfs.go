@@ -40,6 +40,25 @@ type BFSResult struct {
 // have length n and receives the distance to every vertex (Unreachable for
 // other components). The scratch s must have been created for n vertices.
 func (g *Graph) BFS(src int, dist []int32, s *BFSScratch) BFSResult {
+	return g.bfsFrom(src, -1, dist, s)
+}
+
+// BFSExcluding computes shortest-path distances from src in the
+// vertex-deleted subgraph G - excl: the excluded vertex is never entered or
+// expanded, dist[excl] reports Unreachable, and the result aggregates over
+// the subgraph only. It is the primitive behind delta-evaluated
+// best-response scans, which batch one such search per relevant vertex and
+// then score every candidate strategy change arithmetically. src must
+// differ from excl.
+func (g *Graph) BFSExcluding(src, excl int, dist []int32, s *BFSScratch) BFSResult {
+	if src == excl {
+		panic("graph: BFSExcluding source equals excluded vertex")
+	}
+	return g.bfsFrom(src, excl, dist, s)
+}
+
+// bfsFrom is the shared BFS core; excl < 0 means no vertex is excluded.
+func (g *Graph) bfsFrom(src, excl int, dist []int32, s *BFSScratch) BFSResult {
 	s.visited.Reset()
 	s.frontier.Reset()
 	if dist != nil {
@@ -47,6 +66,9 @@ func (g *Graph) BFS(src int, dist []int32, s *BFSScratch) BFSResult {
 			dist[i] = Unreachable
 		}
 		dist[src] = 0
+	}
+	if excl >= 0 {
+		s.visited.Set(excl)
 	}
 	s.visited.Set(src)
 	s.frontier.Set(src)

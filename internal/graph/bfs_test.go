@@ -167,3 +167,72 @@ func TestLongestPathFrom(t *testing.T) {
 		t.Fatalf("LongestPathFrom(2) = %d,%d", far, ecc)
 	}
 }
+
+func TestBFSExcludingMatchesDeletedCopy(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(14)
+		g := randomGraph(n, 0.3, r)
+		excl := r.Intn(n)
+		// Reference: physically delete excl's edges and BFS on the copy.
+		h := g.Clone()
+		for v := 0; v < n; v++ {
+			if h.HasEdge(excl, v) {
+				h.RemoveEdge(excl, v)
+			}
+		}
+		s := NewBFSScratch(n)
+		dist := make([]int32, n)
+		want := make([]int32, n)
+		for src := 0; src < n; src++ {
+			if src == excl {
+				continue
+			}
+			res := g.BFSExcluding(src, excl, dist, s)
+			ref := h.BFS(src, want, s)
+			for v := 0; v < n; v++ {
+				w := want[v]
+				if v == excl {
+					w = Unreachable
+				}
+				if dist[v] != w {
+					t.Fatalf("n=%d excl=%d src=%d: dist[%d]=%d want %d", n, excl, src, v, dist[v], w)
+				}
+			}
+			// The excluded vertex is isolated in the reference copy, so
+			// its aggregates differ only by the isolated source itself.
+			if res.Sum != ref.Sum || res.Ecc != ref.Ecc || res.Reached != ref.Reached {
+				t.Fatalf("n=%d excl=%d src=%d: aggregates %+v want %+v", n, excl, src, res, ref)
+			}
+		}
+	}
+}
+
+func TestPartialBFSRepairsDamage(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	rs := NewRepairScratch(0)
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + r.Intn(16)
+		g := randomGraph(n, 0.3, r)
+		s := NewBFSScratch(n)
+		src := r.Intn(n)
+		want := make([]int32, n)
+		g.BFS(src, want, s)
+		// Damage a random subset of non-source entries and repair.
+		dist := make([]int32, n)
+		copy(dist, want)
+		suspects := NewBitset(n)
+		for v := 0; v < n; v++ {
+			if v != src && r.Intn(2) == 0 {
+				dist[v] = Unreachable
+				suspects.Set(v)
+			}
+		}
+		g.PartialBFS(dist, suspects, rs)
+		for v := 0; v < n; v++ {
+			if dist[v] != want[v] {
+				t.Fatalf("n=%d src=%d: repaired dist[%d]=%d want %d (graph %v)", n, src, v, dist[v], want[v], g)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import "math/bits"
+
+// PartialBFS completes a partially known distance field over this graph:
+// a multi-source level-synchronous search seeded with the already-exact
+// entries. It is the workhorse of incremental distance maintenance, where
+// deleting an edge or a vertex invalidates only the entries whose every
+// shortest path crossed it — typically a small fraction — so reseeding the
+// survivors and repairing the rest costs O(n) plus work local to the
+// damage, instead of a full O(diameter)-level search.
+//
+// On entry, dist[v] must be the exact source distance for every vertex not
+// in suspects and Unreachable for every suspect; suspect entries are then
+// settled to their exact distance (or left Unreachable when disconnected).
+// Vertices meant to be excluded from the graph (a deleted vertex) must be
+// non-suspect with dist Unreachable: they then never join a frontier and
+// never get settled through. suspects is left in an unspecified state.
+func (g *Graph) PartialBFS(dist []int32, suspects Bitset, s *RepairScratch) {
+	n := g.n
+	remaining := suspects.Count()
+	if remaining == 0 {
+		return
+	}
+	if remaining == 1 {
+		// A single damaged vertex settles directly: every path to it ends
+		// with an edge from an exactly-settled neighbour.
+		v := suspects.First()
+		best := Unreachable
+		for wi, w := range g.adj[v] {
+			base := wi << 6
+			for w != 0 {
+				nb := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if dw := dist[nb]; dw < best-1 {
+					best = dw + 1
+				}
+			}
+		}
+		dist[v] = best
+		return
+	}
+	// Bucket the settled, reachable vertices by distance: cnt, then
+	// prefix offsets, then the seed array in ascending distance order.
+	s.grow(n)
+	cnt := s.cnt[: n+1 : n+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	seeds := 0
+	for v := 0; v < n; v++ {
+		if dv := dist[v]; dv < Unreachable && !suspects.Has(v) {
+			cnt[dv]++
+			seeds++
+		}
+	}
+	off := s.off[: n+2 : n+2]
+	off[0] = 0
+	for i := 0; i <= n; i++ {
+		off[i+1] = off[i] + cnt[i]
+	}
+	arr := s.arr[:seeds]
+	for v := 0; v < n; v++ {
+		if dv := dist[v]; dv < Unreachable && !suspects.Has(v) {
+			arr[off[dv]] = int32(v)
+			off[dv]++
+		}
+	}
+	// off[lvl] now ends the lvl segment; walk levels with a moving start.
+	start := 0
+	cur := s.cur[:0]
+	next := s.next2[:0]
+	for lvl := int32(0); remaining > 0; lvl++ {
+		end := start
+		for end < seeds && dist[arr[end]] == lvl {
+			end++
+		}
+		if start == end && len(cur) == 0 {
+			if start >= seeds {
+				break // nothing settled at this level or beyond
+			}
+			// Jump to the next seeded level.
+			lvl = dist[arr[start]] - 1
+			continue
+		}
+		expand := func(v int32) {
+			av := g.adj[v]
+			for wi, w := range av {
+				m := w & suspects[wi]
+				for m != 0 {
+					b := m & -m
+					m ^= b
+					wv := wi<<6 | bits.TrailingZeros64(b)
+					suspects[wi] &^= b
+					dist[wv] = lvl + 1
+					remaining--
+					next = append(next, int32(wv))
+				}
+			}
+		}
+		for _, v := range arr[start:end] {
+			expand(v)
+		}
+		for _, v := range cur {
+			expand(v)
+		}
+		start = end
+		cur, next = next, cur[:0]
+	}
+	s.cur, s.next2 = cur[:0], next[:0]
+}
+
+// RepairScratch holds the reusable buffers of PartialBFS; not safe for
+// concurrent use.
+type RepairScratch struct {
+	cnt   []int32
+	off   []int32
+	arr   []int32
+	cur   []int32
+	next2 []int32
+}
+
+// NewRepairScratch returns scratch sized for n-vertex graphs (it grows on
+// demand, so 0 is fine).
+func NewRepairScratch(n int) *RepairScratch {
+	s := &RepairScratch{}
+	s.grow(n)
+	return s
+}
+
+func (s *RepairScratch) grow(n int) {
+	if len(s.cnt) >= n+1 {
+		return
+	}
+	s.cnt = make([]int32, n+1)
+	s.off = make([]int32, n+2)
+	s.arr = make([]int32, n)
+}

@@ -78,6 +78,17 @@ var (
 	AlphaInt = game.AlphaInt
 )
 
+// Move helpers. Moves returned by a game's BestMoves/ImprovingMoves share
+// scratch-pooled backing arrays and are valid only until the next
+// enumeration on the same scratch; CloneMoves deep-copies a batch a caller
+// wants to retain. NaiveGame wraps a game so its scans run the full-BFS
+// reference path (for benchmarks and equivalence testing against the
+// delta-evaluated engine).
+var (
+	CloneMoves = game.CloneMoves
+	NaiveGame  = game.Naive
+)
+
 // NewSumSwapGame returns the SUM Swap Game of Alon et al.
 func NewSumSwapGame() Game { return game.NewSwap(game.Sum) }
 
