@@ -1,6 +1,10 @@
 package ncg
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
 // TestFacadeQuickstart exercises the public API end to end.
 func TestFacadeQuickstart(t *testing.T) {
@@ -91,5 +95,44 @@ func TestFacadeExploration(t *testing.T) {
 	}
 	if res.States < 2 {
 		t.Fatalf("exploration too small: %+v", res)
+	}
+}
+
+func TestFacadeEnsemble(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 12 {
+		t.Fatalf("registry exposes %d scenarios, want >= 12", len(scs))
+	}
+	sc, ok := LookupScenario("fig7-asg-sum-k2")
+	if !ok {
+		t.Fatal("figure scenario missing from facade registry")
+	}
+	var buf bytes.Buffer
+	var recs int
+	sum, err := RunScenario(sc, EnsembleOptions{Ns: []int{10}, Trials: 4, Workers: 2},
+		NewJSONLSink(&buf), FuncRecordSink(func(EnsembleRecord) error { recs++; return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs != 4 || sum.Aggregates[0].Trials != 4 {
+		t.Fatalf("facade run malformed: %d records, %+v", recs, sum)
+	}
+	if !strings.Contains(buf.String(), `"scenario":"fig7-asg-sum-k2"`) {
+		t.Fatalf("JSONL missing scenario field:\n%s", buf.String())
+	}
+}
+
+func TestFacadeDeterministicPolicy(t *testing.T) {
+	g := Path(16)
+	res := Run(g, ProcessConfig{
+		Game:   NewMaxSwapGame(),
+		Policy: MaxCostDeterministicPolicy(),
+		Tie:    TieFirst,
+	})
+	if !res.Converged {
+		t.Fatal("deterministic max cost run did not converge")
+	}
+	if PolicyMaxCostDeterministic.Policy().Name() != MaxCostDeterministicPolicy().Name() {
+		t.Fatal("policy kind and constructor disagree")
 	}
 }

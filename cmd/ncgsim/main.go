@@ -1,40 +1,279 @@
-// Command ncgsim regenerates the empirical figures of Kawald & Lenzner
-// (SPAA'13): convergence-time sweeps of the bounded-budget ASG (Figures 7
-// and 8) and of the Greedy Buy Game (Figures 11-14).
+// Command ncgsim runs the simulation workloads of the repository on the
+// ensemble execution spine: named scenarios from the registry and the
+// empirical figures of Kawald & Lenzner (SPAA'13).
 //
 // Usage:
 //
-//	ncgsim -fig 7 [-trials 100] [-nmax 60] [-nstep 10] [-seed 1] [-workers 0]
+//	ncgsim list
+//	ncgsim run <scenario> [-trials n] [-nmin n] [-nmax n] [-nstep n]
+//	                      [-seed s] [-workers w] [-shard s]
+//	                      [-jsonl path] [-csv path] [-resume]
+//	ncgsim sweep <scenario> -nmin 10 -nmax 100 [-nstep 10] [...run flags]
+//	ncgsim fig <number> [-trials n] [-nmin n] [-nmax n] [-nstep n]
+//	                    [-seed s] [-workers w]
 //
-// The output is a text table with one column per series (the curves of the
-// paper's plots) and one row per agent count, for both the average and the
-// maximum number of steps until convergence.
+// "list" prints the registry. "run" executes a scenario on its default
+// grid (or an overridden one), streaming per-trial records to optional
+// JSONL/CSV sinks and printing the summary table; -resume continues an
+// interrupted run from a partial -jsonl file, re-running only the missing
+// trials. "sweep" is "run" with a mandatory explicit n-grid. "fig"
+// regenerates an empirical figure (7, 8, 11-14) as the text tables of the
+// paper's plots.
+//
+// All runs are deterministic: records and tables depend only on the seed,
+// never on worker count or shard size.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"text/tabwriter"
 
+	"ncg/internal/ensemble"
 	"ncg/internal/experiments"
 )
 
-func main() {
-	fig := flag.Int("fig", 7, "figure to regenerate (7, 8, 11, 12, 13, 14)")
-	trials := flag.Int("trials", 100, "trials per configuration (paper: 10000/5000)")
-	nmin := flag.Int("nmin", 10, "smallest agent count")
-	nmax := flag.Int("nmax", 50, "largest agent count")
-	nstep := flag.Int("nstep", 10, "agent count step")
-	seed := flag.Int64("seed", 1, "base seed")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-	flag.Parse()
+const usage = `ncgsim — selfish network creation ensembles
 
+Usage:
+  ncgsim list
+      List the registered scenarios (name, game family, policy, defaults).
+
+  ncgsim run <scenario> [flags]
+      Run a scenario. Defaults come from the registry; override with:
+        -trials n   trials per agent count
+        -nmin/-nmax/-nstep   replace the agent-count grid
+        -seed s     base seed (every trial derives its own stream)
+        -workers w  worker goroutines (0 = GOMAXPROCS; never changes results)
+        -shard s    trials per shard (0 = auto; never changes results)
+        -probe-workers w  per-run happiness-probe workers
+        -jsonl path stream per-trial records as JSON lines
+        -csv path   stream per-trial records as CSV
+        -resume     continue an interrupted run from the -jsonl file
+
+  ncgsim sweep <scenario> -nmin n -nmax n [flags]
+      Run a scenario over an explicit agent-count grid (same flags as run).
+
+  ncgsim fig <number> [flags]
+      Regenerate an empirical figure (7, 8, 11, 12, 13, 14) as text
+      tables; -trials/-nmin/-nmax/-nstep/-seed/-workers as above.
+
+Run "ncgsim list" to see the available scenarios.
+`
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ncgsim: "+format+"\n\n", args...)
+	fmt.Fprint(os.Stderr, usage)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("no subcommand")
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:], false)
+	case "sweep":
+		cmdRun(os.Args[2:], true)
+	case "fig":
+		cmdFig(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		fmt.Print(usage)
+	default:
+		fail("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func cmdList(args []string) {
+	if len(args) > 0 {
+		fail("list takes no arguments")
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tFAMILY\tPOLICY\tNS\tTRIALS\tDESCRIPTION")
+	for _, sc := range ensemble.List() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%d\t%s\n",
+			sc.Name, sc.Family, sc.Policy, sc.Ns, sc.Trials, sc.Description)
+	}
+	tw.Flush()
+}
+
+// gridFlags holds the shared grid/seed/worker flags and their validation.
+type gridFlags struct {
+	trials, nmin, nmax, nstep int
+	seed                      int64
+	workers, shard, probeWrk  int
+}
+
+func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
+	fs.IntVar(&gf.trials, "trials", 0, "trials per agent count (0: scenario default)")
+	fs.IntVar(&gf.nmin, "nmin", 0, "smallest agent count")
+	fs.IntVar(&gf.nmax, "nmax", 0, "largest agent count")
+	fs.IntVar(&gf.nstep, "nstep", 10, "agent count step")
+	fs.Int64Var(&gf.seed, "seed", 0, "base seed (0: scenario default)")
+	fs.IntVar(&gf.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	if withShard {
+		fs.IntVar(&gf.shard, "shard", 0, "trials per shard (0 = auto)")
+		fs.IntVar(&gf.probeWrk, "probe-workers", 0, "per-run happiness-probe workers")
+	}
+}
+
+// validate checks the flag combination up front and returns the explicit
+// grid, nil if the scenario defaults apply.
+func (gf *gridFlags) validate(gridRequired bool) []int {
+	if gf.trials < 0 {
+		fail("-trials must be positive, got %d", gf.trials)
+	}
+	if gf.nstep <= 0 {
+		fail("-nstep must be positive, got %d", gf.nstep)
+	}
+	if (gf.nmin == 0) != (gf.nmax == 0) {
+		fail("-nmin and -nmax must be given together")
+	}
+	if gf.nmin == 0 {
+		if gridRequired {
+			fail("an explicit grid is required: give -nmin and -nmax")
+		}
+		return nil
+	}
+	if gf.nmin < 1 || gf.nmax < gf.nmin {
+		fail("need 1 <= nmin <= nmax, got nmin=%d nmax=%d", gf.nmin, gf.nmax)
+	}
 	var ns []int
-	for n := *nmin; n <= *nmax; n += *nstep {
+	for n := gf.nmin; n <= gf.nmax; n += gf.nstep {
 		ns = append(ns, n)
 	}
-	opt := experiments.Options{Ns: ns, Trials: *trials, Seed: *seed, Workers: *workers}
-	fr, err := experiments.Figure(*fig, opt)
+	return ns
+}
+
+func cmdRun(args []string, gridRequired bool) {
+	sub := "run"
+	if gridRequired {
+		sub = "sweep"
+	}
+	if len(args) < 1 || len(args[0]) == 0 || args[0][0] == '-' {
+		fail("%s needs a scenario name as its first argument", sub)
+	}
+	name := args[0]
+	sc, ok := ensemble.Lookup(name)
+	if !ok {
+		fail("unknown scenario %q; see ncgsim list", name)
+	}
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	var gf gridFlags
+	gf.register(fs, true)
+	jsonlPath := fs.String("jsonl", "", "stream per-trial records to this JSONL file")
+	csvPath := fs.String("csv", "", "stream per-trial records to this CSV file")
+	resume := fs.Bool("resume", false, "resume from a partial -jsonl file")
+	fs.Parse(args[1:])
+	if fs.NArg() > 0 {
+		fail("unexpected arguments %v", fs.Args())
+	}
+	ns := gf.validate(gridRequired)
+	if *resume && *jsonlPath == "" {
+		fail("-resume needs -jsonl")
+	}
+	if *resume && *csvPath != "" {
+		// Recovered trials are never re-emitted, so a fresh CSV would
+		// silently miss them; regenerate the CSV from the complete JSONL
+		// instead.
+		fail("-resume cannot rebuild a -csv file (recovered trials are not re-emitted); resume with -jsonl only")
+	}
+
+	opt := ensemble.Options{
+		Ns:           ns,
+		Trials:       gf.trials,
+		Seed:         gf.seed,
+		Workers:      gf.workers,
+		ShardSize:    gf.shard,
+		ProbeWorkers: gf.probeWrk,
+	}
+	var sinks []ensemble.Sink
+	if *jsonlPath != "" {
+		if *resume {
+			cp, sink, err := ensemble.ResumeJSONL(*jsonlPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ncgsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "ncgsim: resuming, %d trials recovered from %s\n", cp.Len(), *jsonlPath)
+			opt.Done = cp
+			sinks = append(sinks, sink)
+		} else {
+			sink, err := ensemble.CreateJSONL(*jsonlPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ncgsim:", err)
+				os.Exit(1)
+			}
+			sinks = append(sinks, sink)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncgsim:", err)
+			os.Exit(1)
+		}
+		sinks = append(sinks, ensemble.NewCSVSink(f))
+	}
+
+	sum, err := ensemble.Execute(sc, opt, sinks...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncgsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (%s, %s policy)\n\n", sc.Name, sc.Family, sc.Policy)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\ttrials\tconverged\tcycled\tavg steps\tmin\tmax\tdel/swap/buy/multi")
+	for _, a := range sum.Aggregates {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f\t%d\t%d\t%d/%d/%d/%d\n",
+			a.N, a.Trials, a.Converged, a.Cycled, a.AvgSteps(), a.MinSteps, a.MaxSteps,
+			a.TotalMoves[0], a.TotalMoves[1], a.TotalMoves[2], a.TotalMoves[3])
+	}
+	tw.Flush()
+}
+
+func cmdFig(args []string) {
+	if len(args) < 1 {
+		fail("fig needs a figure number (7, 8, 11, 12, 13, 14)")
+	}
+	num, err := strconv.Atoi(args[0])
+	if err != nil {
+		fail("figure number %q is not an integer", args[0])
+	}
+	switch num {
+	case 7, 8, 11, 12, 13, 14:
+	default:
+		fail("no empirical figure %d: the empirical figures are 7, 8, 11, 12, 13 and 14 (theory figures are verified by cmd/ncgcycle)", num)
+	}
+	fs := flag.NewFlagSet("fig", flag.ExitOnError)
+	var gf gridFlags
+	gf.register(fs, false)
+	fs.Parse(args[1:])
+	if fs.NArg() > 0 {
+		fail("unexpected arguments %v", fs.Args())
+	}
+	if gf.trials == 0 {
+		gf.trials = 100
+	}
+	if gf.seed == 0 {
+		gf.seed = 1
+	}
+	// The grid bounds default independently, so `fig 7 -nmax 30` works.
+	if gf.nmin == 0 {
+		gf.nmin = 10
+	}
+	if gf.nmax == 0 {
+		gf.nmax = 50
+	}
+	ns := gf.validate(true)
+
+	opt := experiments.Options{Ns: ns, Trials: gf.trials, Seed: gf.seed, Workers: gf.workers}
+	fr, err := experiments.Figure(num, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncgsim:", err)
 		os.Exit(1)

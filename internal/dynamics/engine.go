@@ -47,7 +47,10 @@ func newEngine(g *graph.Graph, gm game.Game, workers int) *engine {
 	for i := range e.scr {
 		e.scr[i] = game.NewScratch(g.N())
 	}
-	if g.N() > 0 {
+	// Naive-wrapped games deliberately run without the distance cache:
+	// the wrap marks a regime (see game.PreferNaiveScan) where cache
+	// maintenance costs more than the BFS costs it replaces.
+	if g.N() > 0 && !game.IsNaive(gm) {
 		_, e.halvesOK = game.EdgeCostHalves(gm, g, 0)
 	}
 	e.probe = make([]bool, workers)
@@ -314,15 +317,19 @@ func (c *costCache) dropEdge(g *graph.Graph, u, x int) {
 			ap = ax
 		}
 		c.suspect.Reset()
-		damaged := false
+		damaged := 0
 		for v := 0; v < n; v++ {
 			if row[v] == ap+1+oldQ[v] {
 				row[v] = graph.Unreachable
 				c.suspect.Set(v)
-				damaged = true
+				damaged++
 			}
 		}
-		if !damaged {
+		if damaged == 0 {
+			continue
+		}
+		if damaged > n/2 {
+			c.refreshRow(g, a)
 			continue
 		}
 		g.PartialBFS(row, c.suspect, c.repair)

@@ -249,3 +249,42 @@ func TestUnhappyParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestNaiveFallbackPreservesTrace pins the fully deterministic MAX-SG path
+// trace (Theorem 2.11 setting) across the engine's naive-fallback
+// pre-check: the step counts below were recorded on the always-delta
+// engine, and the fallback must reproduce them exactly.
+func TestNaiveFallbackPreservesTrace(t *testing.T) {
+	want := map[int]int{32: 111, 64: 299, 128: 743}
+	for n, steps := range want {
+		g := graph.Path(n)
+		res := Run(g, Config{Game: game.NewSwap(game.Max), Policy: MaxCostDeterministic{}, Tie: TieFirst})
+		if !res.Converged || res.Steps != steps {
+			t.Errorf("n=%d: steps=%d converged=%v, want %d converged", n, res.Steps, res.Converged, steps)
+		}
+	}
+}
+
+// TestPreferNaiveScanRegime checks the fallback triggers exactly in the
+// documented regime: MAX cost, swap variant, tree.
+func TestPreferNaiveScanRegime(t *testing.T) {
+	path := graph.Path(8)
+	cyc := graph.Cycle(8)
+	cases := []struct {
+		gm   game.Game
+		g    *graph.Graph
+		want bool
+	}{
+		{game.NewSwap(game.Max), path, true},
+		{game.NewAsymSwap(game.Max), path, true},
+		{game.Naive(game.NewSwap(game.Max)), path, true},
+		{game.NewSwap(game.Sum), path, false},
+		{game.NewSwap(game.Max), cyc, false},
+		{game.NewGreedyBuy(game.Max, game.AlphaInt(2)), path, false},
+	}
+	for i, c := range cases {
+		if got := game.PreferNaiveScan(c.gm, c.g); got != c.want {
+			t.Errorf("case %d (%s): PreferNaiveScan = %v, want %v", i, c.gm.Name(), got, c.want)
+		}
+	}
+}

@@ -97,6 +97,12 @@ func Run(g *graph.Graph, cfg Config) Result {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 200*g.N() + 1000
 	}
+	if game.PreferNaiveScan(cfg.Game, g) {
+		// MAX cost on a tree under a swap variant: incremental maintenance
+		// is adversarial there, and the naive scans enumerate identical
+		// moves in identical order, so the trace is unchanged.
+		cfg.Game = game.Naive(cfg.Game)
+	}
 	r := rand.New(rand.NewSource(cfg.Seed))
 	e := newEngine(g, cfg.Game, cfg.Workers)
 	s := e.scratch()

@@ -1,0 +1,122 @@
+package ensemble
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Checkpoint holds the trials recovered from a partial JSONL record file.
+// Passed to Execute via Options.Done, those trials are folded into the
+// summary from their recorded results instead of being re-run.
+type Checkpoint struct {
+	recs map[[2]int]Record
+	// goodBytes is the file offset after the last complete, parseable
+	// line; anything beyond it is a truncated tail.
+	goodBytes int64
+}
+
+// Len returns the number of recovered trials.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.recs)
+}
+
+// record returns the recovered record of (n, trial).
+func (c *Checkpoint) record(n, trial int) (Record, bool) {
+	if c == nil {
+		return Record{}, false
+	}
+	rec, ok := c.recs[[2]int{n, trial}]
+	return rec, ok
+}
+
+// outside returns a recovered trial lying outside the (ns x trials)
+// rectangle, if any.
+func (c *Checkpoint) outside(ns []int, trials int) (n, trial int, ok bool) {
+	if c == nil {
+		return 0, 0, false
+	}
+	inGrid := make(map[int]bool, len(ns))
+	for _, n := range ns {
+		inGrid[n] = true
+	}
+	for k := range c.recs {
+		if !inGrid[k[0]] || k[1] >= trials {
+			return k[0], k[1], true
+		}
+	}
+	return 0, 0, false
+}
+
+// LoadCheckpoint parses a (possibly truncated) JSONL record file. Complete
+// lines become recovered trials; an interrupted run's trailing partial
+// line — or anything following the first unparseable line — is ignored, so
+// resuming re-runs exactly the trials the file does not fully record.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp := &Checkpoint{recs: make(map[[2]int]Record)}
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a write was cut mid-line; drop it.
+			return cp, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			cp.goodBytes += int64(len(line))
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(trimmed, &rec) != nil || rec.Scenario == "" {
+			// A corrupt line: treat it and everything after as the
+			// truncated tail.
+			return cp, nil
+		}
+		cp.recs[[2]int{rec.N, rec.Trial}] = rec
+		cp.goodBytes += int64(len(line))
+	}
+}
+
+// ResumeJSONL prepares a partial JSONL record file for resumption: it
+// loads the checkpoint, truncates the file back to its last complete line
+// and returns an append-mode sink. Executing with the checkpoint in
+// Options.Done and the sink then completes the file exactly as an
+// uninterrupted run would have written it.
+func ResumeJSONL(path string) (*Checkpoint, *JSONLSink, error) {
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(cp.goodBytes); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(cp.goodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return cp, NewJSONLSink(f), nil
+}
+
+// String summarizes the checkpoint for logs.
+func (c *Checkpoint) String() string {
+	return fmt.Sprintf("checkpoint(%d trials)", c.Len())
+}

@@ -1,0 +1,68 @@
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to scenarios. Built-in scenarios are
+// registered by this package's init (scenarios.go); callers may add their
+// own with Register, which makes every future workload a one-entry
+// registration instead of bespoke plumbing.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Scenario
+}{m: make(map[string]Scenario)}
+
+// Register adds sc to the registry. It returns an error if the scenario is
+// structurally unrunnable or its name is already taken.
+func Register(sc Scenario) error {
+	if err := sc.validate(); err != nil {
+		return err
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[sc.Name]; dup {
+		return fmt.Errorf("ensemble: scenario %q already registered", sc.Name)
+	}
+	registry.m[sc.Name] = sc
+	return nil
+}
+
+// mustRegister registers a built-in scenario and panics on conflict.
+func mustRegister(sc Scenario) {
+	if err := Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered scenario with the given name.
+func Lookup(name string) (Scenario, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	sc, ok := registry.m[name]
+	return sc, ok
+}
+
+// List returns every registered scenario sorted by name.
+func List() []Scenario {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Scenario, 0, len(registry.m))
+	for _, sc := range registry.m {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted names of every registered scenario.
+func Names() []string {
+	scs := List()
+	names := make([]string, len(scs))
+	for i, sc := range scs {
+		names[i] = sc.Name
+	}
+	return names
+}

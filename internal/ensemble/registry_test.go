@@ -1,0 +1,92 @@
+package ensemble
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoverage checks the built-in registry is the promised
+// execution spine: at least 12 scenarios, spanning all five game
+// variants, each structurally valid and with the paper's figure configs
+// present.
+func TestRegistryCoverage(t *testing.T) {
+	scs := List()
+	if len(scs) < 12 {
+		t.Fatalf("registry has %d scenarios, want >= 12", len(scs))
+	}
+	families := map[Family]int{}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if err := sc.validate(); err != nil {
+			t.Fatal(err)
+		}
+		if sc.Description == "" {
+			t.Fatalf("scenario %q has no description", sc.Name)
+		}
+		families[sc.Family]++
+	}
+	for _, fam := range Families() {
+		if families[fam] == 0 {
+			t.Fatalf("no scenario for game family %q", fam)
+		}
+	}
+	for _, name := range []string{"fig1-sg-max-path", "fig7-asg-sum-k2", "fig8-asg-max-k2", "fig11-gbg-sum-a4", "fig12-gbg-sum-rl-a2", "fig13-gbg-max-a4", "fig14-gbg-max-dl-a2"} {
+		if _, ok := Lookup(name); !ok {
+			t.Fatalf("paper figure scenario %q not registered", name)
+		}
+	}
+}
+
+// TestRegistryScenariosRun smoke-runs every registered scenario at its
+// smallest default agent count: the game builds, the ensemble draws, the
+// process runs and a record comes out.
+func TestRegistryScenariosRun(t *testing.T) {
+	for _, sc := range List() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			n := sc.Ns[0]
+			var recs []Record
+			sum, err := Execute(sc, Options{Ns: []int{n}, Trials: 2, Workers: 2},
+				FuncSink(func(rec Record) error { recs = append(recs, rec); return nil }))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 2 {
+				t.Fatalf("got %d records", len(recs))
+			}
+			if sum.Aggregates[0].Trials != 2 {
+				t.Fatalf("bad summary: %+v", sum.Aggregates[0])
+			}
+			gm := sc.NewGame(n)
+			if gm.Name() == "" {
+				t.Fatal("game has no name")
+			}
+		})
+	}
+}
+
+// TestRegisterRejectsInvalid covers the registration error paths.
+func TestRegisterRejectsInvalid(t *testing.T) {
+	if err := Register(Scenario{}); err == nil {
+		t.Fatal("registered an empty scenario")
+	}
+	sc := testScenario()
+	if err := Register(sc); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+	sc.Name = "x-test-valid"
+	if err := Register(sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Lookup("x-test-valid"); !ok {
+		t.Fatal("lookup after register failed")
+	}
+	if names := Names(); names[len(names)-1] != "x-test-valid" {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+}

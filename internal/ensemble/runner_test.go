@@ -1,0 +1,250 @@
+package ensemble
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testScenario is a small, fast ASG workload exercising both the budget
+// generator and the random policy (the policy that consumes the most RNG).
+func testScenario() Scenario {
+	sc, ok := Lookup("fig7-asg-sum-k2-random")
+	if !ok {
+		panic("test scenario not registered")
+	}
+	return sc
+}
+
+func runJSONL(t *testing.T, sc Scenario, opt Options) (string, Summary) {
+	t.Helper()
+	var buf bytes.Buffer
+	sum, err := Execute(sc, opt, NewJSONLSink(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), sum
+}
+
+// TestExecuteBitIdenticalAcrossWorkersAndShards is the spine's core
+// guarantee: the streamed records and the summary are byte-for-byte the
+// same for any worker count and any shard size.
+func TestExecuteBitIdenticalAcrossWorkersAndShards(t *testing.T) {
+	sc := testScenario()
+	base := Options{Ns: []int{8, 12}, Trials: 10, Seed: 3}
+	ref, refSum := runJSONL(t, sc, Options{Ns: base.Ns, Trials: base.Trials, Seed: base.Seed, Workers: 1, ShardSize: base.Trials})
+	variants := []Options{
+		{Ns: base.Ns, Trials: base.Trials, Seed: base.Seed, Workers: 8, ShardSize: 1},
+		{Ns: base.Ns, Trials: base.Trials, Seed: base.Seed, Workers: 3, ShardSize: 4},
+		{Ns: base.Ns, Trials: base.Trials, Seed: base.Seed, Workers: 16, ShardSize: 7},
+	}
+	for _, opt := range variants {
+		got, gotSum := runJSONL(t, sc, opt)
+		if got != ref {
+			t.Fatalf("workers=%d shard=%d changed the record stream:\n%s\nvs reference:\n%s", opt.Workers, opt.ShardSize, got, ref)
+		}
+		if !reflect.DeepEqual(gotSum, refSum) {
+			t.Fatalf("workers=%d shard=%d changed the summary: %+v vs %+v", opt.Workers, opt.ShardSize, gotSum, refSum)
+		}
+	}
+	if strings.Count(ref, "\n") != len(base.Ns)*base.Trials {
+		t.Fatalf("expected %d records, got:\n%s", len(base.Ns)*base.Trials, ref)
+	}
+}
+
+// TestResumeFromTruncatedJSONL kills a run mid-file (by truncating its
+// JSONL output inside a record) and checks that resuming completes the
+// file byte-for-byte identically to an uninterrupted run, with the same
+// summary, re-running only the missing trials.
+func TestResumeFromTruncatedJSONL(t *testing.T) {
+	sc := testScenario()
+	opt := Options{Ns: []int{8, 12}, Trials: 8, Seed: 5, Workers: 2}
+	full, fullSum := runJSONL(t, sc, opt)
+
+	// Cut mid-record, leaving some complete lines and a torn tail.
+	cut := len(full)/2 + 3
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(full[:cut]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, sink, err := ResumeJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() == 0 || cp.Len() >= len(opt.Ns)*opt.Trials {
+		t.Fatalf("checkpoint recovered %d trials from a half file", cp.Len())
+	}
+	recomputed := 0
+	count := FuncSink(func(Record) error { recomputed++; return nil })
+	sum, err := Execute(sc, Options{Ns: opt.Ns, Trials: opt.Trials, Seed: opt.Seed, Workers: 3, ShardSize: 2, Done: cp}, sink, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != full {
+		t.Fatalf("resumed file differs from uninterrupted run:\n%q\nvs\n%q", got, full)
+	}
+	if !reflect.DeepEqual(sum, fullSum) {
+		t.Fatalf("resumed summary differs: %+v vs %+v", sum, fullSum)
+	}
+	if want := len(opt.Ns)*opt.Trials - cp.Len(); recomputed != want {
+		t.Fatalf("resume recomputed %d trials, want %d", recomputed, want)
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint checks that a checkpoint from a
+// different seed cannot silently corrupt a run.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	sc := testScenario()
+	full, _ := runJSONL(t, sc, Options{Ns: []int{8}, Trials: 4, Seed: 5})
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(sc, Options{Ns: []int{8}, Trials: 4, Seed: 6, Done: cp}); err == nil {
+		t.Fatal("expected a seed-mismatch error")
+	}
+}
+
+// TestExecuteSummaryMatchesRecords cross-checks the aggregates against the
+// streamed records.
+func TestExecuteSummaryMatchesRecords(t *testing.T) {
+	sc := testScenario()
+	var recs []Record
+	sum, err := Execute(sc, Options{Ns: []int{10}, Trials: 12, Seed: 2},
+		FuncSink(func(rec Record) error { recs = append(recs, rec); return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 12 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	var agg Aggregate
+	agg = Aggregate{N: 10, MinSteps: int(^uint(0) >> 1)}
+	for i, rec := range recs {
+		if rec.N != 10 || rec.Trial != i || rec.Scenario != sc.Name {
+			t.Fatalf("record %d malformed: %+v", i, rec)
+		}
+		agg.add(rec)
+	}
+	if !reflect.DeepEqual(sum.Aggregates[0], agg) {
+		t.Fatalf("summary %+v does not match records %+v", sum.Aggregates[0], agg)
+	}
+}
+
+// TestExecuteInfeasibleGridErrors checks that a generator panic (budget
+// ensemble with n <= 2k) surfaces as an error, not a crash.
+func TestExecuteInfeasibleGridErrors(t *testing.T) {
+	sc := testScenario() // budget k=2 needs n > 4
+	if _, err := Execute(sc, Options{Ns: []int{4}, Trials: 2, Seed: 1}); err == nil {
+		t.Fatal("expected an error for an infeasible grid")
+	}
+}
+
+// TestCSVSink checks the CSV schema.
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	sc := testScenario()
+	if _, err := Execute(sc, Options{Ns: []int{8}, Trials: 2, Seed: 1}, NewCSVSink(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 records, got:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "scenario,n,trial,seed,steps,") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], sc.Name+",8,0,") {
+		t.Fatalf("bad first record: %s", lines[1])
+	}
+}
+
+// TestPolicyKindRoundTrip covers the policy name mapping, including the
+// deterministic max cost policy newly reachable from the sweep layer.
+func TestPolicyKindRoundTrip(t *testing.T) {
+	for _, p := range policyKinds {
+		got, ok := PolicyKindByName(p.String())
+		if !ok || got != p {
+			t.Fatalf("round trip failed for %v", p)
+		}
+		if p.Policy() == nil {
+			t.Fatalf("no policy for %v", p)
+		}
+	}
+	if MaxCostDeterministic.Policy().Name() != "max cost (smallest index)" {
+		t.Fatalf("MaxCostDeterministic maps to %q", MaxCostDeterministic.Policy().Name())
+	}
+}
+
+// TestSinkErrorLeavesCleanPrefix checks that after any sink error the
+// emitted output stays a contiguous (n, trial) prefix — the property that
+// makes every interrupted file resumable in order — instead of recording
+// later shards around an interior gap.
+func TestSinkErrorLeavesCleanPrefix(t *testing.T) {
+	sc := testScenario()
+	var got []Record
+	writes := 0
+	failing := FuncSink(func(rec Record) error {
+		writes++
+		if writes == 4 {
+			return os.ErrClosed
+		}
+		return nil
+	})
+	collect := FuncSink(func(rec Record) error { got = append(got, rec); return nil })
+	_, err := Execute(sc, Options{Ns: []int{8, 12}, Trials: 6, Seed: 9, Workers: 4, ShardSize: 1}, failing, collect)
+	if err == nil {
+		t.Fatal("expected the sink error to surface")
+	}
+	if len(got) == 0 || len(got) >= 12 {
+		t.Fatalf("collected %d records", len(got))
+	}
+	full, _ := runJSONL(t, sc, Options{Ns: []int{8, 12}, Trials: 6, Seed: 9})
+	lines := strings.Split(strings.TrimSpace(full), "\n")
+	for i, rec := range got {
+		var buf bytes.Buffer
+		s := NewJSONLSink(&buf)
+		s.Write(rec)
+		s.Close()
+		if strings.TrimSpace(buf.String()) != lines[i] {
+			t.Fatalf("record %d is not the reference prefix: %s vs %s", i, buf.String(), lines[i])
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedGrid checks that a checkpoint recorded under
+// a different grid or trial count is refused instead of leaving stranded
+// records interleaved in the output.
+func TestResumeRejectsMismatchedGrid(t *testing.T) {
+	sc := testScenario()
+	full, _ := runJSONL(t, sc, Options{Ns: []int{8, 12}, Trials: 6, Seed: 5})
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(sc, Options{Ns: []int{8, 12}, Trials: 3, Seed: 5, Done: cp}); err == nil {
+		t.Fatal("expected rejection for a smaller trial count")
+	}
+	if _, err := Execute(sc, Options{Ns: []int{8}, Trials: 6, Seed: 5, Done: cp}); err == nil {
+		t.Fatal("expected rejection for a smaller grid")
+	}
+	if _, err := Execute(sc, Options{Ns: []int{8, 12}, Trials: 8, Seed: 5, Done: cp}); err != nil {
+		t.Fatalf("a larger trial count must extend the checkpointed run: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package ensemble
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is the result of one trial, the unit streamed to sinks. Field
+// order is the JSONL schema; Moves counts performed moves indexed by
+// game.MoveKind (delete, swap, buy, multi).
+type Record struct {
+	Scenario  string `json:"scenario"`
+	N         int    `json:"n"`
+	Trial     int    `json:"trial"`
+	Seed      int64  `json:"seed"`
+	Steps     int    `json:"steps"`
+	Converged bool   `json:"converged"`
+	Cycled    bool   `json:"cycled"`
+	Moves     [4]int `json:"moves"`
+}
+
+// Sink consumes the per-trial records of an ensemble run. Execute delivers
+// records in deterministic (n, trial) order from a single goroutine, so
+// sinks need no locking.
+type Sink interface {
+	Write(rec Record) error
+	// Close flushes buffered output and releases resources. Execute closes
+	// every sink it was handed, whether or not the run succeeded.
+	Close() error
+}
+
+// bufSink is the shared buffered-writer scaffolding of the stream sinks:
+// it owns the buffer and closes the underlying writer if it is a Closer.
+type bufSink struct {
+	bw *bufio.Writer
+	c  io.Closer
+}
+
+func newBufSink(w io.Writer) bufSink {
+	s := bufSink{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Flush pushes buffered records to the underlying writer.
+func (s *bufSink) Flush() error { return s.bw.Flush() }
+
+func (s *bufSink) Close() error {
+	err := s.bw.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// JSONLSink streams records as one JSON object per line.
+type JSONLSink struct {
+	bufSink
+}
+
+// NewJSONLSink writes JSONL records to w; if w is an io.Closer it is
+// closed with the sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{newBufSink(w)}
+}
+
+// CreateJSONL creates (or truncates) a JSONL record file.
+func CreateJSONL(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLSink(f), nil
+}
+
+func (s *JSONLSink) Write(rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(b); err != nil {
+		return err
+	}
+	return s.bw.WriteByte('\n')
+}
+
+// CSVSink streams records as CSV with a fixed header.
+type CSVSink struct {
+	bufSink
+	header bool
+}
+
+// NewCSVSink writes CSV records to w; if w is an io.Closer it is closed
+// with the sink.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{bufSink: newBufSink(w)}
+}
+
+func (s *CSVSink) Write(rec Record) error {
+	if !s.header {
+		s.header = true
+		if _, err := s.bw.WriteString("scenario,n,trial,seed,steps,converged,cycled,deletes,swaps,buys,multis\n"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(s.bw, "%s,%d,%d,%d,%d,%t,%t,%d,%d,%d,%d\n",
+		rec.Scenario, rec.N, rec.Trial, rec.Seed, rec.Steps, rec.Converged, rec.Cycled,
+		rec.Moves[0], rec.Moves[1], rec.Moves[2], rec.Moves[3])
+	return err
+}
+
+// FuncSink adapts a callback into a Sink, for in-memory consumers.
+type FuncSink func(rec Record) error
+
+func (f FuncSink) Write(rec Record) error { return f(rec) }
+
+func (f FuncSink) Close() error { return nil }

@@ -2,44 +2,38 @@
 // (Sections 3.4 and 4.2): convergence-time sweeps of the bounded-budget
 // Asymmetric Swap Game (Figures 7 and 8) and of the Greedy Buy Game
 // (Figures 11-14), under the max cost and random move policies, over the
-// paper's initial-network ensembles. Sweeps run trials in parallel on a
-// worker pool with per-trial deterministic seeds.
+// paper's initial-network ensembles. Since PR 2 the package is a thin
+// query layer over the internal/ensemble execution spine: every series is
+// an ensemble.Scenario and every sweep runs through ensemble.Execute, so
+// figures inherit the spine's sharded execution, deterministic per-trial
+// seed streams and record sinks.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
-	"ncg/internal/dynamics"
+	"ncg/internal/ensemble"
 	"ncg/internal/game"
 	"ncg/internal/gen"
 	"ncg/internal/graph"
 )
 
-// PolicyKind selects a move policy by name.
-type PolicyKind int
+// PolicyKind selects a move policy by name; it is the ensemble spine's
+// kind re-exported for the sweep layer.
+type PolicyKind = ensemble.PolicyKind
 
 const (
 	// MaxCostPolicy is the max cost policy of Section 3.4.1.
-	MaxCostPolicy PolicyKind = iota
+	MaxCostPolicy = ensemble.MaxCost
 	// RandomPolicy is the random policy of Section 3.4.1.
-	RandomPolicy
+	RandomPolicy = ensemble.Random
+	// MaxCostDeterministicPolicy is the max cost policy with
+	// smallest-index tie-breaking (Theorem 2.11 / Figure 1).
+	MaxCostDeterministicPolicy = ensemble.MaxCostDeterministic
+	// MinIndexPolicy always moves the unhappy agent with the smallest
+	// index.
+	MinIndexPolicy = ensemble.MinIndex
 )
-
-func (p PolicyKind) String() string {
-	if p == MaxCostPolicy {
-		return "max cost"
-	}
-	return "random"
-}
-
-func (p PolicyKind) policy() dynamics.Policy {
-	if p == MaxCostPolicy {
-		return dynamics.MaxCost{}
-	}
-	return dynamics.Random{}
-}
 
 // Config is one experimental configuration: a family of random initial
 // networks, a game, and a policy, evaluated at a single agent count.
@@ -68,6 +62,27 @@ type Config struct {
 	ProbeWorkers int
 }
 
+// scenario converts the configuration into its ensemble form. The
+// conversion is what puts the figure sweeps on the shared execution spine:
+// per-trial seed streams, sharding and record sinks all come from there.
+// Configs are not registry entries, so a name is optional here.
+func (cfg Config) scenario() ensemble.Scenario {
+	name := cfg.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	return ensemble.Scenario{
+		Name:       name,
+		NewGame:    cfg.NewGame,
+		NewInitial: cfg.NewInitial,
+		Policy:     cfg.Policy,
+		Ns:         []int{cfg.N},
+		Trials:     cfg.Trials,
+		Seed:       cfg.Seed,
+		MaxSteps:   cfg.MaxSteps,
+	}
+}
+
 // Stats aggregates convergence times over the trials of one configuration.
 type Stats struct {
 	Config     Config
@@ -80,66 +95,36 @@ type Stats struct {
 	TotalMoves [4]int // by game.MoveKind
 }
 
-// Run executes all trials of a configuration, distributing them over
-// workers goroutines (0 = GOMAXPROCS).
+// statsOf maps an ensemble aggregate back onto the package's Stats form.
+func statsOf(cfg Config, a ensemble.Aggregate) Stats {
+	return Stats{
+		Config:     cfg,
+		Trials:     a.Trials,
+		Converged:  a.Converged,
+		Cycled:     a.Cycled,
+		AvgSteps:   a.AvgSteps(),
+		MaxSteps:   a.MaxSteps,
+		MinSteps:   a.MinSteps,
+		TotalMoves: a.TotalMoves,
+	}
+}
+
+// Run executes all trials of a configuration on the ensemble spine,
+// distributing them over workers goroutines (0 = GOMAXPROCS). A trial
+// panic (e.g. an infeasible generator grid) propagates, matching the
+// pre-spine behaviour; a configuration without trials yields zero stats.
 func Run(cfg Config, workers int) Stats {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if cfg.Trials <= 0 {
+		return Stats{Config: cfg}
 	}
-	st := Stats{Config: cfg, Trials: cfg.Trials, MinSteps: int(^uint(0) >> 1)}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	next := make(chan int)
-	go func() {
-		for t := 0; t < cfg.Trials; t++ {
-			next <- t
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range next {
-				seed := gen.Seed(cfg.Seed, uint64(cfg.N), uint64(t))
-				r := gen.NewRand(seed)
-				g := cfg.NewInitial(cfg.N, r)
-				res := dynamics.Run(g, dynamics.Config{
-					Game:     cfg.NewGame(cfg.N),
-					Policy:   cfg.Policy.policy(),
-					Tie:      dynamics.TieRandom,
-					MaxSteps: cfg.MaxSteps,
-					Seed:     seed + 1,
-					Workers:  cfg.ProbeWorkers,
-				})
-				mu.Lock()
-				if res.Converged {
-					st.Converged++
-				}
-				if res.Cycled {
-					st.Cycled++
-				}
-				st.AvgSteps += float64(res.Steps)
-				if res.Steps > st.MaxSteps {
-					st.MaxSteps = res.Steps
-				}
-				if res.Steps < st.MinSteps {
-					st.MinSteps = res.Steps
-				}
-				for k, c := range res.MoveKinds {
-					st.TotalMoves[k] += c
-				}
-				mu.Unlock()
-			}
-		}()
+	sum, err := ensemble.Execute(cfg.scenario(), ensemble.Options{
+		Workers:      workers,
+		ProbeWorkers: cfg.ProbeWorkers,
+	})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
-	if cfg.Trials > 0 {
-		st.AvgSteps /= float64(cfg.Trials)
-	} else {
-		st.MinSteps = 0
-	}
-	return st
+	return statsOf(cfg, sum.Aggregates[0])
 }
 
 // Series is one plotted curve: a named configuration swept over n.

@@ -177,3 +177,15 @@ func TestGBGDeletionPhase(t *testing.T) {
 		t.Fatalf("net deletions %d below structural minimum", del-buy)
 	}
 }
+
+// TestRunGracefulDegenerate pins the pre-spine behaviour for degenerate
+// configurations: no trials (and no name) yields zero stats, no panic.
+func TestRunGracefulDegenerate(t *testing.T) {
+	cfg := smallASGConfig(MaxCostPolicy)
+	cfg.Name = ""
+	cfg.Trials = 0
+	st := Run(cfg, 2)
+	if st.Trials != 0 || st.Converged != 0 || st.AvgSteps != 0 || st.MinSteps != 0 {
+		t.Fatalf("degenerate run not zero-valued: %+v", st)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// figureIDs are the empirical figures the package regenerates.
+var figureIDs = []int{7, 8, 11, 12, 13, 14}
+
+// TestFigureSmoke checks that every figure id builds, runs and renders on
+// a miniature grid: non-empty series, aligned tables mentioning every
+// series name, and a finite bound.
+func TestFigureSmoke(t *testing.T) {
+	for _, num := range figureIDs {
+		opt := Options{Ns: []int{10}, Trials: 3, Seed: 13}
+		fr, err := Figure(num, opt)
+		if err != nil {
+			t.Fatalf("figure %d: %v", num, err)
+		}
+		if len(fr.Series) == 0 {
+			t.Fatalf("figure %d: no series", num)
+		}
+		out := fr.Render()
+		if !strings.Contains(out, fr.Name) {
+			t.Fatalf("figure %d: render missing title:\n%s", num, out)
+		}
+		for _, s := range fr.Series {
+			if !strings.Contains(out, s.Name) {
+				t.Fatalf("figure %d: render missing series %q", num, s.Name)
+			}
+			if len(s.Points) != len(fr.Ns) {
+				t.Fatalf("figure %d series %q: %d points for %d ns", num, s.Name, len(s.Points), len(fr.Ns))
+			}
+		}
+		if b := fr.Bound(); b < 0 {
+			t.Fatalf("figure %d: negative bound %f", num, b)
+		}
+	}
+}
+
+// TestFigureGoldenParity proves the ported figure path is seed-for-seed
+// identical to the pre-refactor one: testdata/figures_golden.txt was
+// rendered by the original internal/experiments implementation (direct
+// worker-pool trial loop, before the ensemble spine existed) at Ns={12,16},
+// Trials=8, Seed=42, and the ported path must reproduce it byte for byte.
+func TestFigureGoldenParity(t *testing.T) {
+	want, err := os.ReadFile("testdata/figures_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, num := range figureIDs {
+		opt := Options{Ns: []int{12, 16}, Trials: 8, Seed: 42}
+		fr, err := Figure(num, opt)
+		if err != nil {
+			t.Fatalf("figure %d: %v", num, err)
+		}
+		fmt.Fprintf(&sb, "=== fig %d ===\n%s", num, fr.Render())
+	}
+	if got := sb.String(); got != string(want) {
+		t.Fatalf("ported figure path diverged from the pre-refactor output.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigureWorkerParity checks the figure path is invariant under the
+// executor's parallelism knobs, the property the ensemble spine
+// guarantees.
+func TestFigureWorkerParity(t *testing.T) {
+	render := func(workers int) string {
+		opt := Options{Ns: []int{12}, Trials: 6, Seed: 21, Workers: workers}
+		fr, err := Figure(7, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr.Render()
+	}
+	if a, b := render(1), render(7); a != b {
+		t.Fatalf("worker count changed figure output:\n%s\nvs\n%s", a, b)
+	}
+}

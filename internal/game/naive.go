@@ -216,6 +216,34 @@ type naiveGame struct {
 	Game
 }
 
+// IsNaive reports whether gm is a Naive-wrapped game.
+func IsNaive(gm Game) bool {
+	_, ok := gm.(naiveGame)
+	return ok
+}
+
+// PreferNaiveScan reports the one regime where the delta evaluator and the
+// incremental distance cache are known to lose to the naive full-BFS path:
+// MAX distance cost on a tree under a swap variant. There a single swap
+// reroutes shortest paths for a constant fraction of all vertex pairs, so
+// maintaining the all-pairs matrix costs more than the searches it saves,
+// while the early-exiting naive probes are near optimal (the Theorem 2.11
+// path gadget is the canonical instance). Swap variants preserve the edge
+// count, so a tree stays a tree for the whole run and the pre-check never
+// needs revisiting. Process engines use this to fall back to the naive
+// scans, which enumerate identical moves in identical order.
+func PreferNaiveScan(gm Game, g *graph.Graph) bool {
+	if ng, ok := gm.(naiveGame); ok {
+		gm = ng.Game
+	}
+	switch gm.(type) {
+	case *Swap, *AsymSwap:
+	default:
+		return false
+	}
+	return gm.DistKind() == Max && g.M() < g.N()
+}
+
 // Naive returns gm with its best-response scans replaced by the full-BFS
 // reference implementations, for equivalence tests and before/after
 // benchmarks. Games without a dedicated reference scan (Buy, Bilateral,

@@ -24,6 +24,7 @@ package ncg
 import (
 	"ncg/internal/cycles"
 	"ncg/internal/dynamics"
+	"ncg/internal/ensemble"
 	"ncg/internal/experiments"
 	"ncg/internal/game"
 	"ncg/internal/gen"
@@ -37,6 +38,8 @@ type (
 	Graph = graph.Graph
 	// Edge is an owned edge (U owns it).
 	Edge = graph.Edge
+	// Rand is the deterministic random source the generators consume.
+	Rand = gen.Rand
 )
 
 // Graph constructors.
@@ -135,6 +138,11 @@ func MaxCostPolicy() Policy { return dynamics.MaxCost{} }
 // RandomPolicy returns the random policy of Section 3.4.1.
 func RandomPolicy() Policy { return dynamics.Random{} }
 
+// MaxCostDeterministicPolicy returns the max cost policy with
+// smallest-index tie-breaking, the rule of the Theorem 2.11 trace and
+// Figure 1.
+func MaxCostDeterministicPolicy() Policy { return dynamics.MaxCostDeterministic{} }
+
 // Tie-breaking rules among best moves.
 const (
 	TieRandom = dynamics.TieRandom
@@ -187,7 +195,64 @@ func PaperCycles() []CycleInstance {
 	}
 }
 
-// Experiment harness.
+// Ensemble execution spine: named scenarios (game x alpha schedule x
+// policy x tie-break x initial-network ensemble) run as sharded,
+// deterministic trial ensembles streaming per-trial records to sinks.
+type (
+	// Scenario is a named, registrable workload.
+	Scenario = ensemble.Scenario
+	// ScenarioFamily identifies one of the five game variants.
+	ScenarioFamily = ensemble.Family
+	// PolicyKind selects a move policy by name.
+	PolicyKind = ensemble.PolicyKind
+	// EnsembleOptions override scenario defaults and shape execution
+	// (grid, trials, seed, workers, shard size, resume checkpoint).
+	EnsembleOptions = ensemble.Options
+	// EnsembleRecord is the result of one trial, the JSONL record unit.
+	EnsembleRecord = ensemble.Record
+	// EnsembleSummary aggregates an ensemble run per agent count.
+	EnsembleSummary = ensemble.Summary
+	// EnsembleAggregate summarizes the trials of one agent count.
+	EnsembleAggregate = ensemble.Aggregate
+	// RecordSink consumes the per-trial records of an ensemble run.
+	RecordSink = ensemble.Sink
+	// FuncRecordSink adapts a callback into a RecordSink.
+	FuncRecordSink = ensemble.FuncSink
+	// Checkpoint holds trials recovered from a partial JSONL file.
+	Checkpoint = ensemble.Checkpoint
+)
+
+// Policy kinds.
+const (
+	PolicyMaxCost              = ensemble.MaxCost
+	PolicyRandom               = ensemble.Random
+	PolicyMaxCostDeterministic = ensemble.MaxCostDeterministic
+	PolicyMinIndex             = ensemble.MinIndex
+)
+
+var (
+	// RegisterScenario adds a scenario to the registry.
+	RegisterScenario = ensemble.Register
+	// LookupScenario returns a registered scenario by name.
+	LookupScenario = ensemble.Lookup
+	// Scenarios lists every registered scenario sorted by name.
+	Scenarios = ensemble.List
+	// RunScenario executes a scenario's trial ensemble over a sharded
+	// worker pool, streaming records to the sinks; results are
+	// bit-identical at any worker count and shard size.
+	RunScenario = ensemble.Execute
+	// NewJSONLSink streams records as JSON lines.
+	NewJSONLSink = ensemble.NewJSONLSink
+	// NewCSVSink streams records as CSV.
+	NewCSVSink = ensemble.NewCSVSink
+	// LoadCheckpoint parses a (possibly truncated) JSONL record file.
+	LoadCheckpoint = ensemble.LoadCheckpoint
+	// ResumeJSONL prepares a partial JSONL file for resumption.
+	ResumeJSONL = ensemble.ResumeJSONL
+)
+
+// Experiment harness (the paper's empirical figures, running on the
+// ensemble spine).
 type (
 	// ExperimentOptions scale a figure regeneration.
 	ExperimentOptions = experiments.Options
