@@ -1,0 +1,45 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseAveragesRepeats(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: ncg
+BenchmarkEnsembleSweep-8   	      20	   2000000 ns/op	  110976 B/op	     672 allocs/op
+BenchmarkEnsembleSweep-8   	      20	   4000000 ns/op	  110976 B/op	     672 allocs/op
+BenchmarkCacheBuild256     	     100	    140000 ns/op
+PASS
+ok  	ncg	5.5s
+`
+	snap, err := Parse(strings.NewReader(in), "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Commit != "abc" {
+		t.Fatalf("commit %q", snap.Commit)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("benchmarks %v", snap.Benchmarks)
+	}
+	if v := snap.Benchmarks["EnsembleSweep"]; math.Abs(v-3000000) > 1 {
+		t.Fatalf("EnsembleSweep = %v, want 3000000 (mean of repeats, -8 suffix stripped)", v)
+	}
+	if v := snap.Benchmarks["CacheBuild256"]; math.Abs(v-140000) > 1 {
+		t.Fatalf("CacheBuild256 = %v", v)
+	}
+}
+
+func TestParseIgnoresNonBenchmarkLines(t *testing.T) {
+	snap, err := Parse(strings.NewReader("BenchmarkBroken-8 20 notanumber ns/op\nrandom text\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("expected empty snapshot, got %v", snap.Benchmarks)
+	}
+}

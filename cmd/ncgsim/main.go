@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"text/tabwriter"
 
@@ -52,6 +54,8 @@ Usage:
         -jsonl path stream per-trial records as JSON lines
         -csv path   stream per-trial records as CSV
         -resume     continue an interrupted run from the -jsonl file
+        -cpuprofile path  write a CPU profile of the run (go tool pprof)
+        -memprofile path  write a heap profile taken after the run
 
   ncgsim sweep <scenario> -nmin n -nmax n [flags]
       Run a scenario over an explicit agent-count grid (same flags as run).
@@ -169,6 +173,8 @@ func cmdRun(args []string, gridRequired bool) {
 	jsonlPath := fs.String("jsonl", "", "stream per-trial records to this JSONL file")
 	csvPath := fs.String("csv", "", "stream per-trial records to this CSV file")
 	resume := fs.Bool("resume", false, "resume from a partial -jsonl file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	fs.Parse(args[1:])
 	if fs.NArg() > 0 {
 		fail("unexpected arguments %v", fs.Args())
@@ -221,7 +227,9 @@ func cmdRun(args []string, gridRequired bool) {
 		sinks = append(sinks, ensemble.NewCSVSink(f))
 	}
 
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	sum, err := ensemble.Execute(sc, opt, sinks...)
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncgsim:", err)
 		os.Exit(1)
@@ -235,6 +243,42 @@ func cmdRun(args []string, gridRequired bool) {
 			a.TotalMoves[0], a.TotalMoves[1], a.TotalMoves[2], a.TotalMoves[3])
 	}
 	tw.Flush()
+}
+
+// startProfiles begins CPU profiling and returns a function that stops it
+// and writes the heap profile, so regressions in run and sweep workloads
+// can be diagnosed with go tool pprof instead of editing code. Empty paths
+// disable the respective profile.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncgsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ncgsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ncgsim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ncgsim: memprofile:", err)
+				os.Exit(1)
+			}
+		}
+	}
 }
 
 func cmdFig(args []string) {

@@ -1,0 +1,61 @@
+package dynamics
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/gen"
+)
+
+// TestRunnerSteadyStateAllocs pins the per-step allocation count of a
+// warmed Runner: after the first run has grown every arena (scratches,
+// distance cache, move and ordering buffers), further runs on same-sized
+// networks must be allocation-flat — the regression guard for the
+// engine's arena reuse.
+func TestRunnerSteadyStateAllocs(t *testing.T) {
+	g0 := gen.BudgetNetwork(64, 3, gen.NewRand(1))
+	cfg := Config{Game: game.NewAsymSwap(game.Sum), Policy: MaxCost{}, Seed: 7}
+	r := NewRunner()
+	g := g0.Clone()
+	res := r.Run(g, cfg)
+	if !res.Converged || res.Steps == 0 {
+		t.Fatalf("warm-up run: %+v", res)
+	}
+	steps := res.Steps
+	perRun := testing.AllocsPerRun(5, func() {
+		g.CopyFrom(g0)
+		r.Run(g, cfg)
+	})
+	perStep := perRun / float64(steps)
+	t.Logf("steady state: %.1f allocs per run, %.3f per step (%d steps)", perRun, perStep, steps)
+	// The budget leaves room for incidental growth but fails on any
+	// per-step or per-trial allocation creeping back in.
+	if perRun > 8 {
+		t.Errorf("steady-state run allocates %.1f times (%.3f per step), want <= 8 per run", perRun, perStep)
+	}
+}
+
+// TestRunnerReusedAcrossSizes checks arena resizing and cross-run
+// isolation: a single Runner alternating between network sizes and games
+// must reproduce the results of fresh single-use runs exactly.
+func TestRunnerReusedAcrossSizes(t *testing.T) {
+	r := NewRunner()
+	for trial := 0; trial < 9; trial++ {
+		n := []int{16, 40, 24}[trial%3]
+		var gm game.Game = game.NewAsymSwap(game.Sum)
+		if trial%2 == 1 {
+			gm = game.NewGreedyBuy(game.Sum, game.NewAlpha(int64(n), 4))
+		}
+		cfg := Config{Game: gm, Policy: MaxCost{}, Seed: int64(trial)}
+		gWant := gen.BudgetNetwork(n, 3, gen.NewRand(int64(trial)))
+		gGot := gWant.Clone()
+		want := Run(gWant, cfg)
+		got := r.Run(gGot, cfg)
+		if got.Steps != want.Steps || got.Converged != want.Converged || got.MoveKinds != want.MoveKinds {
+			t.Fatalf("trial %d (n=%d): runner %+v, fresh %+v", trial, n, got, want)
+		}
+		if !gGot.Equal(gWant) {
+			t.Fatalf("trial %d (n=%d): final networks differ", trial, n)
+		}
+	}
+}

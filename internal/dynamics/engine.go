@@ -18,6 +18,11 @@ import (
 // worker count), and the distance cache reproduces BFS distances to the
 // bit, so seeded runs and TieFirst/TieLast traces match the unaccelerated
 // process step for step.
+//
+// An engine borrows its heavy state — game scratches, the distance cache,
+// batch-BFS scratches, policy ordering buffers — from the Runner that owns
+// it, so back-to-back runs on same-sized networks reuse one set of arenas
+// instead of reallocating them every trial.
 type engine struct {
 	g       *graph.Graph
 	gm      game.Game
@@ -31,37 +36,69 @@ type engine struct {
 	halvesOK bool
 	cache    *costCache
 	probe    []bool
+	// ord/agents/costs are the reusable buffers of the engine-side policy
+	// orderings (pickEngine), so cost sorting allocates nothing per step.
+	ord    []int
+	agents []costedAgent
+	costs  []game.Cost
+	// arena owns the recyclable state across runs.
+	arena *Runner
 }
 
-func newEngine(g *graph.Graph, gm game.Game, workers int) *engine {
+// reset prepares the runner-owned engine for a run, reusing every arena
+// whose size still fits.
+func (e *engine) reset(r *Runner, g *graph.Graph, gm game.Game, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &engine{
-		g:       g,
-		gm:      gm,
-		workers: workers,
-		scr:     make([]*game.Scratch, workers),
-		pure:    game.ProbesPurely(gm),
+	n := g.N()
+	e.g = g
+	e.gm = gm
+	e.workers = workers
+	e.pure = game.ProbesPurely(gm)
+	e.cache = nil
+	e.arena = r
+	if r.scrN != n {
+		r.scr = r.scr[:0]
+		r.scrN = n
 	}
-	for i := range e.scr {
-		e.scr[i] = game.NewScratch(g.N())
+	for len(r.scr) < workers {
+		r.scr = append(r.scr, game.NewScratch(n))
+	}
+	e.scr = r.scr[:workers]
+	for _, s := range e.scr {
+		// A stale oracle from a previous run would serve distances of the
+		// wrong network; cost() reinstalls the cache once it is built.
+		s.SetDistOracle(nil)
 	}
 	// Naive-wrapped games deliberately run without the distance cache:
 	// the wrap marks a regime (see game.PreferNaiveScan) where cache
 	// maintenance costs more than the BFS costs it replaces.
-	if g.N() > 0 && !game.IsNaive(gm) {
+	e.halvesOK = false
+	if n > 0 && !game.IsNaive(gm) {
 		_, e.halvesOK = game.EdgeCostHalves(gm, g, 0)
 	}
-	e.probe = make([]bool, workers)
-	return e
+	if cap(e.probe) < workers {
+		e.probe = make([]bool, workers)
+	}
+	e.probe = e.probe[:workers]
+}
+
+// newEngine returns a free-standing engine with its own single-use arenas;
+// runs executed through a Runner share arenas across runs instead.
+func newEngine(g *graph.Graph, gm game.Game, workers int) *engine {
+	r := &Runner{}
+	r.eng.reset(r, g, gm, workers)
+	return &r.eng
 }
 
 // scratch returns the primary scratch, for serial work.
 func (e *engine) scratch() *game.Scratch { return e.scr[0] }
 
 // cost returns agent u's current cost, served from the distance cache when
-// the game's cost model allows it. The first call builds the cache and
+// the game's cost model allows it. The first call builds the cache with the
+// batched all-sources kernel — sharded over the worker pool when one is
+// configured, which is exact: shards write disjoint column blocks — and
 // installs it as the scratches' distance oracle, which lets delta scans
 // score additions searchlessly and prune hopeless swap targets.
 func (e *engine) cost(u int) game.Cost {
@@ -69,13 +106,44 @@ func (e *engine) cost(u int) game.Cost {
 		return e.gm.Cost(e.g, u, e.scr[0])
 	}
 	if e.cache == nil {
-		e.cache = newCostCache(e.g)
+		e.cache = e.obtainCache()
 		for _, s := range e.scr {
 			s.SetDistOracle(e.cache)
 		}
 	}
 	h, _ := game.EdgeCostHalves(e.gm, e.g, u)
 	return game.Cost{Halves: h, Dist: e.cache.distCost(u, e.gm.DistKind())}
+}
+
+// obtainCache recycles the arena's cache when the size matches, then
+// (re)builds it for the current network.
+func (e *engine) obtainCache() *costCache {
+	n := e.g.N()
+	c := e.arena.cache
+	if c == nil || c.n != n {
+		c = newCostCacheShell(n)
+		e.arena.cache = c
+	}
+	c.build(e.g, e.buildScratches())
+	return c
+}
+
+// buildScratches returns one batch scratch per build shard: the worker pool
+// size capped at the number of 64-source groups (a shard below one group
+// would idle). A single shard reports nil, selecting the serial build.
+func (e *engine) buildScratches() []*graph.BatchBFSScratch {
+	shards := e.workers
+	if groups := (e.g.N() + 63) / 64; shards > groups {
+		shards = groups
+	}
+	if shards <= 1 {
+		return nil
+	}
+	r := e.arena
+	for len(r.batch) < shards {
+		r.batch = append(r.batch, graph.NewBatchBFSScratch(e.g.N()))
+	}
+	return r.batch[:shards]
 }
 
 // afterMove folds an applied move into the cache; g must already be in the
@@ -180,11 +248,15 @@ func (e *engine) unhappy(dst []int) []int {
 // of the current network: the full distance matrix plus the per-source
 // aggregates that agent distance costs are read from.
 //
-// Added edges are folded in with the exact single-insertion rule
+// The matrix is constructed by the batched bit-parallel BFS kernel, 64
+// sources per pass (optionally sharded over the worker pool). Added edges
+// are folded in with the exact single-insertion rule
 // d'(a,b) = min(d(a,b), d(a,u)+1+d(y,b), d(a,y)+1+d(u,b)); for removed
 // edges {u,x}, a source row can only change if some shortest path from it
-// crossed the edge, which requires |d(a,u) - d(a,x)| = 1, and exactly the
-// rows meeting that are re-run by BFS on the post-move network.
+// crossed the edge, which requires |d(a,u) - d(a,x)| = 1; rows meeting that
+// are repaired by PartialBFS over their damage, except that rows with more
+// than n/2 damaged entries are collected and re-searched together by one
+// batched BFS pass over the post-move network.
 type costCache struct {
 	n       int
 	d       []int32 // row-major distance matrix
@@ -193,14 +265,19 @@ type costCache struct {
 	reached []int   // per-source component size (including the source)
 	bfs     *graph.BFSScratch
 	repair  *graph.RepairScratch
+	batch   *graph.BatchBFSScratch
 	suspect graph.Bitset
 	oldU    []int32 // pre-removal rows of the dropped edge's endpoints
 	oldX    []int32
+	res     []graph.BFSResult // batch aggregate staging
+	refresh []int             // rows pending a batched full re-search
+	rows    [][]int32         // row-pointer staging for batched refreshes
 }
 
-func newCostCache(g *graph.Graph) *costCache {
-	n := g.N()
-	c := &costCache{
+// newCostCacheShell allocates an empty cache for n-vertex networks; build
+// fills it.
+func newCostCacheShell(n int) *costCache {
+	return &costCache{
 		n:       n,
 		d:       make([]int32, n*n),
 		sum:     make([]int64, n),
@@ -208,14 +285,56 @@ func newCostCache(g *graph.Graph) *costCache {
 		reached: make([]int, n),
 		bfs:     graph.NewBFSScratch(n),
 		repair:  graph.NewRepairScratch(n),
+		batch:   graph.NewBatchBFSScratch(n),
 		suspect: graph.NewBitset(n),
 		oldU:    make([]int32, n),
 		oldX:    make([]int32, n),
+		res:     make([]graph.BFSResult, n),
+		refresh: make([]int, 0, n),
+		rows:    make([][]int32, 0, n),
+	}
+}
+
+func newCostCache(g *graph.Graph) *costCache {
+	c := newCostCacheShell(g.N())
+	c.build(g, nil)
+	return c
+}
+
+// build recomputes the whole matrix and its aggregates with the batched
+// kernel. par, when it holds more than one scratch, splits the source
+// groups into that many shards built concurrently; shards write disjoint
+// column blocks and aggregate ranges, so the result is bit-identical to
+// the serial build.
+func (c *costCache) build(g *graph.Graph, par []*graph.BatchBFSScratch) {
+	n := c.n
+	if len(par) > 1 {
+		graph.FillUnreachable(c.d)
+		groups := (n + 63) / 64
+		span := (groups + len(par) - 1) / len(par) * 64
+		var wg sync.WaitGroup
+		for w := 0; w*span < n; w++ {
+			lo := w * span
+			hi := lo + span
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int, s *graph.BatchBFSScratch) {
+				defer wg.Done()
+				g.AllSourcesBFSShard(lo, hi, c.d, c.res, s)
+			}(lo, hi, par[w])
+		}
+		wg.Wait()
+	} else {
+		g.AllSourcesBFSFlat(c.d, c.res, c.batch)
 	}
 	for u := 0; u < n; u++ {
-		c.refreshRow(g, u)
+		r := c.res[u]
+		c.sum[u] = r.Sum
+		c.ecc[u] = r.Ecc
+		c.reached[u] = r.Reached
 	}
-	return c
 }
 
 func (c *costCache) row(u int) []int32 { return c.d[u*c.n : (u+1)*c.n] }
@@ -230,6 +349,31 @@ func (c *costCache) refreshRow(g *graph.Graph, u int) {
 	c.sum[u] = r.Sum
 	c.ecc[u] = r.Ecc
 	c.reached[u] = r.Reached
+}
+
+// flushRefresh re-searches every row queued in c.refresh with one batched
+// pass and rebuilds their aggregates. A single queued row falls back to a
+// plain BFS, which skips the kernel's per-call CSR snapshot.
+func (c *costCache) flushRefresh(g *graph.Graph) {
+	switch len(c.refresh) {
+	case 0:
+		return
+	case 1:
+		c.refreshRow(g, c.refresh[0])
+	default:
+		c.rows = c.rows[:0]
+		for _, a := range c.refresh {
+			c.rows = append(c.rows, c.row(a))
+		}
+		res := c.res[:len(c.refresh)]
+		g.BatchBFS(c.refresh, c.rows, res, c.batch)
+		for i, a := range c.refresh {
+			c.sum[a] = res[i].Sum
+			c.ecc[a] = res[i].Ecc
+			c.reached[a] = res[i].Reached
+		}
+	}
+	c.refresh = c.refresh[:0]
 }
 
 // aggregateRow rebuilds the aggregates of row u from the matrix.
@@ -277,7 +421,9 @@ func (c *costCache) update(g *graph.Graph, mv game.Move) {
 		c.dropEdge(g, u, mv.Drop[0])
 	default:
 		// Multi-edge removals (Buy, bilateral strategy changes) fall back
-		// to re-searching every row that might have used a dropped edge.
+		// to re-searching every row that might have used a dropped edge —
+		// all collected first, then re-run in one batched pass.
+		c.refresh = c.refresh[:0]
 		for a := 0; a < c.n; a++ {
 			row := c.row(a)
 			for _, x := range mv.Drop {
@@ -286,11 +432,12 @@ func (c *costCache) update(g *graph.Graph, mv game.Move) {
 				// exactly one iff the edge lay on a shortest-path tree of
 				// a.
 				if row[u] != row[x] {
-					c.refreshRow(g, a)
+					c.refresh = append(c.refresh, a)
 					break
 				}
 			}
 		}
+		c.flushRefresh(g)
 	}
 }
 
@@ -299,11 +446,14 @@ func (c *costCache) update(g *graph.Graph, mv game.Move) {
 // path avoiding the edge — entry v survives unless
 // d(a,p) + 1 + d(q,v) = d(a,v) with p the nearer endpoint and q the
 // farther — and the damaged entries are settled by PartialBFS from the
-// survivors, costing O(n) plus local work instead of a full search.
+// survivors, costing O(n) plus local work instead of a full search. Rows
+// with more than n/2 damaged entries are cheaper to re-search outright;
+// they are queued and re-run together in one batched BFS pass.
 func (c *costCache) dropEdge(g *graph.Graph, u, x int) {
 	n := c.n
 	copy(c.oldU, c.row(u))
 	copy(c.oldX, c.row(x))
+	c.refresh = c.refresh[:0]
 	for a := 0; a < n; a++ {
 		row := c.row(a)
 		au, ax := row[u], row[x]
@@ -329,12 +479,13 @@ func (c *costCache) dropEdge(g *graph.Graph, u, x int) {
 			continue
 		}
 		if damaged > n/2 {
-			c.refreshRow(g, a)
+			c.refresh = append(c.refresh, a)
 			continue
 		}
 		g.PartialBFS(row, c.suspect, c.repair)
 		c.aggregateRow(a)
 	}
+	c.flushRefresh(g)
 }
 
 // addEdge applies the exact single-edge-insertion rule for {u,y}. Working

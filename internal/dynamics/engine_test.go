@@ -266,10 +266,12 @@ func TestNaiveFallbackPreservesTrace(t *testing.T) {
 }
 
 // TestPreferNaiveScanRegime checks the fallback triggers exactly in the
-// documented regime: MAX cost, swap variant, tree.
+// documented regimes: tiny networks, and MAX cost on a tree under a swap
+// variant.
 func TestPreferNaiveScanRegime(t *testing.T) {
-	path := graph.Path(8)
-	cyc := graph.Cycle(8)
+	path := graph.Path(64)
+	cyc := graph.Cycle(64)
+	small := graph.Path(8)
 	cases := []struct {
 		gm   game.Game
 		g    *graph.Graph
@@ -281,6 +283,12 @@ func TestPreferNaiveScanRegime(t *testing.T) {
 		{game.NewSwap(game.Sum), path, false},
 		{game.NewSwap(game.Max), cyc, false},
 		{game.NewGreedyBuy(game.Max, game.AlphaInt(2)), path, false},
+		// The small-network regime covers every game with a reference
+		// scan; games without one (exhaustive Buy, bilateral) never route.
+		{game.NewSwap(game.Sum), small, true},
+		{game.NewGreedyBuy(game.Sum, game.AlphaInt(2)), small, true},
+		{game.NewBuy(game.Sum, game.AlphaInt(2)), small, false},
+		{game.NewBilateral(game.Sum, game.AlphaInt(2)), small, false},
 	}
 	for i, c := range cases {
 		if got := game.PreferNaiveScan(c.gm, c.g); got != c.want {

@@ -41,17 +41,25 @@ type MaxCost struct{}
 
 func (MaxCost) Name() string { return "max cost" }
 
+// costedAgent pairs an agent with its cost and random tie key for the max
+// cost orderings.
+type costedAgent struct {
+	u    int
+	c    game.Cost
+	tieR int64
+}
+
 // maxCostOrder returns the agents sorted by descending cost with random
-// tie order (n Int63 draws, one per agent, in index order).
-func maxCostOrder(n int, cost func(u int) game.Cost, alpha game.Alpha, r *rand.Rand) []int {
-	type agentCost struct {
-		u    int
-		c    game.Cost
-		tieR int64
+// tie order (n Int63 draws, one per agent, in index order). agents and ord,
+// when non-nil with capacity n, back the computation without allocating —
+// the engine path passes its per-run buffers.
+func maxCostOrder(n int, cost func(u int) game.Cost, alpha game.Alpha, r *rand.Rand, agents []costedAgent, ord []int) []int {
+	if cap(agents) < n {
+		agents = make([]costedAgent, n)
 	}
-	agents := make([]agentCost, n)
+	agents = agents[:n]
 	for u := 0; u < n; u++ {
-		agents[u] = agentCost{u: u, c: cost(u)}
+		agents[u] = costedAgent{u: u, c: cost(u)}
 		if r != nil {
 			agents[u].tieR = r.Int63()
 		}
@@ -71,7 +79,10 @@ func maxCostOrder(n int, cost func(u int) game.Cost, alpha game.Alpha, r *rand.R
 		}
 		agents[j+1] = a
 	}
-	order := make([]int, n)
+	if cap(ord) < n {
+		ord = make([]int, n)
+	}
+	order := ord[:n]
 	for i, a := range agents {
 		order[i] = a.u
 	}
@@ -79,7 +90,7 @@ func maxCostOrder(n int, cost func(u int) game.Cost, alpha game.Alpha, r *rand.R
 }
 
 func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
-	order := maxCostOrder(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha(), r)
+	order := maxCostOrder(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha(), r, nil, nil)
 	for _, u := range order {
 		if gm.HasImproving(g, u, s) {
 			return u
@@ -89,7 +100,14 @@ func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand)
 }
 
 func (MaxCost) pickEngine(e *engine, r *rand.Rand) int {
-	order := maxCostOrder(e.g.N(), e.cost, e.gm.Alpha(), r)
+	n := e.g.N()
+	if cap(e.agents) < n {
+		e.agents = make([]costedAgent, n)
+	}
+	if cap(e.ord) < n {
+		e.ord = make([]int, n)
+	}
+	order := maxCostOrder(n, e.cost, e.gm.Alpha(), r, e.agents[:n], e.ord[:n])
 	return e.firstUnhappy(order)
 }
 
@@ -102,10 +120,16 @@ type MaxCostDeterministic struct{}
 func (MaxCostDeterministic) Name() string { return "max cost (smallest index)" }
 
 // maxCostOrderDeterministic returns the agents sorted by descending cost,
-// index order on ties.
-func maxCostOrderDeterministic(n int, cost func(u int) game.Cost, alpha game.Alpha) []int {
-	costs := make([]game.Cost, n)
-	order := make([]int, n)
+// index order on ties; costsBuf and ord optionally back the computation.
+func maxCostOrderDeterministic(n int, cost func(u int) game.Cost, alpha game.Alpha, costsBuf []game.Cost, ord []int) []int {
+	if cap(costsBuf) < n {
+		costsBuf = make([]game.Cost, n)
+	}
+	costs := costsBuf[:n]
+	if cap(ord) < n {
+		ord = make([]int, n)
+	}
+	order := ord[:n]
 	for u := 0; u < n; u++ {
 		costs[u] = cost(u)
 		order[u] = u
@@ -124,7 +148,7 @@ func maxCostOrderDeterministic(n int, cost func(u int) game.Cost, alpha game.Alp
 }
 
 func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
-	order := maxCostOrderDeterministic(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha())
+	order := maxCostOrderDeterministic(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha(), nil, nil)
 	for _, u := range order {
 		if gm.HasImproving(g, u, s) {
 			return u
@@ -134,7 +158,14 @@ func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, 
 }
 
 func (MaxCostDeterministic) pickEngine(e *engine, r *rand.Rand) int {
-	order := maxCostOrderDeterministic(e.g.N(), e.cost, e.gm.Alpha())
+	n := e.g.N()
+	if cap(e.costs) < n {
+		e.costs = make([]game.Cost, n)
+	}
+	if cap(e.ord) < n {
+		e.ord = make([]int, n)
+	}
+	order := maxCostOrderDeterministic(n, e.cost, e.gm.Alpha(), e.costs[:n], e.ord[:n])
 	return e.firstUnhappy(order)
 }
 
@@ -188,7 +219,10 @@ func (MinIndex) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand
 
 func (MinIndex) pickEngine(e *engine, r *rand.Rand) int {
 	n := e.g.N()
-	order := make([]int, n)
+	if cap(e.ord) < n {
+		e.ord = make([]int, n)
+	}
+	order := e.ord[:n]
 	for u := range order {
 		order[u] = u
 	}

@@ -11,10 +11,7 @@ import (
 func SortedCostVector(g *graph.Graph, gm game.Game) []game.Cost {
 	n := g.N()
 	s := game.NewScratch(n)
-	cs := make([]game.Cost, n)
-	for u := 0; u < n; u++ {
-		cs[u] = gm.Cost(g, u, s)
-	}
+	cs := game.AllCosts(g, gm, s, make([]game.Cost, 0, n))
 	alpha := gm.Alpha()
 	// Insertion sort, descending.
 	for i := 1; i < n; i++ {
@@ -47,8 +44,7 @@ func SocialCost(g *graph.Graph, gm game.Game) game.Cost {
 	n := g.N()
 	s := game.NewScratch(n)
 	var total game.Cost
-	for u := 0; u < n; u++ {
-		c := gm.Cost(g, u, s)
+	for _, c := range game.AllCosts(g, gm, s, make([]game.Cost, 0, n)) {
 		if c.Infinite() {
 			return game.Cost{Dist: game.DistInf}
 		}
@@ -66,8 +62,7 @@ func CenterVertices(g *graph.Graph, gm game.Game) []int {
 	alpha := gm.Alpha()
 	var best game.Cost
 	var out []int
-	for u := 0; u < n; u++ {
-		c := gm.Cost(g, u, s)
+	for u, c := range game.AllCosts(g, gm, s, make([]game.Cost, 0, n)) {
 		switch {
 		case u == 0 || c.Less(best, alpha):
 			best = c

@@ -1,7 +1,6 @@
 package dynamics
 
 import (
-	"fmt"
 	"math/rand"
 
 	"ncg/internal/game"
@@ -86,101 +85,11 @@ type Result struct {
 }
 
 // Run executes the process on g, mutating it in place, and returns the
-// summary. The final content of g is the reached network.
+// summary. The final content of g is the reached network. Sweeps that run
+// many processes back to back should reuse a Runner instead, which holds
+// its allocations across runs; Run is exactly a single-use Runner.
 func Run(g *graph.Graph, cfg Config) Result {
-	if cfg.Game == nil {
-		panic("dynamics: Config.Game is required")
-	}
-	if cfg.Policy == nil {
-		cfg.Policy = MaxCost{}
-	}
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 200*g.N() + 1000
-	}
-	if game.PreferNaiveScan(cfg.Game, g) {
-		// MAX cost on a tree under a swap variant: incremental maintenance
-		// is adversarial there, and the naive scans enumerate identical
-		// moves in identical order, so the trace is unchanged.
-		cfg.Game = game.Naive(cfg.Game)
-	}
-	r := rand.New(rand.NewSource(cfg.Seed))
-	e := newEngine(g, cfg.Game, cfg.Workers)
-	s := e.scratch()
-	ep, hasEngine := cfg.Policy.(enginePolicy)
-
-	var seen map[uint64][]seenState
-	stepOf := func(*graph.Graph) (int, bool) { return 0, false }
-	record := func(*graph.Graph, int) {}
-	if cfg.DetectCycles {
-		seen = make(map[uint64][]seenState)
-		owned := cfg.Game.OwnershipMatters()
-		hash := func(g *graph.Graph) uint64 {
-			if owned {
-				return g.Hash()
-			}
-			return g.HashUnowned()
-		}
-		equal := func(a, b *graph.Graph) bool {
-			if owned {
-				return a.Equal(b)
-			}
-			return a.EqualUnowned(b)
-		}
-		stepOf = func(g *graph.Graph) (int, bool) {
-			for _, st := range seen[hash(g)] {
-				if equal(st.g, g) {
-					return st.step, true
-				}
-			}
-			return 0, false
-		}
-		record = func(g *graph.Graph, step int) {
-			h := hash(g)
-			seen[h] = append(seen[h], seenState{g: g.Clone(), step: step})
-		}
-	}
-
-	var res Result
-	var moves []game.Move
-	record(g, 0)
-	for res.Steps < cfg.MaxSteps {
-		var mover int
-		if hasEngine {
-			mover = ep.pickEngine(e, r)
-		} else {
-			mover = cfg.Policy.Pick(g, cfg.Game, s, r)
-		}
-		if mover < 0 {
-			res.Converged = true
-			return res
-		}
-		moves, _ = cfg.Game.BestMoves(g, mover, s, moves[:0])
-		if len(moves) == 0 {
-			// A policy returned an agent without improving moves;
-			// that is a policy bug, not a game state.
-			panic(fmt.Sprintf("dynamics: policy %q picked happy agent %d", cfg.Policy.Name(), mover))
-		}
-		// Clone: enumerated moves share the scratch's pooled backing, and
-		// the copy outlives the next scan (OnStep may retain it).
-		mv := pickMove(moves, cfg.Tie, r).Clone()
-		game.Apply(g, mv)
-		e.afterMove(mv)
-		res.Steps++
-		res.MoveKinds[mv.Kind()]++
-		res.Kinds = append(res.Kinds, mv.Kind())
-		if cfg.OnStep != nil {
-			cfg.OnStep(res.Steps, mover, mv, g)
-		}
-		if cfg.DetectCycles {
-			if first, ok := stepOf(g); ok {
-				res.Cycled = true
-				res.CycleLen = res.Steps - first
-				return res
-			}
-			record(g, res.Steps)
-		}
-	}
-	return res
+	return NewRunner().Run(g, cfg)
 }
 
 type seenState struct {

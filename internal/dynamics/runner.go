@@ -1,0 +1,173 @@
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// Runner executes processes back to back while holding every heavy
+// allocation — per-worker game scratches, the all-pairs distance cache,
+// batch-BFS scratches, the RNG, move and trajectory buffers — across runs.
+// A sweep that executes thousands of same-sized trials through one Runner
+// allocates its arenas once and then runs allocation-flat; arenas are
+// resized automatically when the network size changes.
+//
+// A Runner is not safe for concurrent use; give each worker its own.
+// Results are identical to the package-level Run for every configuration.
+type Runner struct {
+	rng  *rand.Rand
+	eng  engine
+	scr  []*game.Scratch
+	scrN int
+	// batch holds one kernel scratch per cache-build shard.
+	batch []*graph.BatchBFSScratch
+	cache *costCache
+	moves []game.Move
+	kinds []game.MoveKind
+	// dropBuf/addBuf back the per-step clone of the picked move, reused
+	// when no OnStep callback can retain it.
+	dropBuf []int
+	addBuf  []int
+}
+
+// NewRunner returns an empty Runner; arenas grow on first use.
+func NewRunner() *Runner { return &Runner{} }
+
+// seed resets the runner's RNG to the deterministic stream of seed,
+// allocating it on first use.
+func (r *Runner) seed(seed int64) *rand.Rand {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(seed))
+	} else {
+		r.rng.Seed(seed)
+	}
+	return r.rng
+}
+
+// cloneInto copies mv into the runner's reusable move backing; the copy is
+// valid until the next step of any run on this Runner.
+func (r *Runner) cloneInto(m game.Move) game.Move {
+	out := game.Move{Agent: m.Agent}
+	if len(m.Drop) > 0 {
+		r.dropBuf = append(r.dropBuf[:0], m.Drop...)
+		out.Drop = r.dropBuf
+	}
+	if len(m.Add) > 0 {
+		r.addBuf = append(r.addBuf[:0], m.Add...)
+		out.Add = r.addBuf
+	}
+	return out
+}
+
+// Run executes the process on g, mutating it in place, and returns the
+// summary; it is the arena-reusing form of the package-level Run. The
+// returned Result.Kinds aliases a runner-owned buffer and is valid only
+// until the next Run on the same Runner; callers that retain it must copy.
+func (r *Runner) Run(g *graph.Graph, cfg Config) Result {
+	if cfg.Game == nil {
+		panic("dynamics: Config.Game is required")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = MaxCost{}
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200*g.N() + 1000
+	}
+	if game.PreferNaiveScan(cfg.Game, g) {
+		// MAX cost on a tree under a swap variant: incremental maintenance
+		// is adversarial there, and the naive scans enumerate identical
+		// moves in identical order, so the trace is unchanged.
+		cfg.Game = game.Naive(cfg.Game)
+	}
+	rng := r.seed(cfg.Seed)
+	e := &r.eng
+	e.reset(r, g, cfg.Game, cfg.Workers)
+	s := e.scratch()
+	ep, hasEngine := cfg.Policy.(enginePolicy)
+
+	var seen map[uint64][]seenState
+	stepOf := func(*graph.Graph) (int, bool) { return 0, false }
+	record := func(*graph.Graph, int) {}
+	if cfg.DetectCycles {
+		seen = make(map[uint64][]seenState)
+		owned := cfg.Game.OwnershipMatters()
+		hash := func(g *graph.Graph) uint64 {
+			if owned {
+				return g.Hash()
+			}
+			return g.HashUnowned()
+		}
+		equal := func(a, b *graph.Graph) bool {
+			if owned {
+				return a.Equal(b)
+			}
+			return a.EqualUnowned(b)
+		}
+		stepOf = func(g *graph.Graph) (int, bool) {
+			for _, st := range seen[hash(g)] {
+				if equal(st.g, g) {
+					return st.step, true
+				}
+			}
+			return 0, false
+		}
+		record = func(g *graph.Graph, step int) {
+			h := hash(g)
+			seen[h] = append(seen[h], seenState{g: g.Clone(), step: step})
+		}
+	}
+
+	var res Result
+	res.Kinds = r.kinds[:0]
+	moves := r.moves[:0]
+	record(g, 0)
+	for res.Steps < cfg.MaxSteps {
+		var mover int
+		if hasEngine {
+			mover = ep.pickEngine(e, rng)
+		} else {
+			mover = cfg.Policy.Pick(g, cfg.Game, s, rng)
+		}
+		if mover < 0 {
+			res.Converged = true
+			break
+		}
+		moves, _ = cfg.Game.BestMoves(g, mover, s, moves[:0])
+		if len(moves) == 0 {
+			// A policy returned an agent without improving moves;
+			// that is a policy bug, not a game state.
+			panic(fmt.Sprintf("dynamics: policy %q picked happy agent %d", cfg.Policy.Name(), mover))
+		}
+		// Clone: enumerated moves share the scratch's pooled backing and the
+		// copy outlives the next scan. Without an OnStep callback nothing
+		// can retain the copy past the step, so it reuses runner backing.
+		mv := pickMove(moves, cfg.Tie, rng)
+		if cfg.OnStep != nil {
+			mv = mv.Clone()
+		} else {
+			mv = r.cloneInto(mv)
+		}
+		game.ApplyMove(g, mv)
+		e.afterMove(mv)
+		res.Steps++
+		res.MoveKinds[mv.Kind()]++
+		res.Kinds = append(res.Kinds, mv.Kind())
+		if cfg.OnStep != nil {
+			cfg.OnStep(res.Steps, mover, mv, g)
+		}
+		if cfg.DetectCycles {
+			if first, ok := stepOf(g); ok {
+				res.Cycled = true
+				res.CycleLen = res.Steps - first
+				break
+			}
+			record(g, res.Steps)
+		}
+	}
+	r.moves = moves[:0]
+	r.kinds = res.Kinds[:0]
+	return res
+}

@@ -1,0 +1,40 @@
+package ensemble
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSteadyStateAllocsPerRecord pins the marginal allocation cost of one
+// ensemble record. Fixed run overhead (worker pool, shard table, summary)
+// is cancelled by differencing two trial counts, so the measurement is the
+// per-record steady state: initial-network generation plus the game value,
+// with the engine arenas, move buffers and sink encoders all reused. It is
+// the regression guard for the allocation-flat execution spine.
+func TestSteadyStateAllocsPerRecord(t *testing.T) {
+	sc, ok := Lookup("fig7-asg-sum-k2")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	run := func(trials int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			_, err := Execute(sc,
+				Options{Ns: []int{16}, Trials: trials, Workers: 1, ShardSize: 8},
+				NewJSONLSink(io.Discard))
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(8) // warm any lazily grown package state
+	small := run(8)
+	large := run(40)
+	perRecord := (large - small) / 32
+	t.Logf("allocs: %.0f @8 trials, %.0f @40 trials, %.2f per record", small, large, perRecord)
+	// One BudgetNetwork generation costs ~12 allocations and the game
+	// value a few more; the bound fails if per-record engine, move or
+	// sink allocations creep back in.
+	if perRecord > 30 {
+		t.Errorf("steady state allocates %.2f per record, want <= 30", perRecord)
+	}
+}

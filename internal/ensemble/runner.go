@@ -84,14 +84,29 @@ type Summary struct {
 	Aggregates []Aggregate
 }
 
+// trialExec is the per-worker execution arena: a dynamics.Runner holding
+// engine scratches, the distance cache and move buffers across trials, and
+// a reseedable RNG for the initial-network generators. One arena serves
+// every trial a worker claims, so a sweep's steady state stops allocating
+// per trial.
+type trialExec struct {
+	dyn *dynamics.Runner
+	rng *gen.Rand
+}
+
+func newTrialExec() *trialExec {
+	return &trialExec{dyn: dynamics.NewRunner(), rng: gen.NewRand(0)}
+}
+
 // runTrial executes one seeded trial. The seed stream of a trial depends
-// only on (base seed, n, trial), never on sharding or scheduling, which is
-// what makes ensemble runs bit-identical at any worker count.
-func runTrial(sc Scenario, n, trial int, base int64, probeWorkers int) Record {
+// only on (base seed, n, trial), never on sharding, scheduling or arena
+// reuse, which is what makes ensemble runs bit-identical at any worker
+// count.
+func runTrial(sc Scenario, n, trial int, base int64, probeWorkers int, ex *trialExec) Record {
 	seed := gen.Seed(base, uint64(n), uint64(trial))
-	r := gen.NewRand(seed)
-	g := sc.NewInitial(n, r)
-	res := dynamics.Run(g, dynamics.Config{
+	ex.rng.Seed(seed)
+	g := sc.NewInitial(n, ex.rng)
+	res := ex.dyn.Run(g, dynamics.Config{
 		Game:         sc.NewGame(n),
 		Policy:       sc.Policy.Policy(),
 		Tie:          sc.Tie,
@@ -209,7 +224,7 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 	// out of order and replays them to the sinks strictly in shard (hence
 	// (n, trial)) order.
 	var abort atomic.Bool
-	runShard := func(sh shard) shardOut {
+	runShard := func(sh shard, ex *trialExec) shardOut {
 		out := shardOut{
 			recs:    make([]Record, 0, sh.hi-sh.lo),
 			resumed: make([]bool, 0, sh.hi-sh.lo),
@@ -231,7 +246,7 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 					continue
 				}
 			}
-			rec, err := safeTrial(sc, n, t, base, opt.ProbeWorkers)
+			rec, err := safeTrial(sc, n, t, base, opt.ProbeWorkers, ex)
 			if err != nil {
 				out.err = err
 				return out
@@ -257,8 +272,9 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ex := newTrialExec()
 			for i := range next {
-				out := runShard(shards[i])
+				out := runShard(shards[i], ex)
 				if out.err != nil {
 					abort.Store(true)
 				}
@@ -339,11 +355,11 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 // safeTrial runs one trial, converting generator or game panics (e.g. an
 // infeasible n for a budget ensemble) into errors so a bad grid fails the
 // run instead of crashing the pool.
-func safeTrial(sc Scenario, n, trial int, base int64, probeWorkers int) (rec Record, err error) {
+func safeTrial(sc Scenario, n, trial int, base int64, probeWorkers int, ex *trialExec) (rec Record, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("ensemble: scenario %q n=%d trial=%d: %v", sc.Name, n, trial, r)
 		}
 	}()
-	return runTrial(sc, n, trial, base, probeWorkers), nil
+	return runTrial(sc, n, trial, base, probeWorkers, ex), nil
 }

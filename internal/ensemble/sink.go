@@ -3,9 +3,9 @@ package ensemble
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"io"
 	"os"
+	"strconv"
 )
 
 // Record is the result of one trial, the unit streamed to sinks. Field
@@ -60,15 +60,19 @@ func (s *bufSink) Close() error {
 	return err
 }
 
-// JSONLSink streams records as one JSON object per line.
+// JSONLSink streams records as one JSON object per line. Records are
+// encoded into a reusable buffer by a hand-rolled encoder that produces
+// byte-identical output to encoding/json for the Record schema, so a
+// steady-state stream allocates nothing per record.
 type JSONLSink struct {
 	bufSink
+	enc []byte
 }
 
 // NewJSONLSink writes JSONL records to w; if w is an io.Closer it is
 // closed with the sink.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{newBufSink(w)}
+	return &JSONLSink{bufSink: newBufSink(w)}
 }
 
 // CreateJSONL creates (or truncates) a JSONL record file.
@@ -81,20 +85,90 @@ func CreateJSONL(path string) (*JSONLSink, error) {
 }
 
 func (s *JSONLSink) Write(rec Record) error {
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return err
+	if !jsonPlain(rec.Scenario) {
+		// Names outside printable ASCII take the reflective encoder; the
+		// registry never produces them, so this path is cold by design.
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := s.bw.Write(b); err != nil {
+			return err
+		}
+		return s.bw.WriteByte('\n')
 	}
-	if _, err := s.bw.Write(b); err != nil {
-		return err
-	}
-	return s.bw.WriteByte('\n')
+	s.enc = appendRecordJSON(s.enc[:0], rec)
+	_, err := s.bw.Write(s.enc)
+	return err
 }
 
-// CSVSink streams records as CSV with a fixed header.
+// jsonPlain reports whether every byte of v is printable ASCII, the
+// precondition of the pooled encoder's string escaping.
+func jsonPlain(v string) bool {
+	for i := 0; i < len(v); i++ {
+		if v[i] < 0x20 || v[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// appendJSONString appends a printable-ASCII string in encoding/json's
+// format, including its HTML-safe escaping of <, > and &.
+func appendJSONString(buf []byte, v string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '<':
+			buf = append(buf, '\\', 'u', '0', '0', '3', 'c')
+		case '>':
+			buf = append(buf, '\\', 'u', '0', '0', '3', 'e')
+		case '&':
+			buf = append(buf, '\\', 'u', '0', '0', '2', '6')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// appendRecordJSON appends rec as one JSON line, byte-identical to
+// json.Marshal of the Record struct followed by a newline.
+func appendRecordJSON(buf []byte, rec Record) []byte {
+	buf = append(buf, `{"scenario":`...)
+	buf = appendJSONString(buf, rec.Scenario)
+	buf = append(buf, `,"n":`...)
+	buf = strconv.AppendInt(buf, int64(rec.N), 10)
+	buf = append(buf, `,"trial":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Trial), 10)
+	buf = append(buf, `,"seed":`...)
+	buf = strconv.AppendInt(buf, rec.Seed, 10)
+	buf = append(buf, `,"steps":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Steps), 10)
+	buf = append(buf, `,"converged":`...)
+	buf = strconv.AppendBool(buf, rec.Converged)
+	buf = append(buf, `,"cycled":`...)
+	buf = strconv.AppendBool(buf, rec.Cycled)
+	buf = append(buf, `,"moves":[`...)
+	for i, m := range rec.Moves {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(m), 10)
+	}
+	return append(buf, ']', '}', '\n')
+}
+
+// CSVSink streams records as CSV with a fixed header, encoding each row
+// into a reusable buffer.
 type CSVSink struct {
 	bufSink
 	header bool
+	enc    []byte
 }
 
 // NewCSVSink writes CSV records to w; if w is an io.Closer it is closed
@@ -110,9 +184,26 @@ func (s *CSVSink) Write(rec Record) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(s.bw, "%s,%d,%d,%d,%d,%t,%t,%d,%d,%d,%d\n",
-		rec.Scenario, rec.N, rec.Trial, rec.Seed, rec.Steps, rec.Converged, rec.Cycled,
-		rec.Moves[0], rec.Moves[1], rec.Moves[2], rec.Moves[3])
+	buf := append(s.enc[:0], rec.Scenario...)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(rec.N), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(rec.Trial), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, rec.Seed, 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(rec.Steps), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendBool(buf, rec.Converged)
+	buf = append(buf, ',')
+	buf = strconv.AppendBool(buf, rec.Cycled)
+	for _, m := range rec.Moves {
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(m), 10)
+	}
+	buf = append(buf, '\n')
+	s.enc = buf
+	_, err := s.bw.Write(buf)
 	return err
 }
 

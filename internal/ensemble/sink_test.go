@@ -1,0 +1,51 @@
+package ensemble
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONLEncoderMatchesStdlib pins the pooled record encoder to the byte
+// output of encoding/json, including its HTML-safe string escaping, so the
+// JSONL schema cannot silently drift from the one checkpoints parse.
+func TestJSONLEncoderMatchesStdlib(t *testing.T) {
+	recs := []Record{
+		{},
+		{Scenario: "fig7-asg-sum-k2", N: 16, Trial: 3, Seed: 12345, Steps: 42, Converged: true, Moves: [4]int{1, 2, 3, 4}},
+		{Scenario: `quo"te\back`, N: -1, Trial: 0, Seed: -99, Cycled: true},
+		{Scenario: "html<&>unsafe", N: 7, Seed: 1 << 60},
+	}
+	for _, rec := range recs {
+		want, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		got := appendRecordJSON(nil, rec)
+		if !bytes.Equal(got, want) {
+			t.Errorf("record %+v:\n got %s\nwant %s", rec, got, want)
+		}
+	}
+}
+
+// TestJSONLSinkRoundTrip feeds encoder output back through the checkpoint
+// parser's decoding path.
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	rec := Record{Scenario: "sg-sum-budget-k3", N: 20, Trial: 7, Seed: 99, Steps: 13, Converged: true, Moves: [4]int{0, 13, 0, 0}}
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	if err := s.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("round trip %+v, want %+v", got, rec)
+	}
+}

@@ -1,0 +1,42 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncg/internal/graph"
+)
+
+// TestAllCostsMatchesPerAgent pins the batched cost pass to per-agent
+// gm.Cost across all five games, empty and disconnected graphs included.
+func TestAllCostsMatchesPerAgent(t *testing.T) {
+	games := []Game{
+		NewSwap(Sum),
+		NewAsymSwap(Max),
+		NewGreedyBuy(Sum, NewAlpha(10, 4)),
+		NewBuy(Max, AlphaInt(2)),
+		NewBilateral(Sum, NewAlpha(3, 2)),
+	}
+	r := rand.New(rand.NewSource(5))
+	graphs := []*graph.Graph{graph.New(0), graph.New(1), graph.New(6), graph.Path(9)}
+	g := graph.New(12)
+	for v := 1; v < 10; v++ { // two isolated vertices stay disconnected
+		g.AddEdge(v, r.Intn(v))
+	}
+	graphs = append(graphs, g)
+	for _, gm := range games {
+		for gi, gr := range graphs {
+			s := NewScratch(gr.N())
+			got := AllCosts(gr, gm, s, nil)
+			if len(got) != gr.N() {
+				t.Fatalf("%s graph %d: %d costs, want %d", gm.Name(), gi, len(got), gr.N())
+			}
+			for u := 0; u < gr.N(); u++ {
+				want := gm.Cost(gr, u, s)
+				if got[u] != want {
+					t.Fatalf("%s graph %d agent %d: %v, want %v", gm.Name(), gi, u, got[u], want)
+				}
+			}
+		}
+	}
+}

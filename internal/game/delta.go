@@ -77,7 +77,16 @@ type deltaScratch struct {
 	minsReady bool
 	// suspects is the damage set of oracle-seeded row repairs.
 	suspects graph.Bitset
+	// batch and rowp serve the batched neighbour-row builds of oracle-less
+	// scans: one bit-parallel kernel call computes every d_{G-u}(w, .) row
+	// instead of one BFSExcluding per neighbour.
+	batch *graph.BatchBFSScratch
+	rowp  [][]int32
 }
+
+// deltaBatchMinN is the vertex count from which oracle-less scans batch
+// their neighbour rows through the bit-parallel kernel.
+const deltaBatchMinN = 128
 
 // grow ensures capacity for n-vertex graphs.
 func (d *deltaScratch) grow(n int) {
@@ -102,6 +111,7 @@ func (d *deltaScratch) grow(n int) {
 	d.bndDone = graph.NewBitset(n)
 	d.bndExact = graph.NewBitset(n)
 	d.suspects = graph.NewBitset(n)
+	d.rowp = make([][]int32, 0, n)
 }
 
 // deltaBegin opens a delta scan of agent u: it sizes the scratch and
@@ -136,6 +146,23 @@ func (s *Scratch) deltaInit(g *graph.Graph, u int) {
 		d.min2[v] = graph.Unreachable
 		d.arg1[v] = -1
 		d.pos[v] = -1
+	}
+	if s.oracle == nil && len(s.nbrs) > 2 && n >= deltaBatchMinN {
+		// Without an oracle every neighbour row is a fresh search; one
+		// batched kernel call propagates them all bit-parallel (the rows
+		// land in the same vertex-indexed matrix deltaRow serves from).
+		// Below the size threshold single-source searches are so cheap
+		// that the kernel's per-call adjacency snapshot costs more than
+		// the frontier work it batches.
+		if d.batch == nil {
+			d.batch = graph.NewBatchBFSScratch(d.n)
+		}
+		d.rowp = d.rowp[:0]
+		for _, w := range s.nbrs {
+			d.rowp = append(d.rowp, d.mat[w*d.dn:(w+1)*d.dn])
+			d.done.Set(w)
+		}
+		g.BatchBFSExcluding(s.nbrs, u, d.rowp, nil, d.batch)
 	}
 	for i, w := range s.nbrs {
 		d.pos[w] = int32(i)

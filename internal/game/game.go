@@ -72,6 +72,38 @@ func EdgeCostHalves(gm Game, g *graph.Graph, u int) (int64, bool) {
 	return 0, false
 }
 
+// AllCosts appends every agent's current cost to dst, computing all
+// distance aggregates in one batched bit-parallel BFS pass (64 sources per
+// pass) instead of n single-source searches. The result is identical to
+// calling gm.Cost per agent; games whose edge-cost term is not derivable
+// from degrees fall back to per-agent evaluation.
+func AllCosts(g *graph.Graph, gm Game, s *Scratch, dst []Cost) []Cost {
+	n := g.N()
+	if n == 0 {
+		return dst
+	}
+	if _, ok := EdgeCostHalves(gm, g, 0); !ok {
+		for u := 0; u < n; u++ {
+			dst = append(dst, gm.Cost(g, u, s))
+		}
+		return dst
+	}
+	if s.batch == nil {
+		s.batch = graph.NewBatchBFSScratch(n)
+	}
+	if cap(s.resBuf) < n {
+		s.resBuf = make([]graph.BFSResult, n)
+	}
+	res := s.resBuf[:n]
+	g.AllSourcesBFS(nil, res, s.batch)
+	kind := gm.DistKind()
+	for u := 0; u < n; u++ {
+		h, _ := EdgeCostHalves(gm, g, u)
+		dst = append(dst, Cost{Halves: h, Dist: distCost(res[u], n, kind)})
+	}
+	return dst
+}
+
 // Scratch bundles the reusable buffers of cost and best-response
 // computations for one goroutine.
 type Scratch struct {
@@ -97,6 +129,10 @@ type Scratch struct {
 	// that delta scans use to score additions without a search and to
 	// prune hopeless swap targets. See SetDistOracle.
 	oracle DistOracle
+
+	// batch and resBuf serve AllCosts' batched all-sources pass.
+	batch  *graph.BatchBFSScratch
+	resBuf []graph.BFSResult
 }
 
 // DistOracle provides exact all-pairs shortest-path distances of the

@@ -119,6 +119,17 @@ func sameIntSet(a, b []int) bool {
 	return true
 }
 
+// ApplyMove performs m on g without recording undo state; unlike Apply it
+// allocates nothing. It panics on the same malformed moves as Apply.
+func ApplyMove(g *graph.Graph, m Move) {
+	for _, v := range m.Drop {
+		g.RemoveEdge(m.Agent, v)
+	}
+	for _, v := range m.Add {
+		g.AddEdge(m.Agent, v)
+	}
+}
+
 // Applied records the reversible effect of a move so it can be undone; it is
 // the mechanism behind candidate evaluation (apply, BFS, undo).
 type Applied struct {

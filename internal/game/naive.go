@@ -45,13 +45,14 @@ func swapAnyNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costMode
 
 // swapScanNaive is the full-BFS form of swapScan.
 func swapScanNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) []Move {
+	s.pool = s.pool[:0]
 	cur := agentCost(g, u, b.kind, model, s)
 	s.buf = drops(g, u, s.buf[:0])
 	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
 	for _, x := range s.buf {
 		for _, y := range s.buf2 {
 			if evalSwap(b, g, u, x, y, model, s).Less(cur, b.alpha) {
-				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				dst = append(dst, Move{Agent: u, Drop: s.single(x), Add: s.single(y)})
 			}
 		}
 	}
@@ -60,6 +61,7 @@ func swapScanNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costMod
 
 // swapBestNaive is the full-BFS form of swapBest.
 func swapBestNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
+	s.pool = s.pool[:0]
 	cur := agentCost(g, u, b.kind, model, s)
 	best := cur
 	start := len(dst)
@@ -71,11 +73,11 @@ func swapBestNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costMod
 			switch c.Cmp(best, b.alpha) {
 			case -1:
 				dst = dst[:start]
-				dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+				dst = append(dst, Move{Agent: u, Drop: s.single(x), Add: s.single(y)})
 				best = c
 			case 0:
 				if best.Less(cur, b.alpha) {
-					dst = append(dst, Move{Agent: u, Drop: []int{x}, Add: []int{y}})
+					dst = append(dst, Move{Agent: u, Drop: s.single(x), Add: s.single(y)})
 				}
 			}
 		}
@@ -167,6 +169,7 @@ func (gb *GreedyBuy) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
 }
 
 func (gb *GreedyBuy) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	best := cur
 	start := len(dst)
@@ -174,11 +177,11 @@ func (gb *GreedyBuy) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Mov
 		switch c.Cmp(best, gb.alpha) {
 		case -1:
 			dst = dst[:start]
-			dst = append(dst, greedyMoveNaive(u, x, y))
+			dst = append(dst, greedyMoveNaive(u, x, y, s))
 			best = c
 		case 0:
 			if best.Less(cur, gb.alpha) {
-				dst = append(dst, greedyMoveNaive(u, x, y))
+				dst = append(dst, greedyMoveNaive(u, x, y, s))
 			}
 		}
 		return true
@@ -190,23 +193,26 @@ func (gb *GreedyBuy) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Mov
 }
 
 func (gb *GreedyBuy) naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	gb.forEachGreedyMoveNaive(g, u, s, func(x, y int, c Cost) bool {
 		if c.Less(cur, gb.alpha) {
-			dst = append(dst, greedyMoveNaive(u, x, y))
+			dst = append(dst, greedyMoveNaive(u, x, y, s))
 		}
 		return true
 	})
 	return dst
 }
 
-func greedyMoveNaive(u, x, y int) Move {
+// greedyMoveNaive builds a move with pool-backed Drop/Add slices, like the
+// delta path's greedyMove, so naive enumeration allocates nothing.
+func greedyMoveNaive(u, x, y int, s *Scratch) Move {
 	m := Move{Agent: u}
 	if x >= 0 {
-		m.Drop = []int{x}
+		m.Drop = s.single(x)
 	}
 	if y >= 0 {
-		m.Add = []int{y}
+		m.Add = s.single(y)
 	}
 	return m
 }
@@ -222,19 +228,34 @@ func IsNaive(gm Game) bool {
 	return ok
 }
 
-// PreferNaiveScan reports the one regime where the delta evaluator and the
-// incremental distance cache are known to lose to the naive full-BFS path:
-// MAX distance cost on a tree under a swap variant. There a single swap
-// reroutes shortest paths for a constant fraction of all vertex pairs, so
+// smallNaiveN is the vertex count below which the naive early-exit scans
+// beat the delta evaluator: on tiny networks a full BFS costs a handful of
+// word operations, so the evaluator's row matrices, witness buckets and
+// bound caches are pure constant-factor overhead.
+const smallNaiveN = 32
+
+// PreferNaiveScan reports the regimes where the delta evaluator and the
+// incremental distance cache are known to lose to the naive full-BFS path.
+// Two are known. Tiny networks (n < 32): see smallNaiveN; the paper's
+// n = 10..50 experiment grids start inside this regime. And MAX distance
+// cost on a tree under a swap variant: there a single swap reroutes
+// shortest paths for a constant fraction of all vertex pairs, so
 // maintaining the all-pairs matrix costs more than the searches it saves,
 // while the early-exiting naive probes are near optimal (the Theorem 2.11
 // path gadget is the canonical instance). Swap variants preserve the edge
-// count, so a tree stays a tree for the whole run and the pre-check never
-// needs revisiting. Process engines use this to fall back to the naive
-// scans, which enumerate identical moves in identical order.
+// count, so a tree stays a tree for the whole run; the vertex count never
+// changes; so neither pre-check needs revisiting mid-run. Process engines
+// use this to fall back to the naive scans, which enumerate identical
+// moves in identical order.
 func PreferNaiveScan(gm Game, g *graph.Graph) bool {
 	if ng, ok := gm.(naiveGame); ok {
 		gm = ng.Game
+	}
+	if _, ok := gm.(naiveScanner); !ok {
+		return false
+	}
+	if g.N() < smallNaiveN {
+		return true
 	}
 	switch gm.(type) {
 	case *Swap, *AsymSwap:

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gilbert returns a G(n, p) random graph with uniformly random edge owners;
+// disconnected outcomes are kept on purpose.
+func gilbert(n int, p float64, r *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				if r.Intn(2) == 0 {
+					g.AddEdge(u, v)
+				} else {
+					g.AddEdge(v, u)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// randomTestTree returns a random tree built by random attachment.
+func randomTestTree(n int, r *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, r.Intn(v))
+	}
+	return g
+}
+
+// checkBatchAgainstSerial asserts that BatchBFS (or BatchBFSExcluding when
+// excl >= 0) reproduces the per-source rows and aggregates of the
+// single-source searches exactly.
+func checkBatchAgainstSerial(t *testing.T, g *Graph, sources []int, excl int) {
+	t.Helper()
+	n := g.N()
+	rows := make([][]int32, len(sources))
+	for i := range rows {
+		rows[i] = make([]int32, n)
+	}
+	res := make([]BFSResult, len(sources))
+	s := NewBatchBFSScratch(n)
+	if excl < 0 {
+		g.BatchBFS(sources, rows, res, s)
+	} else {
+		g.BatchBFSExcluding(sources, excl, rows, res, s)
+	}
+
+	bs := NewBFSScratch(n)
+	want := make([]int32, n)
+	for i, src := range sources {
+		var wr BFSResult
+		if excl < 0 {
+			wr = g.BFS(src, want, bs)
+		} else {
+			wr = g.BFSExcluding(src, excl, want, bs)
+		}
+		if res[i] != wr {
+			t.Fatalf("source %d (excl %d): batch aggregates %+v, serial %+v", src, excl, res[i], wr)
+		}
+		for v := 0; v < n; v++ {
+			if rows[i][v] != want[v] {
+				t.Fatalf("source %d (excl %d): dist[%d] = %d, serial %d", src, excl, v, rows[i][v], want[v])
+			}
+		}
+	}
+}
+
+func allSources(n int) []int {
+	src := make([]int, n)
+	for i := range src {
+		src[i] = i
+	}
+	return src
+}
+
+// TestBatchBFSMatchesSerial sweeps Gilbert graphs, trees and edgeless
+// (fully disconnected) graphs over sizes straddling the 64-source group
+// boundary, n = 1 included.
+func TestBatchBFSMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sizes := []int{1, 2, 3, 7, 31, 63, 64, 65, 100, 127, 128, 130}
+	for _, n := range sizes {
+		for trial := 0; trial < 3; trial++ {
+			graphs := []*Graph{
+				gilbert(n, 0.08, r),
+				gilbert(n, 0.5, r),
+				randomTestTree(n, r),
+				New(n), // every vertex its own component
+			}
+			for gi, g := range graphs {
+				checkBatchAgainstSerial(t, g, allSources(n), -1)
+				if n > 1 {
+					excl := r.Intn(n)
+					src := make([]int, 0, n-1)
+					for v := 0; v < n; v++ {
+						if v != excl {
+							src = append(src, v)
+						}
+					}
+					checkBatchAgainstSerial(t, g, src, excl)
+				}
+				_ = gi
+			}
+		}
+	}
+}
+
+// TestBatchBFSSubsetSources checks arbitrary (non-identity, repeated)
+// source lists and nil row entries.
+func TestBatchBFSSubsetSources(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := gilbert(90, 0.06, r)
+	sources := []int{3, 89, 41, 3, 0, 77} // duplicate source on purpose
+	checkBatchAgainstSerial(t, g, sources, -1)
+
+	// nil rows: aggregates only, plus one selective row.
+	rows := make([][]int32, len(sources))
+	rows[2] = make([]int32, g.N())
+	res := make([]BFSResult, len(sources))
+	g.BatchBFS(sources, rows, res, NewBatchBFSScratch(g.N()))
+	want := make([]int32, g.N())
+	wr := g.BFS(41, want, NewBFSScratch(g.N()))
+	if res[2] != wr {
+		t.Fatalf("aggregates %+v, want %+v", res[2], wr)
+	}
+	for v, dv := range want {
+		if rows[2][v] != dv {
+			t.Fatalf("row[2][%d] = %d, want %d", v, rows[2][v], dv)
+		}
+	}
+}
+
+// TestAllSourcesBFSFlatMatchesSerial pins the flat row-major fast path against the
+// general per-row layout and the serial searches.
+func TestAllSourcesBFSFlatMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 5, 63, 64, 65, 100, 130} {
+		for _, g := range []*Graph{gilbert(n, 0.07, r), randomTestTree(n, r), New(n)} {
+			mat := make([]int32, n*n)
+			res := make([]BFSResult, n)
+			g.AllSourcesBFSFlat(mat, res, NewBatchBFSScratch(n))
+			bs := NewBFSScratch(n)
+			want := make([]int32, n)
+			for u := 0; u < n; u++ {
+				wr := g.BFS(u, want, bs)
+				if res[u] != wr {
+					t.Fatalf("n=%d source %d: flat aggregates %+v, serial %+v", n, u, res[u], wr)
+				}
+				for v := 0; v < n; v++ {
+					if mat[u*n+v] != want[v] {
+						t.Fatalf("n=%d flat[%d][%d] = %d, serial %d", n, u, v, mat[u*n+v], want[v])
+					}
+				}
+			}
+			// Aggregates-only (nil matrix) must agree too.
+			res2 := make([]BFSResult, n)
+			g.AllSourcesBFSFlat(nil, res2, NewBatchBFSScratch(n))
+			for u := range res2 {
+				if res2[u] != res[u] {
+					t.Fatalf("n=%d source %d: nil-matrix aggregates %+v, want %+v", n, u, res2[u], res[u])
+				}
+			}
+		}
+	}
+}
+
+// TestAllSourcesBFSMatchesAllDistances pins the all-pairs helper against
+// row-by-row BFS on a disconnected multi-component graph.
+func TestAllSourcesBFSMatchesAllDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := New(70)
+	// Three components: a tree on [0,30), a cycle on [30,50), isolates above.
+	for v := 1; v < 30; v++ {
+		g.AddEdge(v, r.Intn(v))
+	}
+	for v := 30; v < 50; v++ {
+		w := v + 1
+		if w == 50 {
+			w = 30
+		}
+		g.AddEdge(v, w)
+	}
+	d := g.AllDistances()
+	s := NewBFSScratch(g.N())
+	want := make([]int32, g.N())
+	for u := 0; u < g.N(); u++ {
+		g.BFS(u, want, s)
+		for v := 0; v < g.N(); v++ {
+			if d[u][v] != want[v] {
+				t.Fatalf("AllDistances[%d][%d] = %d, want %d", u, v, d[u][v], want[v])
+			}
+		}
+	}
+}
+
+// FuzzBatchBFS feeds random adjacency bytes into both kernels and requires
+// exact agreement of rows and aggregates, with and without an excluded
+// vertex.
+func FuzzBatchBFS(f *testing.F) {
+	f.Add(int64(1), 9, 20)
+	f.Add(int64(2), 1, 0)
+	f.Add(int64(3), 64, 64)
+	f.Add(int64(4), 65, 200)
+	f.Add(int64(5), 130, 260)
+	f.Fuzz(func(t *testing.T, seed int64, n, m int) {
+		if n < 1 || n > 160 || m < 0 || m > 1500 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.AddEdge(u, v)
+		}
+		checkBatchAgainstSerial(t, g, allSources(n), -1)
+		if n > 1 {
+			excl := r.Intn(n)
+			src := make([]int, 0, n-1)
+			for v := 0; v < n; v++ {
+				if v != excl {
+					src = append(src, v)
+				}
+			}
+			checkBatchAgainstSerial(t, g, src, excl)
+		}
+	})
+}
+
+// Benchmarks: all-pairs distance rows, serial single-source vs batched.
+
+func benchAllPairs(b *testing.B, n int, batch bool) {
+	r := rand.New(rand.NewSource(1))
+	g := New(n)
+	// Random connected graph with m = 2n edges.
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, r.Intn(v))
+	}
+	for g.M() < 2*n {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v)
+	}
+	rows := make([][]int32, n)
+	backing := make([]int32, n*n)
+	for u := range rows {
+		rows[u] = backing[u*n : (u+1)*n]
+	}
+	res := make([]BFSResult, n)
+	bs := NewBFSScratch(n)
+	s := NewBatchBFSScratch(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			g.AllSourcesBFSFlat(backing, res, s)
+		} else {
+			for u := 0; u < n; u++ {
+				res[u] = g.BFS(u, rows[u], bs)
+			}
+		}
+	}
+}
+
+func BenchmarkAllPairsSerial64(b *testing.B)   { benchAllPairs(b, 64, false) }
+func BenchmarkAllPairsBatch64(b *testing.B)    { benchAllPairs(b, 64, true) }
+func BenchmarkAllPairsSerial128(b *testing.B)  { benchAllPairs(b, 128, false) }
+func BenchmarkAllPairsBatch128(b *testing.B)   { benchAllPairs(b, 128, true) }
+func BenchmarkAllPairsSerial256(b *testing.B)  { benchAllPairs(b, 256, false) }
+func BenchmarkAllPairsBatch256(b *testing.B)   { benchAllPairs(b, 256, true) }
+func BenchmarkAllPairsSerial512(b *testing.B)  { benchAllPairs(b, 512, false) }
+func BenchmarkAllPairsBatch512(b *testing.B)   { benchAllPairs(b, 512, true) }
+func BenchmarkAllPairsSerial1024(b *testing.B) { benchAllPairs(b, 1024, false) }
+func BenchmarkAllPairsBatch1024(b *testing.B)  { benchAllPairs(b, 1024, true) }

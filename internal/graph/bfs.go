@@ -135,13 +135,14 @@ func (g *Graph) ConnectedFrom(src int, s *BFSScratch) bool {
 
 // AllDistances returns the full n x n distance matrix, row i holding
 // distances from vertex i. Rows of vertices in other components hold
-// Unreachable.
+// Unreachable. The rows are built by the batched bit-parallel kernel, 64
+// sources per pass.
 func (g *Graph) AllDistances() [][]int32 {
 	d := make([][]int32, g.n)
-	s := NewBFSScratch(g.n)
+	backing := make([]int32, g.n*g.n)
 	for u := 0; u < g.n; u++ {
-		d[u] = make([]int32, g.n)
-		g.BFS(u, d[u], s)
+		d[u] = backing[u*g.n : (u+1)*g.n]
 	}
+	g.AllSourcesBFSFlat(backing, nil, NewBatchBFSScratch(g.n))
 	return d
 }

@@ -1,12 +1,18 @@
 package graph
 
+// allResults computes the per-source BFS aggregates of every vertex with
+// the batched bit-parallel kernel, 64 sources per pass.
+func (g *Graph) allResults() []BFSResult {
+	res := make([]BFSResult, g.n)
+	g.AllSourcesBFS(nil, res, NewBatchBFSScratch(g.n))
+	return res
+}
+
 // Eccentricities returns the eccentricity of every vertex. Vertices of a
 // disconnected graph report Unreachable.
 func (g *Graph) Eccentricities() []int32 {
 	ecc := make([]int32, g.n)
-	s := NewBFSScratch(g.n)
-	for u := 0; u < g.n; u++ {
-		r := g.BFS(u, nil, s)
+	for u, r := range g.allResults() {
 		if r.Reached < g.n {
 			ecc[u] = Unreachable
 		} else {
@@ -20,9 +26,7 @@ func (g *Graph) Eccentricities() []int32 {
 // other vertices; Unreachable on disconnected graphs.
 func (g *Graph) DistanceSums() []int64 {
 	sums := make([]int64, g.n)
-	s := NewBFSScratch(g.n)
-	for u := 0; u < g.n; u++ {
-		r := g.BFS(u, nil, s)
+	for u, r := range g.allResults() {
 		if r.Reached < g.n {
 			sums[u] = int64(Unreachable)
 		} else {
@@ -39,9 +43,7 @@ func (g *Graph) Diameter() int32 {
 		return 0
 	}
 	var d int32
-	s := NewBFSScratch(g.n)
-	for u := 0; u < g.n; u++ {
-		r := g.BFS(u, nil, s)
+	for _, r := range g.allResults() {
 		if r.Reached < g.n {
 			return Unreachable
 		}
@@ -59,9 +61,7 @@ func (g *Graph) Radius() int32 {
 		return 0
 	}
 	r := Unreachable
-	s := NewBFSScratch(g.n)
-	for u := 0; u < g.n; u++ {
-		br := g.BFS(u, nil, s)
+	for _, br := range g.allResults() {
 		if br.Reached < g.n {
 			return Unreachable
 		}
@@ -99,9 +99,7 @@ func (g *Graph) Center() []int {
 // disconnected.
 func (g *Graph) TotalDistance() int64 {
 	var t int64
-	s := NewBFSScratch(g.n)
-	for u := 0; u < g.n; u++ {
-		r := g.BFS(u, nil, s)
+	for _, r := range g.allResults() {
 		if r.Reached < g.n {
 			return int64(Unreachable)
 		}

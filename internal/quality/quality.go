@@ -36,12 +36,12 @@ func (s SocialCost) Less(o SocialCost, a game.Alpha) bool {
 		Less(game.Cost{Halves: o.EdgeHalves, Dist: o.Dist}, a)
 }
 
-// Of computes the social cost of g under gm.
+// Of computes the social cost of g under gm; the distance aggregates of
+// all agents come from one batched bit-parallel BFS pass.
 func Of(g *graph.Graph, gm game.Game) SocialCost {
 	s := game.NewScratch(g.N())
 	var out SocialCost
-	for u := 0; u < g.N(); u++ {
-		c := gm.Cost(g, u, s)
+	for _, c := range game.AllCosts(g, gm, s, make([]game.Cost, 0, g.N())) {
 		out.EdgeHalves += c.Halves
 		out.Dist += c.Dist
 	}

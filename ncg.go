@@ -129,6 +129,16 @@ type (
 // the summary.
 func Run(g *Graph, cfg ProcessConfig) ProcessResult { return dynamics.Run(g, cfg) }
 
+// ProcessRunner executes processes back to back while reusing every heavy
+// allocation (engine scratches, the all-pairs distance cache, move
+// buffers) across runs; results are identical to Run. Use one per worker
+// when sweeping many trials — it is not safe for concurrent use.
+type ProcessRunner = dynamics.Runner
+
+// NewProcessRunner returns an empty ProcessRunner; arenas grow on first
+// use.
+func NewProcessRunner() *ProcessRunner { return dynamics.NewRunner() }
+
 // Stable reports whether g is a pure Nash equilibrium of gm.
 func Stable(g *Graph, gm Game) bool { return dynamics.Stable(g, gm) }
 
