@@ -96,6 +96,20 @@ func TestFacadeExploration(t *testing.T) {
 	if res.States < 2 {
 		t.Fatalf("exploration too small: %+v", res)
 	}
+	// The parallel explorer with options yields the identical result.
+	var levels int
+	pres, err := Explore(fig16.Start(), fig16.Game, ExploreOptions{
+		MaxStates:    5000,
+		BestResponse: true,
+		Workers:      3,
+		Progress:     func(ExploreProgress) { levels++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres != res || levels == 0 {
+		t.Fatalf("parallel exploration diverged: %+v vs %+v (%d levels)", pres, res, levels)
+	}
 }
 
 func TestFacadeEnsemble(t *testing.T) {

@@ -2,17 +2,67 @@
 // constructions (Figures 2, 3, 9, 10, 15, 16 and the host-graph
 // corollaries) and reports the non-weak-acyclicity analyses, including the
 // documented errata of Corollaries 3.6 and 4.2.
+//
+// Usage:
+//
+//	ncgcycle [-workers n] [-max-states n] [-progress d]
+//
+// The exhaustive state-space explorations run on the interned state store
+// as parallel frontier expansions; -workers sets the expansion pool
+// (0 = GOMAXPROCS; results never depend on it), -max-states overrides
+// every analysis' state cap, and -progress enables periodic progress
+// lines on stderr for long explorations.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ncg/internal/cycles"
 	"ncg/internal/game"
+	"ncg/internal/graph"
 )
 
+const usage = `ncgcycle — best-response cycle verification and reachability analyses
+
+Usage:
+  ncgcycle [flags]
+      -workers n     frontier-expansion workers (0 = GOMAXPROCS;
+                     never changes results)
+      -max-states n  override the per-analysis state caps (0 = defaults)
+      -progress d    print exploration progress every d (e.g. 2s; 0 = off)
+`
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ncgcycle: "+format+"\n\n", args...)
+	fmt.Fprint(os.Stderr, usage)
+	os.Exit(2)
+}
+
 func main() {
+	fs := flag.NewFlagSet("ncgcycle", flag.ContinueOnError)
+	fs.Usage = func() { fmt.Fprint(os.Stderr, usage) }
+	workers := fs.Int("workers", 0, "")
+	maxStates := fs.Int("max-states", 0, "")
+	progress := fs.Duration("progress", 0, "")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fail("unexpected argument %q", fs.Arg(0))
+	}
+	if *workers < 0 {
+		fail("-workers must be >= 0, got %d", *workers)
+	}
+	if *maxStates < 0 {
+		fail("-max-states must be >= 0, got %d", *maxStates)
+	}
+	if *progress < 0 {
+		fail("-progress must be >= 0, got %v", *progress)
+	}
+
 	failures := 0
 	verify := func(inst cycles.Instance) {
 		err := inst.Verify()
@@ -56,23 +106,62 @@ func main() {
 			failures++
 		}
 	}
+	// explore runs one analysis with the shared flags; cap is the
+	// analysis' default state budget unless -max-states overrides it.
+	explore := func(name string, mk func() *graphGame, cap int, wantStableFree bool) {
+		if *maxStates > 0 {
+			cap = *maxStates
+		}
+		gg := mk()
+		opt := cycles.ExploreOptions{
+			MaxStates:    cap,
+			BestResponse: gg.best,
+			Workers:      *workers,
+		}
+		if *progress > 0 {
+			last := time.Now()
+			opt.Progress = func(p cycles.ExploreProgress) {
+				if time.Since(last) < *progress {
+					return
+				}
+				last = time.Now()
+				fmt.Fprintf(os.Stderr, "  %s: level %d, %d states, frontier %d, %.1f MB\n",
+					name, p.Level, p.States, p.Frontier, float64(p.Bytes)/(1<<20))
+			}
+		}
+		res, err := cycles.Explore(gg.start(), gg.game, opt)
+		report(name, res, err, wantStableFree)
+	}
 
-	res, err := cycles.ExploreImproving(cycles.Fig15Start(), game.NewBilateral(game.Sum, cycles.Fig15Alpha), 5000)
-	report("Thm 5.1 SUM-bilateral", res, err, true)
-	res, err = cycles.ExploreBestResponse(cycles.Fig3Start(), game.NewAsymSwap(game.Sum), 5000)
-	report("Thm 3.3 SUM-ASG (best responses)", res, err, true)
-	res, err = cycles.ExploreImproving(cycles.Fig3Start(), game.NewAsymSwapHost(game.Sum, cycles.Fig3HostGraphRepaired()), 5000)
-	report("Cor 3.6 SUM repaired host", res, err, true)
-	res, err = cycles.ExploreImproving(cycles.Fig3Start(), game.NewAsymSwapHost(game.Sum, cycles.Fig3HostGraph()), 30000)
-	report("Cor 3.6 SUM paper host (erratum)", res, err, false)
-	res, err = cycles.ExploreImproving(cycles.Fig9Start(), game.NewGreedyBuyHost(game.Sum, cycles.Fig9Alpha, cycles.Fig9HostGraph()), 30000)
-	report("Cor 4.2 SUM paper host (erratum)", res, err, false)
-	res, err = cycles.ExploreImproving(cycles.Fig10Start(), game.NewGreedyBuyHost(game.Max, cycles.Fig10Alpha, cycles.Fig10HostGraph()), 30000)
-	report("Cor 4.2 MAX paper host (erratum)", res, err, false)
+	explore("Thm 5.1 SUM-bilateral", func() *graphGame {
+		return &graphGame{cycles.Fig15Start, game.NewBilateral(game.Sum, cycles.Fig15Alpha), false}
+	}, 5000, true)
+	explore("Thm 3.3 SUM-ASG (best responses)", func() *graphGame {
+		return &graphGame{cycles.Fig3Start, game.NewAsymSwap(game.Sum), true}
+	}, 5000, true)
+	explore("Cor 3.6 SUM repaired host", func() *graphGame {
+		return &graphGame{cycles.Fig3Start, game.NewAsymSwapHost(game.Sum, cycles.Fig3HostGraphRepaired()), false}
+	}, 5000, true)
+	explore("Cor 3.6 SUM paper host (erratum)", func() *graphGame {
+		return &graphGame{cycles.Fig3Start, game.NewAsymSwapHost(game.Sum, cycles.Fig3HostGraph()), false}
+	}, 30000, false)
+	explore("Cor 4.2 SUM paper host (erratum)", func() *graphGame {
+		return &graphGame{cycles.Fig9Start, game.NewGreedyBuyHost(game.Sum, cycles.Fig9Alpha, cycles.Fig9HostGraph()), false}
+	}, 30000, false)
+	explore("Cor 4.2 MAX paper host (erratum)", func() *graphGame {
+		return &graphGame{cycles.Fig10Start, game.NewGreedyBuyHost(game.Max, cycles.Fig10Alpha, cycles.Fig10HostGraph()), false}
+	}, 30000, false)
 
 	if failures > 0 {
 		fmt.Printf("\n%d verification failures\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("\nall verifications behave as documented")
+}
+
+// graphGame bundles one analysis' start network, game and move mode.
+type graphGame struct {
+	start func() *graph.Graph
+	game  game.Game
+	best  bool
 }

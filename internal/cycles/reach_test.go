@@ -1,0 +1,223 @@
+package cycles
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// reachCases are small instances spanning the game variants (ownership-
+// blind and -aware, improving and best-response, stable-free and
+// convergent) used to pin explorer behaviour.
+func reachCases() []struct {
+	name string
+	g    *graph.Graph
+	gm   game.Game
+	best bool
+	max  int
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+		gm   game.Game
+		best bool
+		max  int
+	}{
+		{"fig3-asg-br", Fig3Start(), game.NewAsymSwap(game.Sum), true, 5000},
+		{"fig16-bilateral-imp", Fig16Start(), game.NewBilateral(game.Max, Fig16Alpha), false, 5000},
+		{"path8-sumsg-br", graph.Path(8), game.NewSwap(game.Sum), true, 20000},
+		// Large enough that every shard of a multi-worker store outgrows
+		// its initial slot table on a COMPLETING exploration, so dedup
+		// after slot-table growth is pinned by exact state counts (the
+		// capped cases clamp States and cannot see growth bugs).
+		{"path9-sumsg-br", graph.Path(9), game.NewSwap(game.Sum), true, 20000},
+		{"star6-maxsg-imp", graph.Star(6), game.NewSwap(game.Max), false, 100},
+		{"cycle7-maxasg-br", graph.Cycle(7), game.NewAsymSwap(game.Max), true, 8000},
+		{"gbg7-imp", graph.Path(7), game.NewGreedyBuy(game.Sum, game.NewAlpha(7, 4)), false, 8000},
+	}
+}
+
+// TestExploreWorkerCountInvariance checks the core contract of the
+// parallel frontier expansion: ReachResult is bit-identical at any worker
+// count (the sharded intern table deduplicates exactly, levels end with a
+// barrier, and the frontier is canonically reordered). The CI -race job
+// runs this over the shared store.
+func TestExploreWorkerCountInvariance(t *testing.T) {
+	for _, tc := range reachCases() {
+		want, werr := Explore(tc.g, tc.gm, ExploreOptions{MaxStates: tc.max, BestResponse: tc.best, Workers: 1})
+		for _, workers := range []int{2, 5} {
+			got, gerr := Explore(tc.g, tc.gm, ExploreOptions{MaxStates: tc.max, BestResponse: tc.best, Workers: workers})
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s: workers=%d err=%v, serial err=%v", tc.name, workers, gerr, werr)
+			}
+			if werr != nil {
+				// On an aborted exploration only States is defined.
+				if got.States != want.States {
+					t.Fatalf("%s: workers=%d aborted with %d states, serial %d", tc.name, workers, got.States, want.States)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s: workers=%d got %+v, serial %+v", tc.name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestExploreMatchesReference compares the interned explorer against an
+// independent clone-based reference exploration (the seed algorithm) on
+// every case, pinning state counts and stability flags.
+func TestExploreMatchesReference(t *testing.T) {
+	for _, tc := range reachCases() {
+		want, werr := referenceExplore(tc.g, tc.gm, tc.max, tc.best)
+		got, gerr := Explore(tc.g, tc.gm, ExploreOptions{MaxStates: tc.max, BestResponse: tc.best, Workers: 1})
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%s: err=%v, reference err=%v", tc.name, gerr, werr)
+		}
+		if werr != nil {
+			if got.States != want.States {
+				t.Fatalf("%s: aborted with %d states, reference %d", tc.name, got.States, want.States)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("%s: got %+v, reference %+v", tc.name, got, want)
+		}
+	}
+}
+
+// referenceExplore is the seed implementation: full-graph hash, clone per
+// visited state, list-bucket dedupe. Kept as the parity oracle.
+func referenceExplore(start *graph.Graph, gm game.Game, maxStates int, bestOnly bool) (ReachResult, error) {
+	owned := gm.OwnershipMatters()
+	hash := func(g *graph.Graph) uint64 {
+		if owned {
+			return g.Hash()
+		}
+		return g.HashUnowned()
+	}
+	equal := func(a, b *graph.Graph) bool {
+		if owned {
+			return a.Equal(b)
+		}
+		return a.EqualUnowned(b)
+	}
+	seen := map[uint64][]*graph.Graph{}
+	lookup := func(g *graph.Graph) bool {
+		for _, h := range seen[hash(g)] {
+			if equal(h, g) {
+				return true
+			}
+		}
+		return false
+	}
+	res := ReachResult{BestResponseClosed: true}
+	s := game.NewScratch(start.N())
+	queue := []*graph.Graph{start.Clone()}
+	seen[hash(queue[0])] = append(seen[hash(queue[0])], queue[0])
+	res.States = 1
+	var moves []game.Move
+	for len(queue) > 0 {
+		g := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		stable := true
+		for u := 0; u < g.N(); u++ {
+			moves = moves[:0]
+			if bestOnly {
+				moves, _ = gm.BestMoves(g, u, s, moves)
+			} else {
+				moves = gm.ImprovingMoves(g, u, s, moves)
+			}
+			if len(moves) > 0 {
+				stable = false
+			}
+			for _, m := range moves {
+				ap := game.Apply(g, m)
+				if !lookup(g) {
+					res.States++
+					if res.States > maxStates {
+						ap.Undo()
+						return res, errCapExceeded(maxStates)
+					}
+					next := g.Clone()
+					seen[hash(next)] = append(seen[hash(next)], next)
+					queue = append(queue, next)
+				}
+				ap.Undo()
+			}
+		}
+		if stable {
+			res.StableReachable = true
+			res.BestResponseClosed = false
+		}
+	}
+	return res, nil
+}
+
+// TestExploreProgressReports checks the per-level progress callback.
+func TestExploreProgressReports(t *testing.T) {
+	var reports []ExploreProgress
+	res, err := Explore(graph.Path(8), game.NewSwap(game.Sum), ExploreOptions{
+		MaxStates:    20000,
+		BestResponse: true,
+		Workers:      1,
+		Progress:     func(p ExploreProgress) { reports = append(reports, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no progress reports")
+	}
+	last := reports[len(reports)-1]
+	if last.States != res.States {
+		t.Fatalf("final progress states = %d, result %d", last.States, res.States)
+	}
+	if last.Frontier != 0 {
+		t.Fatalf("final frontier = %d, want 0", last.Frontier)
+	}
+	if last.Bytes <= 0 {
+		t.Fatal("progress must report the store footprint")
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Level != reports[i-1].Level+1 || reports[i].States < reports[i-1].States {
+			t.Fatalf("progress not monotonic: %+v -> %+v", reports[i-1], reports[i])
+		}
+	}
+}
+
+// TestFindBestResponseCycleMatchesExplore cross-checks the two analyses:
+// on the stable-free Fig3 space a cycle must exist, and replaying the
+// returned moves from the first state must close it under the game's
+// state equality.
+func TestFindBestResponseCycleCloses(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		g     *graph.Graph
+		gm    game.Game
+		owned bool
+	}{
+		{"fig3-asg", Fig3Start(), game.NewAsymSwap(game.Sum), true},
+		{"fig16-bilateral", Fig16Start(), game.NewBilateral(game.Max, Fig16Alpha), false},
+	} {
+		fc := FindBestResponseCycle(tc.g, tc.gm, 5000)
+		if fc == nil {
+			t.Fatalf("%s: no cycle found", tc.name)
+		}
+		if len(fc.States) != len(fc.Moves) {
+			t.Fatalf("%s: %d states but %d moves", tc.name, len(fc.States), len(fc.Moves))
+		}
+		g := fc.States[0].Clone()
+		for _, m := range fc.Moves {
+			game.Apply(g, m)
+		}
+		closed := g.EqualUnowned(fc.States[0])
+		if tc.owned {
+			closed = g.Equal(fc.States[0])
+		}
+		if !closed {
+			t.Fatalf("%s: cycle does not close", tc.name)
+		}
+	}
+}

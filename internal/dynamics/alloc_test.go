@@ -35,6 +35,32 @@ func TestRunnerSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestRunnerDetectCyclesAllocs pins the allocation budget of cycle
+// detection: a warmed Runner interns visited states into its reusable
+// store (fingerprint + compact encoding, no per-step graph clones), so a
+// whole DetectCycles run must stay within a small constant allocation
+// count — independent of its step count — alongside the steady-state
+// budget above.
+func TestRunnerDetectCyclesAllocs(t *testing.T) {
+	g0 := gen.BudgetNetwork(64, 3, gen.NewRand(1))
+	cfg := Config{Game: game.NewAsymSwap(game.Sum), Policy: MaxCost{}, Seed: 7, DetectCycles: true}
+	r := NewRunner()
+	g := g0.Clone()
+	res := r.Run(g, cfg)
+	if !res.Converged || res.Cycled || res.Steps == 0 {
+		t.Fatalf("warm-up run: %+v", res)
+	}
+	steps := res.Steps
+	perRun := testing.AllocsPerRun(5, func() {
+		g.CopyFrom(g0)
+		r.Run(g, cfg)
+	})
+	t.Logf("detect-cycles steady state: %.1f allocs per run (%d steps)", perRun, steps)
+	if perRun > 8 {
+		t.Errorf("DetectCycles run allocates %.1f times over %d steps, want <= 8 per run (no per-step state copies)", perRun, steps)
+	}
+}
+
 // TestRunnerReusedAcrossSizes checks arena resizing and cross-run
 // isolation: a single Runner alternating between network sizes and games
 // must reproduce the results of fresh single-use runs exactly.

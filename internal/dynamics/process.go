@@ -92,11 +92,6 @@ func Run(g *graph.Graph, cfg Config) Result {
 	return NewRunner().Run(g, cfg)
 }
 
-type seenState struct {
-	g    *graph.Graph
-	step int
-}
-
 func pickMove(moves []game.Move, tie TieBreak, r *rand.Rand) game.Move {
 	switch tie {
 	case TieFirst:

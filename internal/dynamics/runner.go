@@ -6,6 +6,7 @@ import (
 
 	"ncg/internal/game"
 	"ncg/internal/graph"
+	"ncg/internal/state"
 )
 
 // Runner executes processes back to back while holding every heavy
@@ -31,6 +32,16 @@ type Runner struct {
 	// when no OnStep callback can retain it.
 	dropBuf []int
 	addBuf  []int
+	// DetectCycles bookkeeping: visited states are interned once each into
+	// a compact-encoding store keyed by an incrementally maintained Zobrist
+	// fingerprint (collision-verified byte-exact) — no per-step graph
+	// clones, and the arenas persist across runs like every other buffer.
+	tables *state.Tables
+	tabN   int
+	store  *state.Store
+	fp     state.Fingerprint
+	steps  []int
+	enc    []uint64
 }
 
 // NewRunner returns an empty Runner; arenas grow on first use.
@@ -88,42 +99,44 @@ func (r *Runner) Run(g *graph.Graph, cfg Config) Result {
 	s := e.scratch()
 	ep, hasEngine := cfg.Policy.(enginePolicy)
 
-	var seen map[uint64][]seenState
-	stepOf := func(*graph.Graph) (int, bool) { return 0, false }
-	record := func(*graph.Graph, int) {}
-	if cfg.DetectCycles {
-		seen = make(map[uint64][]seenState)
-		owned := cfg.Game.OwnershipMatters()
-		hash := func(g *graph.Graph) uint64 {
-			if owned {
-				return g.Hash()
-			}
-			return g.HashUnowned()
+	detect := cfg.DetectCycles
+	var owned bool
+	if detect {
+		owned = cfg.Game.OwnershipMatters()
+		n := g.N()
+		if r.tables == nil || r.tabN != n {
+			r.tables = state.NewTables(n)
+			r.tabN = n
 		}
-		equal := func(a, b *graph.Graph) bool {
-			if owned {
-				return a.Equal(b)
-			}
-			return a.EqualUnowned(b)
+		if r.store == nil {
+			r.store = state.NewStore(n, owned, 1)
+		} else {
+			r.store.Reset(n, owned)
 		}
-		stepOf = func(g *graph.Graph) (int, bool) {
-			for _, st := range seen[hash(g)] {
-				if equal(st.g, g) {
-					return st.step, true
-				}
-			}
-			return 0, false
+		// The fingerprint rides along every mutation of the run — the
+		// moves applied below and the transient apply/undo pairs of
+		// candidate probing, which cancel exactly.
+		r.fp.Attach(r.tables, g)
+		defer g.SetObserver(nil)
+		r.steps = r.steps[:0]
+	}
+	// seenStep interns the current state; a repeat reports its first step.
+	seenStep := func() (int, bool) {
+		r.enc = r.store.Encode(g, r.enc[:0])
+		ref, fresh := r.store.Intern(r.fp.Hash(owned), r.enc)
+		if !fresh {
+			return r.steps[ref], true
 		}
-		record = func(g *graph.Graph, step int) {
-			h := hash(g)
-			seen[h] = append(seen[h], seenState{g: g.Clone(), step: step})
-		}
+		return 0, false
 	}
 
 	var res Result
 	res.Kinds = r.kinds[:0]
 	moves := r.moves[:0]
-	record(g, 0)
+	if detect {
+		seenStep()
+		r.steps = append(r.steps, 0)
+	}
 	for res.Steps < cfg.MaxSteps {
 		var mover int
 		if hasEngine {
@@ -158,13 +171,13 @@ func (r *Runner) Run(g *graph.Graph, cfg Config) Result {
 		if cfg.OnStep != nil {
 			cfg.OnStep(res.Steps, mover, mv, g)
 		}
-		if cfg.DetectCycles {
-			if first, ok := stepOf(g); ok {
+		if detect {
+			if first, ok := seenStep(); ok {
 				res.Cycled = true
 				res.CycleLen = res.Steps - first
 				break
 			}
-			record(g, res.Steps)
+			r.steps = append(r.steps, res.Steps)
 		}
 	}
 	r.moves = moves[:0]

@@ -1,0 +1,89 @@
+package graph
+
+// Canonical compact state encodings. A graph state is stored as raw bitset
+// rows appended to a caller-provided word slice — no per-row headers, no
+// degree counters, nothing derivable:
+//
+//   - ownership-aware: the n out-rows ((n+63)/64 words each). The
+//     out-matrix determines the full state: adj = out ∪ outᵀ.
+//   - ownership-blind: the n adj-rows. Decoding orients every edge towards
+//     its smaller endpoint, a canonical ownership that games with
+//     OwnershipMatters() == false never consult.
+//
+// Both encodings use n·⌈n/64⌉ words, and byte-equality of encodings is
+// exactly state equality (Equal respectively EqualUnowned), which is what
+// the interned state store (internal/state) verifies on hash collisions.
+
+// EncodedWords returns the length in words of both state encodings of an
+// n-vertex graph.
+func EncodedWords(n int) int { return n * ((n + 63) / 64) }
+
+// AppendOwnedRows appends the ownership-aware encoding of g to dst.
+func (g *Graph) AppendOwnedRows(dst []uint64) []uint64 {
+	for u := 0; u < g.n; u++ {
+		dst = append(dst, g.out[u]...)
+	}
+	return dst
+}
+
+// AppendAdjRows appends the ownership-blind encoding of g to dst.
+func (g *Graph) AppendAdjRows(dst []uint64) []uint64 {
+	for u := 0; u < g.n; u++ {
+		dst = append(dst, g.adj[u]...)
+	}
+	return dst
+}
+
+// LoadOwnedRows overwrites g with the state encoded by AppendOwnedRows.
+// The observer, if any, is bypassed; re-initialize it after loading.
+func (g *Graph) LoadOwnedRows(rows []uint64) {
+	words := (g.n + 63) / 64
+	if len(rows) != g.n*words {
+		panic("graph: LoadOwnedRows size mismatch")
+	}
+	m := 0
+	for u := 0; u < g.n; u++ {
+		row := Bitset(rows[u*words : (u+1)*words])
+		g.out[u].CopyFrom(row)
+		g.adj[u].CopyFrom(row)
+		m += row.Count()
+	}
+	g.m = m
+	// adj = out ∪ outᵀ: fold every owned edge into its other endpoint.
+	for u := 0; u < g.n; u++ {
+		g.out[u].ForEach(func(v int) {
+			g.adj[v].Set(u)
+		})
+	}
+	for u := 0; u < g.n; u++ {
+		g.deg[u] = g.adj[u].Count()
+	}
+}
+
+// LoadAdjRows overwrites g with the state encoded by AppendAdjRows, giving
+// every edge the canonical ownership "smaller endpoint owns". The observer,
+// if any, is bypassed; re-initialize it after loading.
+func (g *Graph) LoadAdjRows(rows []uint64) {
+	words := (g.n + 63) / 64
+	if len(rows) != g.n*words {
+		panic("graph: LoadAdjRows size mismatch")
+	}
+	edges2 := 0
+	for u := 0; u < g.n; u++ {
+		row := Bitset(rows[u*words : (u+1)*words])
+		g.adj[u].CopyFrom(row)
+		g.deg[u] = row.Count()
+		edges2 += g.deg[u]
+		// out[u] = neighbours above u: mask away word bits at or below u.
+		ou := g.out[u]
+		ou.CopyFrom(row)
+		w := u >> 6
+		for i := 0; i < w; i++ {
+			ou[i] = 0
+		}
+		if w < len(ou) {
+			ou[w] &^= (1 << uint(u&63+1)) - 1
+		}
+	}
+	g.m = edges2 / 2
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomOwnedGraph(n int, r *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			switch r.Intn(3) {
+			case 0:
+				g.AddEdge(u, v)
+			case 1:
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+func TestOwnedRowsRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 130} {
+		g := randomOwnedGraph(n, r)
+		enc := g.AppendOwnedRows(nil)
+		if len(enc) != EncodedWords(n) {
+			t.Fatalf("n=%d: encoding has %d words, want %d", n, len(enc), EncodedWords(n))
+		}
+		dec := New(n)
+		dec.LoadOwnedRows(enc)
+		if err := dec.Validate(); err != nil {
+			t.Fatalf("n=%d: decoded graph invalid: %v", n, err)
+		}
+		if !dec.Equal(g) {
+			t.Fatalf("n=%d: owned roundtrip lost state", n)
+		}
+	}
+}
+
+func TestAdjRowsRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 130} {
+		g := randomOwnedGraph(n, r)
+		enc := g.AppendAdjRows(nil)
+		dec := New(n)
+		dec.LoadAdjRows(enc)
+		if err := dec.Validate(); err != nil {
+			t.Fatalf("n=%d: decoded graph invalid: %v", n, err)
+		}
+		if !dec.EqualUnowned(g) {
+			t.Fatalf("n=%d: adj roundtrip lost edges", n)
+		}
+		// Canonical orientation: the smaller endpoint owns every edge.
+		for _, e := range dec.Edges() {
+			if e.U > e.V {
+				t.Fatalf("n=%d: edge {%d,%d} not canonically oriented", n, e.U, e.V)
+			}
+		}
+	}
+}
+
+// recorder counts observer callbacks.
+type recorder struct {
+	added, removed, owner int
+	lastOwner, lastV      int
+}
+
+func (r *recorder) EdgeAdded(owner, v int)   { r.added++; r.lastOwner, r.lastV = owner, v }
+func (r *recorder) EdgeRemoved(owner, v int) { r.removed++; r.lastOwner, r.lastV = owner, v }
+func (r *recorder) OwnerChanged(owner, v int) {
+	r.owner++
+	r.lastOwner, r.lastV = owner, v
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	g := New(4)
+	var rec recorder
+	g.SetObserver(&rec)
+	g.AddEdge(1, 2)
+	if rec.added != 1 || rec.lastOwner != 1 || rec.lastV != 2 {
+		t.Fatalf("EdgeAdded not observed: %+v", rec)
+	}
+	// Removing from the non-owner side still reports the owner.
+	g.RemoveEdge(2, 1)
+	if rec.removed != 1 || rec.lastOwner != 1 || rec.lastV != 2 {
+		t.Fatalf("EdgeRemoved owner wrong: %+v", rec)
+	}
+	g.AddEdge(0, 3)
+	g.SetOwner(3, 0)
+	if rec.owner != 1 || rec.lastOwner != 3 || rec.lastV != 0 {
+		t.Fatalf("OwnerChanged not observed: %+v", rec)
+	}
+	// A no-op ownership transfer must not fire.
+	g.SetOwner(3, 0)
+	if rec.owner != 1 {
+		t.Fatal("no-op SetOwner fired OwnerChanged")
+	}
+	// Clones are unobserved; uninstalling stops callbacks.
+	c := g.Clone()
+	c.AddEdge(1, 3)
+	g.SetObserver(nil)
+	g.AddEdge(1, 3)
+	if rec.added != 2 {
+		t.Fatalf("observer leaked to clone or survived uninstall: %+v", rec)
+	}
+}

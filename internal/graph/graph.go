@@ -21,7 +21,27 @@ type Graph struct {
 	adj []Bitset // adj[u] = neighbours of u
 	out []Bitset // out[u] = neighbours v with o({u,v}) = u
 	deg []int
+	obs EdgeObserver
 }
+
+// EdgeObserver receives a callback after every edge mutation of a graph it
+// is installed on, the hook behind incrementally maintained state
+// fingerprints (internal/state). Bulk operations (CopyFrom, LoadOwnedRows,
+// LoadAdjRows) bypass the observer; re-initialize it after them.
+type EdgeObserver interface {
+	// EdgeAdded runs after edge {owner,v} owned by owner was inserted.
+	EdgeAdded(owner, v int)
+	// EdgeRemoved runs after the edge {owner,v} was deleted; owner is the
+	// endpoint that owned it at removal time.
+	EdgeRemoved(owner, v int)
+	// OwnerChanged runs after ownership of edge {owner,v} moved to owner;
+	// the previous owner was v. It does not run for no-op SetOwner calls.
+	OwnerChanged(owner, v int)
+}
+
+// SetObserver installs o as the graph's mutation observer (nil uninstalls).
+// Exactly one observer can be active; installing replaces the previous one.
+func (g *Graph) SetObserver(o EdgeObserver) { g.obs = o }
 
 // Edge is an undirected edge together with its owner; Owner must be one of
 // the two endpoints (U by convention in builders).
@@ -93,6 +113,9 @@ func (g *Graph) AddEdge(owner, v int) {
 	g.deg[owner]++
 	g.deg[v]++
 	g.m++
+	if g.obs != nil {
+		g.obs.EdgeAdded(owner, v)
+	}
 }
 
 // RemoveEdge deletes the edge {u,v} regardless of its owner. It panics if
@@ -101,6 +124,10 @@ func (g *Graph) RemoveEdge(u, v int) {
 	if !g.adj[u].Has(v) {
 		panic(fmt.Sprintf("graph: removing missing edge {%d,%d}", u, v))
 	}
+	owner, other := u, v
+	if g.obs != nil && !g.out[u].Has(v) {
+		owner, other = v, u
+	}
 	g.adj[u].Clear(v)
 	g.adj[v].Clear(u)
 	g.out[u].Clear(v)
@@ -108,6 +135,9 @@ func (g *Graph) RemoveEdge(u, v int) {
 	g.deg[u]--
 	g.deg[v]--
 	g.m--
+	if g.obs != nil {
+		g.obs.EdgeRemoved(owner, other)
+	}
 }
 
 // SetOwner transfers ownership of the existing edge {u,v} to owner, which
@@ -116,8 +146,12 @@ func (g *Graph) SetOwner(owner, v int) {
 	if !g.adj[owner].Has(v) {
 		panic(fmt.Sprintf("graph: no edge {%d,%d}", owner, v))
 	}
+	changed := !g.out[owner].Has(v)
 	g.out[owner].Set(v)
 	g.out[v].Clear(owner)
+	if changed && g.obs != nil {
+		g.obs.OwnerChanged(owner, v)
+	}
 }
 
 // Neighbors returns the neighbour bitset of u. The caller must not modify

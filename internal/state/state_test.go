@@ -1,0 +1,305 @@
+package state
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ncg/internal/graph"
+)
+
+// randomMutate performs one random valid mutation on g and returns a
+// description of it.
+func randomMutate(g *graph.Graph, r *rand.Rand) {
+	n := g.N()
+	for {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		switch {
+		case !g.HasEdge(u, v):
+			g.AddEdge(u, v)
+			return
+		case r.Intn(3) == 0:
+			g.RemoveEdge(u, v)
+			return
+		default:
+			// Transfer ownership (possibly a no-op when u already owns it).
+			g.SetOwner(u, v)
+			return
+		}
+	}
+}
+
+// TestFingerprintTracksMutations drives a long random mutation sequence
+// through an attached fingerprint and checks after every step that both
+// incremental variants equal a from-scratch recomputation.
+func TestFingerprintTracksMutations(t *testing.T) {
+	const n = 23
+	tab := NewTables(n)
+	g := graph.New(n)
+	var f Fingerprint
+	f.Attach(tab, g)
+	defer g.SetObserver(nil)
+	r := rand.New(rand.NewSource(1))
+	for step := 0; step < 2000; step++ {
+		randomMutate(g, r)
+		var fresh Fingerprint
+		fresh.Init(tab, g)
+		if f.Aware() != fresh.Aware() || f.Blind() != fresh.Blind() {
+			t.Fatalf("step %d: incremental (%x,%x) != recomputed (%x,%x)",
+				step, f.Aware(), f.Blind(), fresh.Aware(), fresh.Blind())
+		}
+	}
+}
+
+// TestFingerprintOwnershipVariants checks the variant semantics: states
+// equal modulo ownership share the blind fingerprint but (generically) not
+// the aware one.
+func TestFingerprintOwnershipVariants(t *testing.T) {
+	tab := NewTables(5)
+	a := graph.Path(5)
+	b := graph.Path(5)
+	b.SetOwner(1, 0) // flip one owner; edge set unchanged
+	var fa, fb Fingerprint
+	fa.Init(tab, a)
+	fb.Init(tab, b)
+	if fa.Blind() != fb.Blind() {
+		t.Fatal("blind fingerprints must ignore ownership")
+	}
+	if fa.Aware() == fb.Aware() {
+		t.Fatal("aware fingerprints must distinguish ownership")
+	}
+	if fa.Hash(true) != fa.Aware() || fa.Hash(false) != fa.Blind() {
+		t.Fatal("Hash variant selection broken")
+	}
+}
+
+// internGraph is the test helper mirroring real usage: encode + intern.
+func internGraph(s *Store, tab *Tables, g *graph.Graph, buf []uint64) (Ref, bool, []uint64) {
+	var f Fingerprint
+	f.Init(tab, g)
+	buf = s.Encode(g, buf[:0])
+	ref, fresh := s.Intern(f.Hash(s.Owned()), buf)
+	return ref, fresh, buf
+}
+
+func TestStoreInternRoundtrip(t *testing.T) {
+	for _, owned := range []bool{true, false} {
+		const n = 9
+		tab := NewTables(n)
+		s := NewStore(n, owned, 1)
+		states := []*graph.Graph{graph.Path(n), graph.Cycle(n), graph.Star(n), graph.Complete(n)}
+		var buf []uint64
+		var refs []Ref
+		for i, g := range states {
+			ref, fresh, b := internGraph(s, tab, g, buf)
+			buf = b
+			if !fresh {
+				t.Fatalf("owned=%v: state %d should be fresh", owned, i)
+			}
+			if int(ref) != i {
+				t.Fatalf("owned=%v: single-shard refs must be dense, got %d want %d", owned, ref, i)
+			}
+			refs = append(refs, ref)
+		}
+		if s.Count() != len(states) {
+			t.Fatalf("owned=%v: count = %d, want %d", owned, s.Count(), len(states))
+		}
+		// Re-interning finds the same refs.
+		for i, g := range states {
+			ref, fresh, b := internGraph(s, tab, g, buf)
+			buf = b
+			if fresh || ref != refs[i] {
+				t.Fatalf("owned=%v: re-intern of %d gave (%d,%v)", owned, i, ref, fresh)
+			}
+		}
+		// Decoding restores the state under the store's equality.
+		dec := graph.New(n)
+		for i, g := range states {
+			s.Decode(refs[i], dec)
+			if err := dec.Validate(); err != nil {
+				t.Fatalf("owned=%v: decoded state %d invalid: %v", owned, i, err)
+			}
+			if owned && !dec.Equal(g) {
+				t.Fatalf("owned=%v: decode of %d lost state", owned, i)
+			}
+			if !dec.EqualUnowned(g) {
+				t.Fatalf("owned=%v: decode of %d lost edges", owned, i)
+			}
+		}
+	}
+}
+
+// TestStoreForcedCollisions zeroes the Zobrist tables so every state
+// fingerprints to 0, then interns many distinct states: the byte-exact
+// verification must still distinguish all of them, in both the
+// ownership-aware and ownership-blind variants.
+func TestStoreForcedCollisions(t *testing.T) {
+	const n = 8
+	tab := NewTables(n)
+	tab.zero()
+	for _, owned := range []bool{true, false} {
+		s := NewStore(n, owned, 4)
+		var states []*graph.Graph
+		states = append(states, graph.Path(n), graph.Cycle(n), graph.Star(n))
+		// A family of distinct single-edge graphs.
+		for v := 1; v < n; v++ {
+			g := graph.New(n)
+			g.AddEdge(0, v)
+			states = append(states, g)
+		}
+		if !owned {
+			// Ownership flips must still collapse to one state.
+			g := graph.New(n)
+			g.AddEdge(1, 0)
+			states = append(states, g)
+		}
+		var buf []uint64
+		var refs []Ref
+		distinct := 0
+		for _, g := range states {
+			var f Fingerprint
+			f.Init(tab, g)
+			if h := f.Hash(owned); h != 0 {
+				t.Fatalf("owned=%v: zeroed tables must fingerprint to 0, got %x", owned, h)
+			}
+			buf = s.Encode(g, buf[:0])
+			ref, fresh := s.Intern(0, buf)
+			if fresh {
+				distinct++
+			}
+			refs = append(refs, ref)
+		}
+		wantDistinct := len(states)
+		if !owned {
+			wantDistinct-- // the flipped-ownership duplicate
+		}
+		if distinct != wantDistinct || s.Count() != wantDistinct {
+			t.Fatalf("owned=%v: %d distinct states interned, want %d", owned, s.Count(), wantDistinct)
+		}
+		// Every state still decodes to itself despite the shared hash.
+		dec := graph.New(n)
+		for i, g := range states {
+			s.Decode(refs[i], dec)
+			if !dec.EqualUnowned(g) || (owned && !dec.Equal(g)) {
+				t.Fatalf("owned=%v: collision conflated state %d", owned, i)
+			}
+		}
+	}
+}
+
+// TestStoreGrowKeepsRefs interns enough states to force several slot-table
+// growths and checks all earlier refs survive AND stay deduplicated —
+// growth must reinsert entries at the same home slots lookups probe from.
+// The multi-shard cases pin the regression where grow() and Intern
+// disagreed on the probe start once shard bits were stripped.
+func TestStoreGrowKeepsRefs(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		const n = 40
+		tab := NewTables(n)
+		s := NewStore(n, true, shards)
+		var buf []uint64
+		type rec struct {
+			ref Ref
+			g   *graph.Graph
+		}
+		var recs []rec
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				g := graph.New(n)
+				g.AddEdge(u, v)
+				ref, fresh, b := internGraph(s, tab, g, buf)
+				buf = b
+				if !fresh {
+					t.Fatalf("shards=%d: state {%d,%d} not fresh", shards, u, v)
+				}
+				recs = append(recs, rec{ref, g})
+			}
+		}
+		if s.Count() != len(recs) {
+			t.Fatalf("shards=%d: count %d, want %d", shards, s.Count(), len(recs))
+		}
+		dec := graph.New(n)
+		for i, rc := range recs {
+			// Still present (no dedup loss after growth)...
+			ref, fresh, b := internGraph(s, tab, rc.g, buf)
+			buf = b
+			if fresh || ref != rc.ref {
+				t.Fatalf("shards=%d: ref %d lost after growth: (%d,%v)", shards, i, ref, fresh)
+			}
+			// ...and uncorrupted.
+			s.Decode(rc.ref, dec)
+			if !dec.Equal(rc.g) {
+				t.Fatalf("shards=%d: ref %d corrupted after growth", shards, i)
+			}
+		}
+		if s.Count() != len(recs) {
+			t.Fatalf("shards=%d: re-intern inflated count to %d", shards, s.Count())
+		}
+	}
+}
+
+func TestStoreResetReuse(t *testing.T) {
+	tab := NewTables(7)
+	s := NewStore(7, true, 2)
+	var buf []uint64
+	_, _, buf = internGraph(s, tab, graph.Path(7), buf)
+	_, _, buf = internGraph(s, tab, graph.Star(7), buf)
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2", s.Count())
+	}
+	s.Reset(7, false)
+	if s.Count() != 0 || s.Owned() {
+		t.Fatal("reset did not clear the store")
+	}
+	ref, fresh, _ := internGraph(s, tab, graph.Path(7), buf)
+	if !fresh {
+		t.Fatal("post-reset intern not fresh")
+	}
+	dec := graph.New(7)
+	s.Decode(ref, dec)
+	if !dec.EqualUnowned(graph.Path(7)) {
+		t.Fatal("post-reset decode broken")
+	}
+}
+
+// TestStoreConcurrentIntern hammers a sharded store from several
+// goroutines with overlapping state sets; the total distinct count and
+// every decode must come out exact. The CI -race job runs this.
+func TestStoreConcurrentIntern(t *testing.T) {
+	const n = 16
+	const workers = 8
+	tab := NewTables(n)
+	s := NewStore(n, true, workers)
+	// The shared state family: all single-edge graphs plus some paths.
+	var states []*graph.Graph
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g := graph.New(n)
+			g.AddEdge(u, v)
+			states = append(states, g)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []uint64
+			var f Fingerprint
+			// Each worker interns the whole family in a different order.
+			for i := range states {
+				g := states[(i*7+w*13)%len(states)]
+				f.Init(tab, g)
+				buf = s.Encode(g, buf[:0])
+				s.Intern(f.Hash(true), buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Count() != len(states) {
+		t.Fatalf("count = %d, want %d distinct states", s.Count(), len(states))
+	}
+}

@@ -171,15 +171,27 @@ var (
 	NewRand = gen.NewRand
 )
 
-// Cycle analysis.
+// Cycle analysis. Explorations run on an interned state store: every
+// distinct network is kept once as a compact canonical encoding, states
+// are recognized by an incrementally maintained Zobrist fingerprint with
+// byte-exact collision verification, and the frontier expands level by
+// level over a worker pool — results are identical at any worker count.
 type (
 	// CycleInstance is a verified better/best-response cycle.
 	CycleInstance = cycles.Instance
 	// ReachResult summarizes an exhaustive improving-move exploration.
 	ReachResult = cycles.ReachResult
+	// ExploreOptions parameterizes Explore (cap, move mode, workers,
+	// progress callback).
+	ExploreOptions = cycles.ExploreOptions
+	// ExploreProgress is the per-level report of a running exploration.
+	ExploreProgress = cycles.ExploreProgress
 )
 
 var (
+	// Explore runs a reachability analysis with explicit options — the
+	// parallel form of ExploreImproving/ExploreBestResponse.
+	Explore = cycles.Explore
 	// ExploreImproving exhaustively explores the improving-move state
 	// space (non-weak-acyclicity checks).
 	ExploreImproving = cycles.ExploreImproving
