@@ -150,3 +150,50 @@ func TestFacadeDeterministicPolicy(t *testing.T) {
 		t.Fatal("policy kind and constructor disagree")
 	}
 }
+
+// TestFacadeCampaign exercises the counterexample-hunt exports end to end:
+// a small campaign over built-in samplers and variants, streamed to a
+// JSONL sink, plus the campaign-backed unit-budget hunt.
+func TestFacadeCampaign(t *testing.T) {
+	tree, ok := CampaignSamplerByName("random-tree")
+	if !ok {
+		t.Fatal("random-tree sampler missing")
+	}
+	sumASG, ok := CampaignVariantByName("sum-asg")
+	if !ok {
+		t.Fatal("sum-asg variant missing")
+	}
+	var buf bytes.Buffer
+	sum, err := RunCampaign(Campaign{
+		Name:      "facade-hunt",
+		Samplers:  []CampaignSampler{tree},
+		Variants:  []CampaignVariant{sumASG},
+		N:         6,
+		Instances: 3,
+		Seed:      1,
+		MaxStates: 100,
+	}, CampaignOptions{Workers: 2}, NewCampaignJSONLSink(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Searched != 3 || sum.Instances != 3 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", got)
+	}
+	if len(CampaignSamplers()) < 5 || len(CampaignVariants()) != 8 {
+		t.Fatalf("builtin grid: %d samplers, %d variants",
+			len(CampaignSamplers()), len(CampaignVariants()))
+	}
+	res, searched := HuntUnitBudgetCycle(SUM, 1, 2, 100)
+	if searched != 2 {
+		t.Fatalf("hunt searched %d instances, want 2", searched)
+	}
+	if res != nil {
+		t.Logf("hunt found a cycle at instance %d", res.Instance)
+	}
+	if f := Fig10Family(); f.Total != 262144 {
+		t.Fatalf("Fig10 family total = %d", f.Total)
+	}
+}

@@ -17,9 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"ncg/internal/cli"
 	"ncg/internal/cycles"
 	"ncg/internal/game"
 	"ncg/internal/graph"
@@ -35,32 +37,41 @@ Usage:
       -progress d    print exploration progress every d (e.g. 2s; 0 = off)
 `
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "ncgcycle: "+format+"\n\n", args...)
-	fmt.Fprint(os.Stderr, usage)
-	os.Exit(2)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// app wraps the shared CLI scaffolding (internal/cli): Fail/Errorf abort
+// with the right exit code from any depth while run stays testable.
+type app struct {
+	*cli.App
 }
 
-func main() {
+func run(args []string, stdout, stderr io.Writer) int {
+	return cli.Run("ncgcycle", usage, stdout, stderr, func(ca *cli.App) {
+		(&app{ca}).main(args)
+	})
+}
+
+func (a *app) main(args []string) {
 	fs := flag.NewFlagSet("ncgcycle", flag.ContinueOnError)
-	fs.Usage = func() { fmt.Fprint(os.Stderr, usage) }
+	fs.SetOutput(a.Stderr)
+	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
 	workers := fs.Int("workers", 0, "")
 	maxStates := fs.Int("max-states", 0, "")
 	progress := fs.Duration("progress", 0, "")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		cli.Exit(2)
 	}
 	if fs.NArg() > 0 {
-		fail("unexpected argument %q", fs.Arg(0))
+		a.Fail("unexpected argument %q", fs.Arg(0))
 	}
 	if *workers < 0 {
-		fail("-workers must be >= 0, got %d", *workers)
+		a.Fail("-workers must be >= 0, got %d", *workers)
 	}
 	if *maxStates < 0 {
-		fail("-max-states must be >= 0, got %d", *maxStates)
+		a.Fail("-max-states must be >= 0, got %d", *maxStates)
 	}
 	if *progress < 0 {
-		fail("-progress must be >= 0, got %v", *progress)
+		a.Fail("-progress must be >= 0, got %v", *progress)
 	}
 
 	failures := 0
@@ -71,7 +82,7 @@ func main() {
 			status = "FAIL: " + err.Error()
 			failures++
 		}
-		fmt.Printf("%-42s %d steps  %s\n", inst.Name, len(inst.Steps), status)
+		fmt.Fprintf(a.Stdout, "%-42s %d steps  %s\n", inst.Name, len(inst.Steps), status)
 	}
 	for _, inst := range []cycles.Instance{
 		cycles.Fig2MaxSG(),
@@ -90,10 +101,10 @@ func main() {
 		verify(inst)
 	}
 
-	fmt.Println("\nnon-weak-acyclicity analyses (exhaustive state-space exploration):")
+	fmt.Fprintln(a.Stdout, "\nnon-weak-acyclicity analyses (exhaustive state-space exploration):")
 	report := func(name string, res cycles.ReachResult, err error, wantStableFree bool) {
 		if err != nil {
-			fmt.Printf("%-42s error: %v\n", name, err)
+			fmt.Fprintf(a.Stdout, "%-42s error: %v\n", name, err)
 			failures++
 			return
 		}
@@ -101,7 +112,7 @@ func main() {
 		if !res.StableReachable {
 			verdict = "no stable state reachable (NOT weakly acyclic)"
 		}
-		fmt.Printf("%-42s %4d states  %s\n", name, res.States, verdict)
+		fmt.Fprintf(a.Stdout, "%-42s %4d states  %s\n", name, res.States, verdict)
 		if wantStableFree == res.StableReachable {
 			failures++
 		}
@@ -125,7 +136,7 @@ func main() {
 					return
 				}
 				last = time.Now()
-				fmt.Fprintf(os.Stderr, "  %s: level %d, %d states, frontier %d, %.1f MB\n",
+				fmt.Fprintf(a.Stderr, "  %s: level %d, %d states, frontier %d, %.1f MB\n",
 					name, p.Level, p.States, p.Frontier, float64(p.Bytes)/(1<<20))
 			}
 		}
@@ -153,10 +164,10 @@ func main() {
 	}, 30000, false)
 
 	if failures > 0 {
-		fmt.Printf("\n%d verification failures\n", failures)
-		os.Exit(1)
+		fmt.Fprintf(a.Stdout, "\n%d verification failures\n", failures)
+		cli.Exit(1)
 	}
-	fmt.Println("\nall verifications behave as documented")
+	fmt.Fprintln(a.Stdout, "\nall verifications behave as documented")
 }
 
 // graphGame bundles one analysis' start network, game and move mode.

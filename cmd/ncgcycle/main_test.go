@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(args ...string) (int, string, string) {
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"stray argument", []string{"stray"}},
+		{"negative workers", []string{"-workers", "-1"}},
+		{"negative max-states", []string{"-max-states", "-5"}},
+		{"negative progress", []string{"-progress", "-1s"}},
+		{"unknown flag", []string{"-frobnicate"}},
+	} {
+		if code, _, _ := runCmd(tc.args...); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+	}
+}
+
+// TestTinyCapSmoke runs the full command with a deliberately tiny state
+// cap: every construction still verifies, every exploration aborts at the
+// cap, and the command reports the failures with exit code 1. This pins
+// the whole pipeline (verification, exploration wiring, reporting) without
+// paying for the full default-cap explorations.
+func TestTinyCapSmoke(t *testing.T) {
+	code, out, _ := runCmd("-max-states", "50", "-workers", "1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (capped explorations must be reported)", code)
+	}
+	if !strings.Contains(out, "Fig3 SUM-ASG") || !strings.Contains(out, "ok") {
+		t.Errorf("verification section incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "state space exceeds 50 states") {
+		t.Errorf("capped explorations not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "verification failures") {
+		t.Errorf("failure summary missing:\n%s", out)
+	}
+}

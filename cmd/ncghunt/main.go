@@ -1,0 +1,277 @@
+// Command ncghunt runs sharded counterexample-hunt campaigns: a grid of
+// instance samplers crossed with game variants, every (sampler, variant,
+// instance) searched for a best-response cycle on the interned state-store
+// explorer. Records stream to JSONL (hits carry the canonical start
+// network and the cycle trace) and an interrupted campaign resumes from
+// the partial file, re-searching only the missing instances. Results are
+// bit-identical at any worker count.
+//
+// Usage:
+//
+//	ncghunt grid
+//	ncghunt run [-samplers a,b] [-variants x,y] [-n n] [-instances k]
+//	            [-seed s] [-max-states m] [-max-hits h]
+//	            [-workers w] [-shard s] [-jsonl path] [-progress]
+//	ncghunt resume -jsonl path [same flags as run]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"ncg/internal/campaign"
+	"ncg/internal/cli"
+)
+
+const usage = `ncghunt — sharded counterexample-hunt campaigns
+
+Usage:
+  ncghunt grid
+      List the built-in instance samplers and game variants (the grid
+      axes of a campaign).
+
+  ncghunt run [flags]
+      Hunt best-response cycles over the samplers x variants grid:
+        -samplers a,b  comma-separated sampler names (default: all)
+        -variants x,y  comma-separated variant names (default: all)
+        -n n           agent count for sized samplers (default 10)
+        -instances k   instances per grid cell (default 100)
+        -seed s        base seed (every instance derives its own stream)
+        -max-states m  per-instance state cap (default 20000)
+        -max-hits h    stop after h hits (0 = search every instance)
+        -workers w     worker goroutines (0 = GOMAXPROCS; never changes
+                       results)
+        -shard s       instances per shard (0 = auto; never changes
+                       results)
+        -jsonl path    stream per-instance records to this JSONL file
+        -progress      print per-shard progress to stderr
+
+  ncghunt resume -jsonl path [flags]
+      Continue an interrupted campaign from a partial JSONL file,
+      re-searching only the instances the file does not fully record.
+      Give the same flags as the original run.
+
+Run "ncghunt grid" to see the available samplers and variants.
+`
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// app wraps the shared CLI scaffolding (internal/cli): Fail/Errorf abort
+// with the right exit code from any depth while run stays testable.
+type app struct {
+	*cli.App
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	return cli.Run("ncghunt", usage, stdout, stderr, func(ca *cli.App) {
+		(&app{ca}).main(args)
+	})
+}
+
+func (a *app) main(args []string) {
+	if len(args) < 1 {
+		a.Fail("no subcommand")
+	}
+	switch args[0] {
+	case "grid":
+		a.cmdGrid(args[1:])
+	case "run":
+		a.cmdRun(args[1:], false)
+	case "resume":
+		a.cmdRun(args[1:], true)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(a.Stdout, usage)
+	default:
+		a.Fail("unknown subcommand %q", args[0])
+	}
+}
+
+func (a *app) cmdGrid(args []string) {
+	if len(args) > 0 {
+		a.Fail("grid takes no arguments")
+	}
+	tw := tabwriter.NewWriter(a.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SAMPLER\tNOTES")
+	for _, smp := range campaign.BuiltinSamplers() {
+		notes := "sized by -n"
+		switch {
+		case smp.Name == "cycle-pendant":
+			notes = "self-sizing (cycle of length 6..13 with pendant paths)"
+		case smp.CheckN != nil:
+			notes = "sized by -n (validated)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", smp.Name, notes)
+	}
+	fmt.Fprintln(tw, "\nVARIANT\tGAME")
+	for _, v := range campaign.BuiltinVariants() {
+		fmt.Fprintf(tw, "%s\t%s\n", v.Name, v.New(10).Name())
+	}
+	tw.Flush()
+}
+
+func (a *app) cmdRun(args []string, resume bool) {
+	sub := "run"
+	if resume {
+		sub = "resume"
+	}
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	fs.SetOutput(a.Stderr)
+	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
+	samplers := fs.String("samplers", "", "comma-separated sampler names (default: all)")
+	variants := fs.String("variants", "", "comma-separated variant names (default: all)")
+	n := fs.Int("n", 10, "agent count for sized samplers")
+	instances := fs.Int("instances", 100, "instances per grid cell")
+	seed := fs.Int64("seed", 1, "base seed")
+	maxStates := fs.Int("max-states", 20000, "per-instance state cap")
+	maxHits := fs.Int("max-hits", 0, "stop after this many hits (0 = all)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	shard := fs.Int("shard", 0, "instances per shard (0 = auto)")
+	jsonlPath := fs.String("jsonl", "", "stream per-instance records to this JSONL file")
+	progress := fs.Bool("progress", false, "print per-shard progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		cli.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		a.Fail("unexpected arguments %v", fs.Args())
+	}
+
+	// Upfront validation: every flag combination error is a usage error,
+	// never a worker panic.
+	switch {
+	case *instances <= 0:
+		a.Fail("-instances must be positive, got %d", *instances)
+	case *maxStates <= 0:
+		a.Fail("-max-states must be positive, got %d", *maxStates)
+	case *maxHits < 0:
+		a.Fail("-max-hits must be >= 0, got %d", *maxHits)
+	case *workers < 0:
+		a.Fail("-workers must be >= 0, got %d", *workers)
+	case *shard < 0:
+		a.Fail("-shard must be >= 0, got %d", *shard)
+	case *n < 1:
+		a.Fail("-n must be >= 1, got %d", *n)
+	case resume && *jsonlPath == "":
+		a.Fail("resume needs -jsonl")
+	}
+	c := campaign.Campaign{
+		Name:      "ncghunt",
+		Samplers:  a.pickSamplers(*samplers, *n),
+		Variants:  a.pickVariants(*variants),
+		N:         *n,
+		Instances: *instances,
+		Seed:      *seed,
+		MaxStates: *maxStates,
+	}
+
+	opt := campaign.Options{
+		MaxHits:   *maxHits,
+		Workers:   *workers,
+		ShardSize: *shard,
+	}
+	if *progress {
+		opt.Progress = func(p campaign.Progress) {
+			fmt.Fprintf(a.Stderr, "  %s/%s [%d,%d): %d searched, %d hits (%d/%d shards)\n",
+				p.Sampler, p.Variant, p.Lo, p.Hi, p.Searched, p.Hits, p.Done, p.Shards)
+		}
+	}
+
+	var sinks []campaign.Sink
+	if *jsonlPath != "" {
+		if resume {
+			cp, sink, err := campaign.ResumeJSONL(*jsonlPath)
+			if err != nil {
+				a.Errorf("%v", err)
+			}
+			fmt.Fprintf(a.Stderr, "ncghunt: resuming, %d instances recovered from %s\n", cp.Len(), *jsonlPath)
+			opt.Done = cp
+			sinks = append(sinks, sink)
+		} else {
+			sink, err := campaign.CreateJSONL(*jsonlPath)
+			if err != nil {
+				a.Errorf("%v", err)
+			}
+			sinks = append(sinks, sink)
+		}
+	}
+	var hits []campaign.Record
+	sinks = append(sinks, campaign.FuncSink(func(rec campaign.Record) error {
+		if rec.Hit {
+			hits = append(hits, rec)
+		}
+		return nil
+	}))
+
+	sum, err := campaign.Run(c, opt, sinks...)
+	if err != nil {
+		a.Errorf("%v", err)
+	}
+
+	tw := tabwriter.NewWriter(a.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sampler\tvariant\tinstances\tsearched\tresamples\thits\tavg states")
+	for _, cl := range sum.Cells {
+		avg := 0.0
+		if cl.Searched > 0 {
+			avg = float64(cl.SumStates) / float64(cl.Searched)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.0f\n",
+			cl.Sampler, cl.Variant, cl.Instances, cl.Searched, cl.Resamples, cl.Hits, avg)
+	}
+	tw.Flush()
+	fmt.Fprintf(a.Stdout, "\n%d instances searched, %d hits\n", sum.Searched, sum.Hits)
+	for _, rec := range hits {
+		fc, err := rec.DecodeCycle()
+		if err != nil {
+			a.Errorf("hit %s/%s #%d: %v", rec.Sampler, rec.Variant, rec.Instance, err)
+		}
+		fmt.Fprintf(a.Stdout, "HIT %s/%s instance %d (n=%d, %d states): %d-move best response cycle\n",
+			rec.Sampler, rec.Variant, rec.Instance, rec.N, rec.States, len(fc.Moves))
+		for _, m := range fc.Moves {
+			fmt.Fprintf(a.Stdout, "  %v\n", m)
+		}
+	}
+}
+
+// pickSamplers resolves the -samplers list (empty: all built-ins) and
+// validates each against the agent count.
+func (a *app) pickSamplers(list string, n int) []campaign.Sampler {
+	var out []campaign.Sampler
+	if list == "" {
+		out = campaign.BuiltinSamplers()
+	} else {
+		for _, name := range strings.Split(list, ",") {
+			smp, ok := campaign.SamplerByName(strings.TrimSpace(name))
+			if !ok {
+				a.Fail("unknown sampler %q; see ncghunt grid", strings.TrimSpace(name))
+			}
+			out = append(out, smp)
+		}
+	}
+	for _, smp := range out {
+		if smp.CheckN != nil {
+			if err := smp.CheckN(n); err != nil {
+				a.Fail("sampler %s: %v", smp.Name, err)
+			}
+		}
+	}
+	return out
+}
+
+// pickVariants resolves the -variants list (empty: all built-ins).
+func (a *app) pickVariants(list string) []campaign.Variant {
+	if list == "" {
+		return campaign.BuiltinVariants()
+	}
+	var out []campaign.Variant
+	for _, name := range strings.Split(list, ",") {
+		v, ok := campaign.VariantByName(strings.TrimSpace(name))
+		if !ok {
+			a.Fail("unknown variant %q; see ncghunt grid", strings.TrimSpace(name))
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the CLI in-process and returns (exit code, stdout,
+// stderr).
+func runCmd(args ...string) (int, string, string) {
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no subcommand", nil},
+		{"unknown subcommand", []string{"frobnicate"}},
+		{"grid with args", []string{"grid", "extra"}},
+		{"unknown sampler", []string{"run", "-samplers", "nope"}},
+		{"unknown variant", []string{"run", "-variants", "nope"}},
+		{"bad instances", []string{"run", "-instances", "0"}},
+		{"bad max-states", []string{"run", "-max-states", "-1"}},
+		{"infeasible budget n", []string{"run", "-samplers", "budget-k3", "-n", "6", "-instances", "1"}},
+		{"resume without jsonl", []string{"resume"}},
+		{"trailing args", []string{"run", "stray"}},
+	} {
+		if code, _, _ := runCmd(tc.args...); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	code, out, _ := runCmd("grid")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"cycle-pendant", "budget-k3", "sum-asg", "max-bg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid output misses %q", want)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	code, out, errOut := runCmd("run",
+		"-samplers", "cycle-pendant", "-variants", "sum-asg",
+		"-instances", "2", "-max-states", "100", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "2 instances searched") {
+		t.Errorf("summary missing searched count:\n%s", out)
+	}
+}
+
+func TestRunAndResumeJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hunt.jsonl")
+	code, _, errOut := runCmd("run",
+		"-samplers", "random-tree", "-variants", "sum-asg",
+		"-n", "5", "-instances", "3", "-max-states", "100", "-jsonl", path)
+	if code != 0 {
+		t.Fatalf("run exit %d, stderr: %s", code, errOut)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.Split(bytes.TrimSpace(full), []byte("\n"))) != 3 {
+		t.Fatalf("expected 3 records, got %q", full)
+	}
+	// Truncate mid-stream and resume: the file must come back identical.
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCmd("resume",
+		"-samplers", "random-tree", "-variants", "sum-asg",
+		"-n", "5", "-instances", "3", "-max-states", "100", "-jsonl", path)
+	if code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, errOut)
+	}
+	resumed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, resumed) {
+		t.Fatal("resumed file differs from the uninterrupted run")
+	}
+}

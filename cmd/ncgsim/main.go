@@ -27,12 +27,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"text/tabwriter"
 
+	"ncg/internal/cli"
 	"ncg/internal/ensemble"
 	"ncg/internal/experiments"
 )
@@ -67,37 +69,45 @@ Usage:
 Run "ncgsim list" to see the available scenarios.
 `
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "ncgsim: "+format+"\n\n", args...)
-	fmt.Fprint(os.Stderr, usage)
-	os.Exit(2)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// app wraps the shared CLI scaffolding (internal/cli): Fail/Errorf abort
+// with the right exit code from any depth while run stays testable.
+type app struct {
+	*cli.App
 }
 
-func main() {
-	if len(os.Args) < 2 {
-		fail("no subcommand")
+func run(args []string, stdout, stderr io.Writer) int {
+	return cli.Run("ncgsim", usage, stdout, stderr, func(ca *cli.App) {
+		(&app{ca}).main(args)
+	})
+}
+
+func (a *app) main(args []string) {
+	if len(args) < 1 {
+		a.Fail("no subcommand")
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
-		cmdList(os.Args[2:])
+		a.cmdList(args[1:])
 	case "run":
-		cmdRun(os.Args[2:], false)
+		a.cmdRun(args[1:], false)
 	case "sweep":
-		cmdRun(os.Args[2:], true)
+		a.cmdRun(args[1:], true)
 	case "fig":
-		cmdFig(os.Args[2:])
+		a.cmdFig(args[1:])
 	case "-h", "-help", "--help", "help":
-		fmt.Print(usage)
+		fmt.Fprint(a.Stdout, usage)
 	default:
-		fail("unknown subcommand %q", os.Args[1])
+		a.Fail("unknown subcommand %q", args[0])
 	}
 }
 
-func cmdList(args []string) {
+func (a *app) cmdList(args []string) {
 	if len(args) > 0 {
-		fail("list takes no arguments")
+		a.Fail("list takes no arguments")
 	}
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(a.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "NAME\tFAMILY\tPOLICY\tNS\tTRIALS\tDESCRIPTION")
 	for _, sc := range ensemble.List() {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%d\t%s\n",
@@ -128,24 +138,24 @@ func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
 
 // validate checks the flag combination up front and returns the explicit
 // grid, nil if the scenario defaults apply.
-func (gf *gridFlags) validate(gridRequired bool) []int {
+func (gf *gridFlags) validate(a *app, gridRequired bool) []int {
 	if gf.trials < 0 {
-		fail("-trials must be positive, got %d", gf.trials)
+		a.Fail("-trials must be positive, got %d", gf.trials)
 	}
 	if gf.nstep <= 0 {
-		fail("-nstep must be positive, got %d", gf.nstep)
+		a.Fail("-nstep must be positive, got %d", gf.nstep)
 	}
 	if (gf.nmin == 0) != (gf.nmax == 0) {
-		fail("-nmin and -nmax must be given together")
+		a.Fail("-nmin and -nmax must be given together")
 	}
 	if gf.nmin == 0 {
 		if gridRequired {
-			fail("an explicit grid is required: give -nmin and -nmax")
+			a.Fail("an explicit grid is required: give -nmin and -nmax")
 		}
 		return nil
 	}
 	if gf.nmin < 1 || gf.nmax < gf.nmin {
-		fail("need 1 <= nmin <= nmax, got nmin=%d nmax=%d", gf.nmin, gf.nmax)
+		a.Fail("need 1 <= nmin <= nmax, got nmin=%d nmax=%d", gf.nmin, gf.nmax)
 	}
 	var ns []int
 	for n := gf.nmin; n <= gf.nmax; n += gf.nstep {
@@ -154,20 +164,22 @@ func (gf *gridFlags) validate(gridRequired bool) []int {
 	return ns
 }
 
-func cmdRun(args []string, gridRequired bool) {
+func (a *app) cmdRun(args []string, gridRequired bool) {
 	sub := "run"
 	if gridRequired {
 		sub = "sweep"
 	}
 	if len(args) < 1 || len(args[0]) == 0 || args[0][0] == '-' {
-		fail("%s needs a scenario name as its first argument", sub)
+		a.Fail("%s needs a scenario name as its first argument", sub)
 	}
 	name := args[0]
 	sc, ok := ensemble.Lookup(name)
 	if !ok {
-		fail("unknown scenario %q; see ncgsim list", name)
+		a.Fail("unknown scenario %q; see ncgsim list", name)
 	}
-	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	fs.SetOutput(a.Stderr)
+	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
 	var gf gridFlags
 	gf.register(fs, true)
 	jsonlPath := fs.String("jsonl", "", "stream per-trial records to this JSONL file")
@@ -175,19 +187,34 @@ func cmdRun(args []string, gridRequired bool) {
 	resume := fs.Bool("resume", false, "resume from a partial -jsonl file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a post-run heap profile to this file")
-	fs.Parse(args[1:])
-	if fs.NArg() > 0 {
-		fail("unexpected arguments %v", fs.Args())
+	if err := fs.Parse(args[1:]); err != nil {
+		cli.Exit(2)
 	}
-	ns := gf.validate(gridRequired)
+	if fs.NArg() > 0 {
+		a.Fail("unexpected arguments %v", fs.Args())
+	}
+	ns := gf.validate(a, gridRequired)
 	if *resume && *jsonlPath == "" {
-		fail("-resume needs -jsonl")
+		a.Fail("-resume needs -jsonl")
 	}
 	if *resume && *csvPath != "" {
 		// Recovered trials are never re-emitted, so a fresh CSV would
 		// silently miss them; regenerate the CSV from the complete JSONL
 		// instead.
-		fail("-resume cannot rebuild a -csv file (recovered trials are not re-emitted); resume with -jsonl only")
+		a.Fail("-resume cannot rebuild a -csv file (recovered trials are not re-emitted); resume with -jsonl only")
+	}
+	// An infeasible agent count (explicit or scenario default) is a usage
+	// error, caught before any trial runs.
+	if sc.CheckN != nil {
+		grid := ns
+		if grid == nil {
+			grid = sc.Ns
+		}
+		for _, n := range grid {
+			if err := sc.CheckN(n); err != nil {
+				a.Fail("scenario %s: %v", name, err)
+			}
+		}
 	}
 
 	opt := ensemble.Options{
@@ -203,17 +230,15 @@ func cmdRun(args []string, gridRequired bool) {
 		if *resume {
 			cp, sink, err := ensemble.ResumeJSONL(*jsonlPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ncgsim:", err)
-				os.Exit(1)
+				a.Errorf("%v", err)
 			}
-			fmt.Fprintf(os.Stderr, "ncgsim: resuming, %d trials recovered from %s\n", cp.Len(), *jsonlPath)
+			fmt.Fprintf(a.Stderr, "ncgsim: resuming, %d trials recovered from %s\n", cp.Len(), *jsonlPath)
 			opt.Done = cp
 			sinks = append(sinks, sink)
 		} else {
 			sink, err := ensemble.CreateJSONL(*jsonlPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ncgsim:", err)
-				os.Exit(1)
+				a.Errorf("%v", err)
 			}
 			sinks = append(sinks, sink)
 		}
@@ -221,21 +246,19 @@ func cmdRun(args []string, gridRequired bool) {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ncgsim:", err)
-			os.Exit(1)
+			a.Errorf("%v", err)
 		}
 		sinks = append(sinks, ensemble.NewCSVSink(f))
 	}
 
-	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles := a.startProfiles(*cpuProfile, *memProfile)
 	sum, err := ensemble.Execute(sc, opt, sinks...)
 	stopProfiles()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ncgsim:", err)
-		os.Exit(1)
+		a.Errorf("%v", err)
 	}
-	fmt.Printf("%s (%s, %s policy)\n\n", sc.Name, sc.Family, sc.Policy)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(a.Stdout, "%s (%s, %s policy)\n\n", sc.Name, sc.Family, sc.Policy)
+	tw := tabwriter.NewWriter(a.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "n\ttrials\tconverged\tcycled\tavg steps\tmin\tmax\tdel/swap/buy/multi")
 	for _, a := range sum.Aggregates {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f\t%d\t%d\t%d/%d/%d/%d\n",
@@ -249,16 +272,14 @@ func cmdRun(args []string, gridRequired bool) {
 // and writes the heap profile, so regressions in run and sweep workloads
 // can be diagnosed with go tool pprof instead of editing code. Empty paths
 // disable the respective profile.
-func startProfiles(cpuPath, memPath string) func() {
+func (a *app) startProfiles(cpuPath, memPath string) func() {
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ncgsim:", err)
-			os.Exit(1)
+			a.Errorf("%v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ncgsim: cpuprofile:", err)
-			os.Exit(1)
+			a.Errorf("cpuprofile: %v", err)
 		}
 	}
 	return func() {
@@ -268,38 +289,40 @@ func startProfiles(cpuPath, memPath string) func() {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ncgsim:", err)
-				os.Exit(1)
+				a.Errorf("%v", err)
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows live retention
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "ncgsim: memprofile:", err)
-				os.Exit(1)
+				a.Errorf("memprofile: %v", err)
 			}
 		}
 	}
 }
 
-func cmdFig(args []string) {
+func (a *app) cmdFig(args []string) {
 	if len(args) < 1 {
-		fail("fig needs a figure number (7, 8, 11, 12, 13, 14)")
+		a.Fail("fig needs a figure number (7, 8, 11, 12, 13, 14)")
 	}
 	num, err := strconv.Atoi(args[0])
 	if err != nil {
-		fail("figure number %q is not an integer", args[0])
+		a.Fail("figure number %q is not an integer", args[0])
 	}
 	switch num {
 	case 7, 8, 11, 12, 13, 14:
 	default:
-		fail("no empirical figure %d: the empirical figures are 7, 8, 11, 12, 13 and 14 (theory figures are verified by cmd/ncgcycle)", num)
+		a.Fail("no empirical figure %d: the empirical figures are 7, 8, 11, 12, 13 and 14 (theory figures are verified by cmd/ncgcycle)", num)
 	}
-	fs := flag.NewFlagSet("fig", flag.ExitOnError)
+	fs := flag.NewFlagSet("fig", flag.ContinueOnError)
+	fs.SetOutput(a.Stderr)
+	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
 	var gf gridFlags
 	gf.register(fs, false)
-	fs.Parse(args[1:])
+	if err := fs.Parse(args[1:]); err != nil {
+		cli.Exit(2)
+	}
 	if fs.NArg() > 0 {
-		fail("unexpected arguments %v", fs.Args())
+		a.Fail("unexpected arguments %v", fs.Args())
 	}
 	if gf.trials == 0 {
 		gf.trials = 100
@@ -314,14 +337,13 @@ func cmdFig(args []string) {
 	if gf.nmax == 0 {
 		gf.nmax = 50
 	}
-	ns := gf.validate(true)
+	ns := gf.validate(a, true)
 
 	opt := experiments.Options{Ns: ns, Trials: gf.trials, Seed: gf.seed, Workers: gf.workers}
 	fr, err := experiments.Figure(num, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ncgsim:", err)
-		os.Exit(1)
+		a.Errorf("%v", err)
 	}
-	fmt.Print(fr.Render())
-	fmt.Printf("\nworst max-steps/n over the grid: %.2f\n", fr.Bound())
+	fmt.Fprint(a.Stdout, fr.Render())
+	fmt.Fprintf(a.Stdout, "\nworst max-steps/n over the grid: %.2f\n", fr.Bound())
 }

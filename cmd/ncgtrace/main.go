@@ -12,24 +12,64 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"ncg/internal/cli"
 	"ncg/internal/dynamics"
 	"ncg/internal/game"
 	"ncg/internal/gen"
 	"ncg/internal/graph"
 )
 
-func main() {
-	n := flag.Int("n", 9, "number of agents")
-	gameName := flag.String("game", "max-sg", "game: sum-sg, max-sg, sum-asg, max-asg, sum-gbg, max-gbg")
-	alphaNum := flag.Int64("alpha-num", 1, "edge price numerator (buy games)")
-	alphaDen := flag.Int64("alpha-den", 1, "edge price denominator")
-	policyName := flag.String("policy", "maxcost-det", "policy: maxcost, maxcost-det, random")
-	initName := flag.String("init", "path", "initial network: path, cycle, random-tree, budget-k (k via -k)")
-	k := flag.Int("k", 1, "budget for -init budget-k")
-	seed := flag.Int64("seed", 1, "seed for random choices")
-	flag.Parse()
+const usage = `ncgtrace — trace a single network creation process step by step
+
+Usage:
+  ncgtrace [-n 9] [-game max-sg] [-alpha-num 1 -alpha-den 1]
+           [-policy maxcost-det] [-init path] [-k 1] [-seed 1]
+
+Games:    sum-sg, max-sg, sum-asg, max-asg, sum-gbg, max-gbg.
+Policies: maxcost, maxcost-det, random.
+Initial networks: path, cycle, random-tree, budget-k (budget via -k).
+`
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// app wraps the shared CLI scaffolding (internal/cli): Fail/Errorf abort
+// with the right exit code from any depth while run stays testable.
+type app struct {
+	*cli.App
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	return cli.Run("ncgtrace", usage, stdout, stderr, func(ca *cli.App) {
+		(&app{ca}).main(args)
+	})
+}
+
+func (a *app) main(args []string) {
+	fs := flag.NewFlagSet("ncgtrace", flag.ContinueOnError)
+	fs.SetOutput(a.Stderr)
+	n := fs.Int("n", 9, "number of agents")
+	gameName := fs.String("game", "max-sg", "game: sum-sg, max-sg, sum-asg, max-asg, sum-gbg, max-gbg")
+	alphaNum := fs.Int64("alpha-num", 1, "edge price numerator (buy games)")
+	alphaDen := fs.Int64("alpha-den", 1, "edge price denominator")
+	policyName := fs.String("policy", "maxcost-det", "policy: maxcost, maxcost-det, random")
+	initName := fs.String("init", "path", "initial network: path, cycle, random-tree, budget-k (k via -k)")
+	k := fs.Int("k", 1, "budget for -init budget-k")
+	seed := fs.Int64("seed", 1, "seed for random choices")
+	if err := fs.Parse(args); err != nil {
+		cli.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		a.Fail("unexpected arguments %v", fs.Args())
+	}
+	if *n < 1 {
+		a.Fail("-n must be >= 1, got %d", *n)
+	}
+	if *alphaDen <= 0 {
+		a.Fail("-alpha-den must be positive, got %d", *alphaDen)
+	}
 
 	var gm game.Game
 	alpha := game.NewAlpha(*alphaNum, *alphaDen)
@@ -47,8 +87,7 @@ func main() {
 	case "max-gbg":
 		gm = game.NewGreedyBuy(game.Max, alpha)
 	default:
-		fmt.Fprintln(os.Stderr, "ncgtrace: unknown game", *gameName)
-		os.Exit(1)
+		a.Fail("unknown game %q", *gameName)
 	}
 
 	var pol dynamics.Policy
@@ -63,8 +102,7 @@ func main() {
 		pol = dynamics.Random{}
 		tie = dynamics.TieRandom
 	default:
-		fmt.Fprintln(os.Stderr, "ncgtrace: unknown policy", *policyName)
-		os.Exit(1)
+		a.Fail("unknown policy %q", *policyName)
 	}
 
 	var g *graph.Graph
@@ -77,23 +115,26 @@ func main() {
 	case "random-tree":
 		g = gen.RandomTree(*n, r)
 	case "budget-k":
+		// Validate before the generator's internal-invariant panic.
+		if err := gen.ValidateBudget(*n, *k); err != nil {
+			a.Fail("%v", err)
+		}
 		g = gen.BudgetNetwork(*n, *k, r)
 	default:
-		fmt.Fprintln(os.Stderr, "ncgtrace: unknown init", *initName)
-		os.Exit(1)
+		a.Fail("unknown init %q", *initName)
 	}
 
-	fmt.Printf("initial: %v\n", g)
+	fmt.Fprintf(a.Stdout, "initial: %v\n", g)
 	res := dynamics.Run(g, dynamics.Config{
 		Game:   gm,
 		Policy: pol,
 		Tie:    tie,
 		Seed:   *seed,
 		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
-			fmt.Printf("step %3d: %v   -> diameter %d\n", step, mv, g.Diameter())
+			fmt.Fprintf(a.Stdout, "step %3d: %v   -> diameter %d\n", step, mv, g.Diameter())
 		},
 	})
-	fmt.Printf("final:   %v\n", g)
-	fmt.Printf("steps=%d converged=%v star=%v double-star=%v\n",
+	fmt.Fprintf(a.Stdout, "final:   %v\n", g)
+	fmt.Fprintf(a.Stdout, "steps=%d converged=%v star=%v double-star=%v\n",
 		res.Steps, res.Converged, g.IsStar(), g.IsDoubleStar())
 }

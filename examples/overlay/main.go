@@ -43,7 +43,7 @@ func main() {
 
 	// The paper's motivation: selfishly built stable networks are
 	// near-optimal. Compare against the social optimum for this alpha.
-	rep := ncg.EvaluateQuality(g, gm)
+	rep := ncg.EvaluateQuality(g, gm, nil)
 	fmt.Printf("social cost vs optimum: %.2fx (diameter %d)\n", rep.Ratio, rep.Diameter)
 	fmt.Printf("phase profile: %s\n", ncg.ProfilePhases(res.Kinds))
 }

@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"ncg/internal/search"
+)
+
+// TestSweepFamilyMatchesFig6Minimal: the sharded Figure 6 sweep returns
+// exactly the sequential search's first candidate (the network that pins
+// the repository's Figure 6 instance), at any worker count.
+func TestSweepFamilyMatchesFig6Minimal(t *testing.T) {
+	want := search.Fig6CandidatesMinimal(1)
+	if len(want) != 1 {
+		t.Fatal("sequential search found nothing")
+	}
+	var hits []Record
+	got, sum, err := SweepFamily(search.Fig6MinimalFamily(), 1, Options{Workers: 4},
+		FuncSink(func(rec Record) error {
+			if rec.Hit {
+				hits = append(hits, rec)
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(want[0]) {
+		t.Fatalf("campaign sweep found %d candidates, differing from the sequential search", len(got))
+	}
+	if sum.Hits != 1 || len(hits) != 1 {
+		t.Fatalf("summary %+v, hit records %d", sum, len(hits))
+	}
+	// The hit record carries the designated cycle, and it closes.
+	fc, err := hits[0].DecodeCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Moves) != 4 {
+		t.Fatalf("designated cycle has %d moves, want 4", len(fc.Moves))
+	}
+	if !fc.States[0].Equal(want[0]) {
+		t.Fatal("cycle must start at the accepted candidate")
+	}
+}
+
+// TestSweepFamilyMatchesFig10: the sharded Figure 10 tree sweep matches
+// the sequential Prüfer enumeration's first base network.
+func TestSweepFamilyMatchesFig10(t *testing.T) {
+	want := search.Fig10Candidates(false, 1)
+	if len(want) != 1 {
+		t.Fatal("sequential search found nothing")
+	}
+	got, sum, err := SweepFamily(search.Fig10Family(), 1, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(want[0]) {
+		t.Fatalf("campaign sweep found %d candidates, differing from the sequential search", len(got))
+	}
+	if sum.Hits != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+// TestSweepFamilyWorkerInvariance shards a prefix of the huge Figure 5
+// family and checks the full record stream is identical at any worker
+// count (the prefix holds no hit, which is exactly the regime a long
+// campaign spends its time in).
+func TestSweepFamilyWorkerInvariance(t *testing.T) {
+	f := search.Fig5MinimalFamily()
+	f.Total = 6000 // prefix: keep the test fast
+	run := func(workers int) ([]Record, Summary) {
+		var recs []Record
+		_, sum, err := SweepFamily(f, 0, Options{Workers: workers, ShardSize: 64},
+			FuncSink(func(rec Record) error {
+				recs = append(recs, rec)
+				return nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs, sum
+	}
+	ref, refSum := run(1)
+	if refSum.Instances != 6000 {
+		t.Fatalf("reference summary %+v", refSum)
+	}
+	recs, sum := run(4)
+	if !reflect.DeepEqual(ref, recs) || !reflect.DeepEqual(sum, refSum) {
+		t.Fatal("sharded family sweep differs from the sequential one")
+	}
+}

@@ -1,0 +1,59 @@
+// Package cli carries the shared scaffolding of the repository's
+// command-line tools: a panic-based exit protocol that lets command
+// bodies abort from any call depth while keeping main() testable (tests
+// call the command's run function in-process and read the exit code).
+package cli
+
+import (
+	"fmt"
+	"io"
+)
+
+// exitCode carries the process exit status through panics.
+type exitCode int
+
+// App is one command invocation's context: its name (the error prefix),
+// usage text and output streams.
+type App struct {
+	Name   string
+	Usage  string
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// Run executes body with a fresh App, translating Exit/Fail/Errorf aborts
+// into the returned process exit code (0 when body returns normally).
+func Run(name, usage string, stdout, stderr io.Writer, body func(a *App)) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(exitCode)
+			if !ok {
+				panic(r)
+			}
+			code = int(c)
+		}
+	}()
+	body(&App{Name: name, Usage: usage, Stdout: stdout, Stderr: stderr})
+	return 0
+}
+
+// Exit aborts the command with the given exit code.
+func Exit(code int) {
+	panic(exitCode(code))
+}
+
+// Fail reports a usage error — the message followed by the usage text —
+// and exits 2.
+func (a *App) Fail(format string, args ...any) {
+	fmt.Fprintf(a.Stderr, a.Name+": "+format+"\n", args...)
+	if a.Usage != "" {
+		fmt.Fprint(a.Stderr, "\n"+a.Usage)
+	}
+	Exit(2)
+}
+
+// Errorf reports a runtime error and exits 1.
+func (a *App) Errorf(format string, args ...any) {
+	fmt.Fprintf(a.Stderr, a.Name+": "+format+"\n", args...)
+	Exit(1)
+}

@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExitProtocol(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := Run("tool", "usage text\n", &out, &errOut, func(a *App) {})
+	if code != 0 {
+		t.Fatalf("normal return: exit %d", code)
+	}
+
+	code = Run("tool", "usage text\n", &out, &errOut, func(a *App) {
+		a.Fail("bad flag %d", 7)
+	})
+	if code != 2 {
+		t.Fatalf("Fail: exit %d, want 2", code)
+	}
+	if s := errOut.String(); !strings.Contains(s, "tool: bad flag 7") || !strings.Contains(s, "usage text") {
+		t.Fatalf("Fail output: %q", s)
+	}
+
+	errOut.Reset()
+	code = Run("tool", "usage text\n", &out, &errOut, func(a *App) {
+		a.Errorf("broke: %v", "io")
+	})
+	if code != 1 {
+		t.Fatalf("Errorf: exit %d, want 1", code)
+	}
+	if s := errOut.String(); !strings.Contains(s, "tool: broke: io") || strings.Contains(s, "usage text") {
+		t.Fatalf("Errorf output: %q", s)
+	}
+
+	code = Run("tool", "", &out, &errOut, func(a *App) { Exit(3) })
+	if code != 3 {
+		t.Fatalf("Exit: exit %d, want 3", code)
+	}
+}
+
+func TestRunRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic must propagate")
+		}
+	}()
+	Run("tool", "", &bytes.Buffer{}, &bytes.Buffer{}, func(a *App) {
+		panic("unexpected")
+	})
+}

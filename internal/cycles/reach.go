@@ -322,6 +322,19 @@ type FoundCycle struct {
 // each, no clones — and are recognized by fingerprint with byte
 // verification.
 func FindBestResponseCycle(start *graph.Graph, gm game.Game, maxStates int) *FoundCycle {
+	fc, _ := SearchBestResponseCycle(start, gm, maxStates)
+	return fc
+}
+
+// SearchBestResponseCycle is FindBestResponseCycle reporting, in addition,
+// the number of distinct states interned before the search stopped — the
+// campaign spine's per-instance work measure. The search is deterministic,
+// so the count is exact: the full reachable-space size when the search
+// completes below the cap. An aborted search stops descending once the
+// cap is crossed but still interns the in-progress expansions' remaining
+// successors on the way out (unchanged from FindBestResponseCycle's
+// long-standing behaviour), so the reported count may overshoot the cap.
+func SearchBestResponseCycle(start *graph.Graph, gm game.Game, maxStates int) (*FoundCycle, int) {
 	n := start.N()
 	owned := gm.OwnershipMatters()
 	tables := state.NewTables(n)
@@ -398,5 +411,5 @@ func FindBestResponseCycle(start *graph.Graph, gm game.Game, maxStates int) *Fou
 		stackRefs = stackRefs[:len(stackRefs)-1]
 	}
 	dfs(rootRef)
-	return found
+	return found, count
 }

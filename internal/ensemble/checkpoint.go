@@ -1,12 +1,10 @@
 package ensemble
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
-	"os"
+
+	"ncg/internal/jsonl"
 )
 
 // Checkpoint holds the trials recovered from a partial JSONL record file.
@@ -59,36 +57,20 @@ func (c *Checkpoint) outside(ns []int, trials int) (n, trial int, ok bool) {
 // line — or anything following the first unparseable line — is ignored, so
 // resuming re-runs exactly the trials the file does not fully record.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	cp := &Checkpoint{recs: make(map[[2]int]Record)}
+	good, err := jsonl.ScanFile(path, func(line []byte) bool {
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Scenario == "" {
+			return false
+		}
+		cp.recs[[2]int{rec.N, rec.Trial}] = rec
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	cp := &Checkpoint{recs: make(map[[2]int]Record)}
-	br := bufio.NewReader(f)
-	for {
-		line, err := br.ReadBytes('\n')
-		if err == io.EOF {
-			// No trailing newline: a write was cut mid-line; drop it.
-			return cp, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		trimmed := bytes.TrimSpace(line)
-		if len(trimmed) == 0 {
-			cp.goodBytes += int64(len(line))
-			continue
-		}
-		var rec Record
-		if json.Unmarshal(trimmed, &rec) != nil || rec.Scenario == "" {
-			// A corrupt line: treat it and everything after as the
-			// truncated tail.
-			return cp, nil
-		}
-		cp.recs[[2]int{rec.N, rec.Trial}] = rec
-		cp.goodBytes += int64(len(line))
-	}
+	cp.goodBytes = good
+	return cp, nil
 }
 
 // ResumeJSONL prepares a partial JSONL record file for resumption: it
@@ -101,16 +83,8 @@ func ResumeJSONL(path string) (*Checkpoint, *JSONLSink, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	f, err := jsonl.OpenResume(path, cp.goodBytes)
 	if err != nil {
-		return nil, nil, err
-	}
-	if err := f.Truncate(cp.goodBytes); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	if _, err := f.Seek(cp.goodBytes, io.SeekStart); err != nil {
-		f.Close()
 		return nil, nil, err
 	}
 	return cp, NewJSONLSink(f), nil

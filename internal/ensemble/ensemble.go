@@ -106,6 +106,12 @@ type Scenario struct {
 	// NewInitial draws a random initial network from the scenario's
 	// ensemble.
 	NewInitial func(n int, r *gen.Rand) *graph.Graph
+	// CheckN, if non-nil, validates an agent count before any trial runs.
+	// Execute rejects a grid containing an invalid n up front, so an
+	// infeasible parameter combination (e.g. a budget-k ensemble with
+	// n <= 2k) surfaces as a configuration error instead of a generator
+	// panic deep inside a worker.
+	CheckN func(n int) error
 	// Policy selects the move policy.
 	Policy PolicyKind
 	// Tie breaks among best moves (zero value: random ties).

@@ -187,6 +187,13 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if sc.CheckN != nil {
+		for _, n := range ns {
+			if err := sc.CheckN(n); err != nil {
+				return Summary{}, fmt.Errorf("ensemble: scenario %q: %v", sc.Name, err)
+			}
+		}
+	}
 	shardSize := opt.ShardSize
 	if shardSize <= 0 {
 		// Target a few shards per worker and n for load balance.

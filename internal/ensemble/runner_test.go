@@ -143,12 +143,23 @@ func TestExecuteSummaryMatchesRecords(t *testing.T) {
 	}
 }
 
-// TestExecuteInfeasibleGridErrors checks that a generator panic (budget
-// ensemble with n <= 2k) surfaces as an error, not a crash.
+// TestExecuteInfeasibleGridErrors checks that an infeasible agent count
+// (budget ensemble with n <= 2k) is rejected by the scenario's CheckN
+// before any trial runs or record is written, and that scenarios without
+// CheckN still convert generator panics into errors instead of crashing.
 func TestExecuteInfeasibleGridErrors(t *testing.T) {
 	sc := testScenario() // budget k=2 needs n > 4
-	if _, err := Execute(sc, Options{Ns: []int{4}, Trials: 2, Seed: 1}); err == nil {
+	var buf bytes.Buffer
+	if _, err := Execute(sc, Options{Ns: []int{8, 4}, Trials: 2, Seed: 1}, NewJSONLSink(&buf)); err == nil {
 		t.Fatal("expected an error for an infeasible grid")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("upfront validation must precede execution, wrote %q", buf.String())
+	}
+	unchecked := sc
+	unchecked.CheckN = nil
+	if _, err := Execute(unchecked, Options{Ns: []int{4}, Trials: 2, Seed: 1}); err == nil {
+		t.Fatal("expected the generator panic to surface as an error")
 	}
 }
 

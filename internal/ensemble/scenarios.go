@@ -24,8 +24,19 @@ func budget(k int) func(n int, r *gen.Rand) *graph.Graph {
 	return func(n int, r *gen.Rand) *graph.Graph { return gen.BudgetNetwork(n, k, r) }
 }
 
+// budgetCheck is the upfront grid validation of the budget-k ensembles.
+func budgetCheck(k int) func(n int) error {
+	return func(n int) error { return gen.ValidateBudget(n, k) }
+}
+
 func randomConn(mMul int) func(n int, r *gen.Rand) *graph.Graph {
 	return func(n int, r *gen.Rand) *graph.Graph { return gen.RandomConnected(n, mMul*n, r) }
+}
+
+// randomConnCheck is the upfront grid validation of the m = mMul*n
+// ensembles.
+func randomConnCheck(mMul int) func(n int) error {
+	return func(n int) error { return gen.ValidateConnected(n, mMul*n) }
 }
 
 func randomTree(n int, r *gen.Rand) *graph.Graph { return gen.RandomTree(n, r) }
@@ -59,6 +70,7 @@ func init() {
 		Family:      FamilySwap,
 		NewGame:     func(int) game.Game { return game.NewSwap(game.Sum) },
 		NewInitial:  budget(3),
+		CheckN:      budgetCheck(3),
 		Policy:      MaxCost,
 		Ns:          grid,
 		Trials:      60,
@@ -70,6 +82,7 @@ func init() {
 		Family:      FamilySwap,
 		NewGame:     func(int) game.Game { return game.NewSwap(game.Max) },
 		NewInitial:  budget(3),
+		CheckN:      budgetCheck(3),
 		Policy:      Random,
 		Ns:          grid,
 		Trials:      60,
@@ -83,6 +96,7 @@ func init() {
 		Family:      FamilyAsymSwap,
 		NewGame:     func(int) game.Game { return game.NewAsymSwap(game.Sum) },
 		NewInitial:  budget(2),
+		CheckN:      budgetCheck(2),
 		Policy:      MaxCost,
 		Ns:          grid,
 		Trials:      60,
@@ -94,6 +108,7 @@ func init() {
 		Family:      FamilyAsymSwap,
 		NewGame:     func(int) game.Game { return game.NewAsymSwap(game.Sum) },
 		NewInitial:  budget(2),
+		CheckN:      budgetCheck(2),
 		Policy:      Random,
 		Ns:          grid,
 		Trials:      60,
@@ -105,6 +120,7 @@ func init() {
 		Family:      FamilyAsymSwap,
 		NewGame:     func(int) game.Game { return game.NewAsymSwap(game.Max) },
 		NewInitial:  budget(2),
+		CheckN:      budgetCheck(2),
 		Policy:      MaxCost,
 		Ns:          grid,
 		Trials:      60,
@@ -129,6 +145,7 @@ func init() {
 		Family:      FamilyGreedyBuy,
 		NewGame:     gbg(game.Sum, 4),
 		NewInitial:  randomConn(1),
+		CheckN:      randomConnCheck(1),
 		Policy:      MaxCost,
 		Ns:          grid,
 		Trials:      60,
@@ -151,6 +168,7 @@ func init() {
 		Family:      FamilyGreedyBuy,
 		NewGame:     gbg(game.Max, 4),
 		NewInitial:  randomConn(1),
+		CheckN:      randomConnCheck(1),
 		Policy:      MaxCost,
 		Ns:          grid,
 		Trials:      60,
@@ -173,6 +191,7 @@ func init() {
 		Family:      FamilyGreedyBuy,
 		NewGame:     gbg(game.Sum, 1),
 		NewInitial:  randomConn(4),
+		CheckN:      randomConnCheck(4),
 		Policy:      Random,
 		Ns:          grid,
 		Trials:      60,

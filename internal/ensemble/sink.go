@@ -1,11 +1,12 @@
 package ensemble
 
 import (
-	"bufio"
 	"encoding/json"
 	"io"
 	"os"
 	"strconv"
+
+	"ncg/internal/jsonl"
 )
 
 // Record is the result of one trial, the unit streamed to sinks. Field
@@ -32,33 +33,11 @@ type Sink interface {
 	Close() error
 }
 
-// bufSink is the shared buffered-writer scaffolding of the stream sinks:
-// it owns the buffer and closes the underlying writer if it is a Closer.
-type bufSink struct {
-	bw *bufio.Writer
-	c  io.Closer
-}
+// bufSink is the shared buffered-writer scaffolding of the stream sinks
+// (owned by internal/jsonl so the campaign spine's sinks reuse it).
+type bufSink = jsonl.BufWriter
 
-func newBufSink(w io.Writer) bufSink {
-	s := bufSink{bw: bufio.NewWriter(w)}
-	if c, ok := w.(io.Closer); ok {
-		s.c = c
-	}
-	return s
-}
-
-// Flush pushes buffered records to the underlying writer.
-func (s *bufSink) Flush() error { return s.bw.Flush() }
-
-func (s *bufSink) Close() error {
-	err := s.bw.Flush()
-	if s.c != nil {
-		if cerr := s.c.Close(); err == nil {
-			err = cerr
-		}
-	}
-	return err
-}
+func newBufSink(w io.Writer) bufSink { return jsonl.NewBufWriter(w) }
 
 // JSONLSink streams records as one JSON object per line. Records are
 // encoded into a reusable buffer by a hand-rolled encoder that produces
@@ -92,13 +71,13 @@ func (s *JSONLSink) Write(rec Record) error {
 		if err != nil {
 			return err
 		}
-		if _, err := s.bw.Write(b); err != nil {
+		if _, err := s.W.Write(b); err != nil {
 			return err
 		}
-		return s.bw.WriteByte('\n')
+		return s.W.WriteByte('\n')
 	}
 	s.enc = appendRecordJSON(s.enc[:0], rec)
-	_, err := s.bw.Write(s.enc)
+	_, err := s.W.Write(s.enc)
 	return err
 }
 
@@ -180,7 +159,7 @@ func NewCSVSink(w io.Writer) *CSVSink {
 func (s *CSVSink) Write(rec Record) error {
 	if !s.header {
 		s.header = true
-		if _, err := s.bw.WriteString("scenario,n,trial,seed,steps,converged,cycled,deletes,swaps,buys,multis\n"); err != nil {
+		if _, err := s.W.WriteString("scenario,n,trial,seed,steps,converged,cycled,deletes,swaps,buys,multis\n"); err != nil {
 			return err
 		}
 	}
@@ -203,7 +182,7 @@ func (s *CSVSink) Write(rec Record) error {
 	}
 	buf = append(buf, '\n')
 	s.enc = buf
-	_, err := s.bw.Write(buf)
+	_, err := s.W.Write(buf)
 	return err
 }
 

@@ -31,11 +31,20 @@ func TestAllCostsMatchesPerAgent(t *testing.T) {
 			if len(got) != gr.N() {
 				t.Fatalf("%s graph %d: %d costs, want %d", gm.Name(), gi, len(got), gr.N())
 			}
+			var wantHalves, wantDist int64
 			for u := 0; u < gr.N(); u++ {
 				want := gm.Cost(gr, u, s)
 				if got[u] != want {
 					t.Fatalf("%s graph %d agent %d: %v, want %v", gm.Name(), gi, u, got[u], want)
 				}
+				wantHalves += want.Halves
+				wantDist += want.Dist
+			}
+			// The fold form must agree with the materialized slice.
+			halves, dist := TotalCost(gr, gm, s)
+			if halves != wantHalves || dist != wantDist {
+				t.Fatalf("%s graph %d: TotalCost = (%d, %d), want (%d, %d)",
+					gm.Name(), gi, halves, dist, wantHalves, wantDist)
 			}
 		}
 	}

@@ -88,6 +88,20 @@ func AllCosts(g *graph.Graph, gm Game, s *Scratch, dst []Cost) []Cost {
 		}
 		return dst
 	}
+	res := allSourcesResults(g, s)
+	kind := gm.DistKind()
+	for u := 0; u < n; u++ {
+		h, _ := EdgeCostHalves(gm, g, u)
+		dst = append(dst, Cost{Halves: h, Dist: distCost(res[u], n, kind)})
+	}
+	return dst
+}
+
+// allSourcesResults runs the batched all-sources BFS pass into the
+// scratch's reusable result buffer — the shared scaffolding of AllCosts
+// and TotalCost.
+func allSourcesResults(g *graph.Graph, s *Scratch) []graph.BFSResult {
+	n := g.N()
 	if s.batch == nil {
 		s.batch = graph.NewBatchBFSScratch(n)
 	}
@@ -96,12 +110,35 @@ func AllCosts(g *graph.Graph, gm Game, s *Scratch, dst []Cost) []Cost {
 	}
 	res := s.resBuf[:n]
 	g.AllSourcesBFS(nil, res, s.batch)
+	return res
+}
+
+// TotalCost sums every agent's cost of g under gm — the social cost in
+// alpha/2 edge units and distance units — without materializing the
+// per-agent slice. It is the fold form of AllCosts for metrics-in-a-loop
+// callers (quality scoring of campaign hits, ensemble sinks): with a warm
+// Scratch the batched path allocates nothing.
+func TotalCost(g *graph.Graph, gm Game, s *Scratch) (halves, dist int64) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0
+	}
+	if _, ok := EdgeCostHalves(gm, g, 0); !ok {
+		for u := 0; u < n; u++ {
+			c := gm.Cost(g, u, s)
+			halves += c.Halves
+			dist += c.Dist
+		}
+		return halves, dist
+	}
+	res := allSourcesResults(g, s)
 	kind := gm.DistKind()
 	for u := 0; u < n; u++ {
 		h, _ := EdgeCostHalves(gm, g, u)
-		dst = append(dst, Cost{Halves: h, Dist: distCost(res[u], n, kind)})
+		halves += h
+		dist += distCost(res[u], n, kind)
 	}
-	return dst
+	return halves, dist
 }
 
 // Scratch bundles the reusable buffers of cost and best-response

@@ -47,11 +47,12 @@ func Seed(base int64, idx ...uint64) int64 {
 //     pairs, owned by the first, until every agent owns exactly k edges.
 //
 // The construction requires n > 2k (otherwise some agent cannot place all
-// her edges); BudgetNetwork panics on infeasible parameters and retries
-// internally on the rare dead ends of the random process.
+// her edges). Infeasible parameters are an internal invariant violation:
+// BudgetNetwork panics on them, so anything wired to user input (CLI
+// flags, scenario grids) must reject them first via ValidateBudget.
 func BudgetNetwork(n, k int, r *rand.Rand) *graph.Graph {
-	if k < 1 || n <= 2*k {
-		panic(fmt.Sprintf("gen: BudgetNetwork needs n > 2k, got n=%d k=%d", n, k))
+	if err := ValidateBudget(n, k); err != nil {
+		panic("gen: " + err.Error())
 	}
 	for attempt := 0; attempt < 1000; attempt++ {
 		if g, ok := tryBudgetNetwork(n, k, r); ok {
@@ -59,6 +60,27 @@ func BudgetNetwork(n, k int, r *rand.Rand) *graph.Graph {
 		}
 	}
 	panic(fmt.Sprintf("gen: BudgetNetwork(n=%d, k=%d) failed to complete", n, k))
+}
+
+// ValidateBudget reports whether the BudgetNetwork parameters are
+// feasible: k >= 1 and n > 2k. Callers translating user input into
+// ensembles should check this up front and surface the error as a usage
+// problem; BudgetNetwork itself keeps the panic as an internal invariant.
+func ValidateBudget(n, k int) error {
+	if k < 1 || n <= 2*k {
+		return fmt.Errorf("budget ensemble needs k >= 1 and n > 2k, got n=%d k=%d", n, k)
+	}
+	return nil
+}
+
+// ValidateConnected reports whether the RandomConnected parameters are
+// feasible: n - 1 <= m <= n(n-1)/2 (the same check usable on user input
+// before RandomConnected's internal-invariant panic).
+func ValidateConnected(n, m int) error {
+	if maxM := n * (n - 1) / 2; m < n-1 || m > maxM {
+		return fmt.Errorf("connected ensemble needs n-1 <= m <= %d, got n=%d m=%d", maxM, n, m)
+	}
+	return nil
 }
 
 func tryBudgetNetwork(n, k int, r *rand.Rand) (*graph.Graph, bool) {
@@ -154,11 +176,11 @@ func chooseOwner(u, v int, owned []int, k int, r *rand.Rand) (int, bool) {
 // RandomConnected builds a connected network on n agents with exactly m
 // edges per Section 4.2.1: a random spanning tree first, then uniformly
 // random fill-in edges, each edge owned by a uniformly random endpoint.
-// It panics unless n-1 <= m <= n(n-1)/2.
+// It panics unless n-1 <= m <= n(n-1)/2 (pre-check user input with
+// ValidateConnected).
 func RandomConnected(n, m int, r *rand.Rand) *graph.Graph {
-	maxM := n * (n - 1) / 2
-	if m < n-1 || m > maxM {
-		panic(fmt.Sprintf("gen: RandomConnected needs n-1 <= m <= %d, got n=%d m=%d", maxM, n, m))
+	if err := ValidateConnected(n, m); err != nil {
+		panic("gen: " + err.Error())
 	}
 	g := graph.New(n)
 	// Random spanning tree by random attachment, as in Section 3.4.1 but

@@ -42,6 +42,29 @@ func TestBudgetNetworkPanicsOnInfeasible(t *testing.T) {
 	BudgetNetwork(6, 3, NewRand(1))
 }
 
+func TestValidateMatchesPanicBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		ok   bool
+	}{
+		{7, 3, true}, {6, 3, false}, {5, 2, true}, {4, 2, false}, {10, 0, false},
+	} {
+		if got := ValidateBudget(tc.n, tc.k) == nil; got != tc.ok {
+			t.Errorf("ValidateBudget(%d, %d) ok = %v, want %v", tc.n, tc.k, got, tc.ok)
+		}
+	}
+	for _, tc := range []struct {
+		n, m int
+		ok   bool
+	}{
+		{5, 4, true}, {5, 10, true}, {5, 3, false}, {5, 11, false},
+	} {
+		if got := ValidateConnected(tc.n, tc.m) == nil; got != tc.ok {
+			t.Errorf("ValidateConnected(%d, %d) ok = %v, want %v", tc.n, tc.m, got, tc.ok)
+		}
+	}
+}
+
 func TestRandomConnectedInvariants(t *testing.T) {
 	r := NewRand(2)
 	for _, tc := range []struct{ n, m int }{

@@ -1,22 +1,22 @@
+// Package hunt is the structured hunt for unit-budget best response
+// cycles (Theorem 3.7 / Section 3.3), running on the campaign spine.
+// Uniformly random unit-budget networks essentially never cycle (the
+// paper's own simulations, reproduced by internal/experiments, never met
+// one), but the constructions of Figures 5 and 6 share a shape: one long
+// cycle with pendant paths. HuntUnitBudgetCycle samples that family
+// deterministically and searches each instance's best-response state
+// graph for a directed cycle.
 package hunt
 
 import (
-	"math/rand"
+	"fmt"
 
+	"ncg/internal/campaign"
 	"ncg/internal/cycles"
 	"ncg/internal/game"
 	"ncg/internal/gen"
 	"ncg/internal/graph"
-	"ncg/internal/search"
 )
-
-// Structured hunting for unit-budget best response cycles (Theorem 3.7 /
-// Section 3.3). Uniformly random unit-budget networks essentially never
-// cycle (the paper's own simulations, reproduced by internal/experiments,
-// never met one), but the constructions of Figures 5 and 6 share a shape:
-// one long cycle with pendant paths. HuntUnitBudgetCycle samples that
-// family deterministically and searches each instance's best-response
-// state graph for a directed cycle.
 
 // HuntResult is a best-response cycle found on a unit-budget network.
 type HuntResult struct {
@@ -28,57 +28,71 @@ type HuntResult struct {
 	Instance int
 }
 
-// HuntUnitBudgetCycle samples maxInstances structured unit-budget networks
-// for the given ASG distance kind and returns the first one whose
+// HuntUnitBudgetCycle searches maxInstances structured unit-budget
+// networks for the given ASG distance kind and returns the first one whose
 // best-response state graph (capped at stateCap states per instance)
-// contains a cycle, or nil.
-func HuntUnitBudgetCycle(kind game.DistKind, seed int64, maxInstances, stateCap int) *HuntResult {
-	gm := game.NewAsymSwap(kind)
-	for i := 0; i < maxInstances; i++ {
-		g := SampleCyclePendantNetwork(gen.Seed(seed, uint64(i)))
-		if g == nil {
-			continue
-		}
-		if fc := cycles.FindBestResponseCycle(g, gm, stateCap); fc != nil {
-			return &HuntResult{Start: g, Cycle: fc, Instance: i}
-		}
+// contains a cycle (nil if none does), together with the number of
+// instances actually searched. Degenerate samples never consume the
+// instance budget: they are redrawn from fresh derived seeds, so the
+// search visits exactly min(maxInstances, instances-until-hit) networks.
+// The hunt is a single-cell campaign over the cycle-pendant sampler; its
+// result is bit-identical at any worker count.
+func HuntUnitBudgetCycle(kind game.DistKind, seed int64, maxInstances, stateCap int) (*HuntResult, int) {
+	res, searched, err := runHunt(kind, seed, maxInstances, stateCap, campaign.Options{})
+	if err != nil {
+		// The fixed hunt grid is always valid; an error here is an
+		// internal invariant violation.
+		panic(fmt.Sprintf("hunt: %v", err))
 	}
-	return nil
+	return res, searched
+}
+
+// runHunt executes the hunt campaign; opt carries execution shape only
+// (workers, shard size) — the search grid comes from the arguments.
+func runHunt(kind game.DistKind, seed int64, maxInstances, stateCap int, opt campaign.Options) (*HuntResult, int, error) {
+	variant := "sum-asg"
+	if kind == game.Max {
+		variant = "max-asg"
+	}
+	c := campaign.Campaign{
+		Name:      "hunt-unit-budget",
+		Samplers:  []campaign.Sampler{campaign.CyclePendantSampler()},
+		Variants:  []campaign.Variant{{Name: variant, New: func(int) game.Game { return game.NewAsymSwap(kind) }}},
+		Instances: maxInstances,
+		Seed:      seed,
+		MaxStates: stateCap,
+	}
+	opt.MaxHits = 1
+	var hit *campaign.Record
+	sum, err := campaign.Run(c, opt, campaign.FuncSink(func(rec campaign.Record) error {
+		if rec.Hit && hit == nil {
+			r := rec
+			hit = &r
+		}
+		return nil
+	}))
+	if err != nil {
+		return nil, 0, err
+	}
+	if hit == nil {
+		return nil, sum.Searched, nil
+	}
+	start, err := hit.DecodeStart()
+	if err != nil {
+		return nil, sum.Searched, err
+	}
+	fc, err := hit.DecodeCycle()
+	if err != nil {
+		return nil, sum.Searched, err
+	}
+	return &HuntResult{Start: start, Cycle: fc, Instance: hit.Instance}, sum.Searched, nil
 }
 
 // SampleCyclePendantNetwork builds a unit-budget network consisting of one
 // cycle of length 6..13 with 2..4 pendant paths of lengths 1..6, ownership
-// assigned by matching. Returns nil for degenerate samples.
+// assigned by matching. Returns nil for degenerate samples. It is the
+// seed-explicit form of the hunt's campaign sampler
+// (campaign.SampleCyclePendant).
 func SampleCyclePendantNetwork(seed int64) *graph.Graph {
-	r := rand.New(rand.NewSource(seed))
-	cycleLen := 6 + r.Intn(8)
-	pendants := 2 + r.Intn(3)
-	type pendant struct{ pos, length int }
-	var ps []pendant
-	n := cycleLen
-	for i := 0; i < pendants; i++ {
-		p := pendant{pos: r.Intn(cycleLen), length: 1 + r.Intn(6)}
-		ps = append(ps, p)
-		n += p.length
-	}
-	g := graph.New(n)
-	for i := 0; i < cycleLen; i++ {
-		g.AddEdge(i, (i+1)%cycleLen)
-	}
-	next := cycleLen
-	for _, p := range ps {
-		prev := p.pos
-		for j := 0; j < p.length; j++ {
-			g.AddEdge(next, prev) // pendant vertices own their edges
-			prev = next
-			next++
-		}
-	}
-	if g.M() != n {
-		return nil
-	}
-	if !search.AssignUnitOwnership(g, nil) {
-		return nil
-	}
-	return g
+	return campaign.SampleCyclePendant(gen.NewRand(seed))
 }

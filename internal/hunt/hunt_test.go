@@ -3,7 +3,11 @@ package hunt
 import (
 	"testing"
 
+	"ncg/internal/campaign"
+	"ncg/internal/cycles"
 	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
 )
 
 func TestSampleCyclePendantNetworkInvariants(t *testing.T) {
@@ -40,10 +44,93 @@ func TestSampleDeterministic(t *testing.T) {
 	}
 }
 
+// TestHuntMatchesSequentialReference pins the campaign-backed hunt to a
+// plain sequential loop with the same seed discipline: instance i draws
+// from gen.Seed(seed, 0, 0, i), redrawing degenerate samples from
+// gen.Seed(seed, 0, 0, i, attempt), and every drawn network is searched —
+// so degenerate draws never shrink the budget (the pre-campaign hunt
+// silently counted them against maxInstances).
+func TestHuntMatchesSequentialReference(t *testing.T) {
+	const maxInstances, stateCap = 12, 150
+	res, searched, err := runHunt(game.Sum, 2, maxInstances, stateCap, campaign.Options{Workers: 3, ShardSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := game.NewAsymSwap(game.Sum)
+	refSearched := 0
+	refHit := -1
+	for i := 0; i < maxInstances && refHit < 0; i++ {
+		net := sampleRef(2, i)
+		if net == nil {
+			continue
+		}
+		refSearched++
+		if fc := cycles.FindBestResponseCycle(net, gm, stateCap); fc != nil {
+			refHit = i
+		}
+	}
+	if searched != refSearched {
+		t.Fatalf("hunt searched %d instances, reference searched %d", searched, refSearched)
+	}
+	if (res != nil) != (refHit >= 0) {
+		t.Fatalf("hunt hit = %v, reference hit instance %d", res != nil, refHit)
+	}
+	if res != nil && res.Instance != refHit {
+		t.Fatalf("hunt hit instance %d, reference %d", res.Instance, refHit)
+	}
+}
+
+// sampleRef draws the hunt's instance i exactly as the campaign does: the
+// cycle-pendant sampler over the derived attempt streams of cell (0, 0).
+func sampleRef(seed int64, i int) *graph.Graph {
+	for a := 0; a <= 32; a++ {
+		s := gen.Seed(seed, 0, 0, uint64(i))
+		if a > 0 {
+			s = gen.Seed(seed, 0, 0, uint64(i), uint64(a))
+		}
+		if g := campaign.SampleCyclePendant(gen.NewRand(s)); g != nil {
+			return g
+		}
+	}
+	return nil
+}
+
+// TestHuntWorkerInvariance: the hunt's outcome (hit instance and searched
+// count) is identical at any worker count.
+func TestHuntWorkerInvariance(t *testing.T) {
+	type outcome struct {
+		hit      bool
+		instance int
+		searched int
+	}
+	run := func(workers int) outcome {
+		res, searched, err := runHunt(game.Max, 7, 8, 120, campaign.Options{Workers: workers, ShardSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := outcome{searched: searched}
+		if res != nil {
+			o.hit, o.instance = true, res.Instance
+		}
+		return o
+	}
+	ref := run(1)
+	for _, w := range []int{2, 5} {
+		if got := run(w); got != ref {
+			t.Fatalf("workers=%d: outcome %+v, want %+v", w, got, ref)
+		}
+	}
+}
+
 func TestHuntSmallBudgetRuns(t *testing.T) {
 	// A tiny hunt must terminate without finding cycles on so few
-	// instances (random unit-budget networks essentially never cycle).
-	if res := HuntUnitBudgetCycle(game.Sum, 1, 5, 200); res != nil {
+	// instances (random unit-budget networks essentially never cycle) and
+	// report every instance as searched.
+	res, searched := HuntUnitBudgetCycle(game.Sum, 1, 5, 200)
+	if res != nil {
 		t.Logf("unexpectedly found a cycle: instance %d", res.Instance)
+	}
+	if searched != 5 {
+		t.Fatalf("searched %d instances, want the full budget of 5", searched)
 	}
 }

@@ -1,0 +1,106 @@
+// Package jsonl holds the truncated-tail JSONL recovery shared by the
+// checkpoint loaders of the ensemble and campaign spines: a record file
+// written by an interrupted run is a sequence of complete JSON lines
+// followed by at most one torn tail (a partial line, or garbage after a
+// crash). Scanning stops at the first incomplete or unparseable line, so
+// resuming re-runs exactly the work the file does not fully record.
+package jsonl
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+)
+
+// ScanLines reads r line by line, calling accept for each complete,
+// non-blank line (without its newline). It returns the byte offset after
+// the last good line: blank lines advance it, accept returning false — an
+// unparseable line — or a final line without a trailing newline marks the
+// start of the truncated tail, which is not scanned further.
+func ScanLines(r io.Reader, accept func(line []byte) bool) (goodBytes int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a write was cut mid-line; drop it.
+			return goodBytes, nil
+		}
+		if err != nil {
+			return goodBytes, err
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			goodBytes += int64(len(line))
+			continue
+		}
+		if !accept(trimmed) {
+			// A corrupt line: treat it and everything after as the tail.
+			return goodBytes, nil
+		}
+		goodBytes += int64(len(line))
+	}
+}
+
+// ScanFile opens path and scans it with ScanLines.
+func ScanFile(path string, accept func(line []byte) bool) (goodBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return ScanLines(f, accept)
+}
+
+// BufWriter is the buffered-writer scaffolding shared by the record sinks
+// of the ensemble and campaign spines: it owns the buffer and closes the
+// underlying writer if it is a Closer.
+type BufWriter struct {
+	// W is the buffered writer sinks encode records into.
+	W *bufio.Writer
+	c io.Closer
+}
+
+// NewBufWriter buffers w; if w is an io.Closer it is closed with the
+// writer.
+func NewBufWriter(w io.Writer) BufWriter {
+	b := BufWriter{W: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		b.c = c
+	}
+	return b
+}
+
+// Flush pushes buffered records to the underlying writer.
+func (b *BufWriter) Flush() error { return b.W.Flush() }
+
+// Close flushes and releases the underlying writer.
+func (b *BufWriter) Close() error {
+	err := b.W.Flush()
+	if b.c != nil {
+		if cerr := b.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// OpenResume prepares a partial record file for resumption: it truncates
+// the file back to goodBytes (cutting the torn tail) and returns it
+// positioned for appending, so completing the run rewrites the file
+// exactly as an uninterrupted one would have.
+func OpenResume(path string, goodBytes int64) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(goodBytes); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,75 @@
+package jsonl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScanLinesStopsAtTornTail(t *testing.T) {
+	in := "{\"a\":1}\n\n{\"a\":2}\n{\"a\":3"
+	var got []string
+	good, err := ScanLines(strings.NewReader(in), func(line []byte) bool {
+		got = append(got, string(line))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != `{"a":1}` || got[1] != `{"a":2}` {
+		t.Fatalf("accepted lines = %q", got)
+	}
+	if want := int64(len(in) - len(`{"a":3`)); good != want {
+		t.Fatalf("goodBytes = %d, want %d", good, want)
+	}
+}
+
+func TestScanLinesStopsAtRejectedLine(t *testing.T) {
+	in := "one\ngarbage\ntwo\n"
+	var got []string
+	good, err := ScanLines(strings.NewReader(in), func(line []byte) bool {
+		if string(line) == "garbage" {
+			return false
+		}
+		got = append(got, string(line))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "one" {
+		t.Fatalf("accepted lines = %q", got)
+	}
+	if good != int64(len("one\n")) {
+		t.Fatalf("goodBytes = %d, want %d", good, len("one\n"))
+	}
+}
+
+func TestOpenResumeTruncatesTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.jsonl")
+	if err := os.WriteFile(path, []byte("a\nb\nc-torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good, err := ScanFile(path, func([]byte) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenResume(path, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("c\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\nb\nc\n" {
+		t.Fatalf("resumed file = %q", data)
+	}
+}

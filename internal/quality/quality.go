@@ -37,15 +37,16 @@ func (s SocialCost) Less(o SocialCost, a game.Alpha) bool {
 }
 
 // Of computes the social cost of g under gm; the distance aggregates of
-// all agents come from one batched bit-parallel BFS pass.
-func Of(g *graph.Graph, gm game.Game) SocialCost {
-	s := game.NewScratch(g.N())
-	var out SocialCost
-	for _, c := range game.AllCosts(g, gm, s, make([]game.Cost, 0, g.N())) {
-		out.EdgeHalves += c.Halves
-		out.Dist += c.Dist
+// all agents come from one batched bit-parallel BFS pass. A nil scratch
+// allocates a fresh one; metrics-in-a-loop callers (campaign hit scoring,
+// ensemble sinks) pass their own, making the warmed path allocation-free
+// (pinned by TestOfAllocationFree).
+func Of(g *graph.Graph, gm game.Game, s *game.Scratch) SocialCost {
+	if s == nil {
+		s = game.NewScratch(g.N())
 	}
-	return out
+	halves, dist := game.TotalCost(g, gm, s)
+	return SocialCost{EdgeHalves: halves, Dist: dist}
 }
 
 // SumBGOptimum returns the social optimum of the SUM Buy Game cost model
@@ -84,9 +85,9 @@ type Report struct {
 // Evaluate computes the quality report of g under the SUM Buy Game cost
 // model with the game's edge price (the paper's headline price-of-anarchy
 // setting). It also works for GBG-produced networks, which share the cost
-// model.
-func Evaluate(g *graph.Graph, gm game.Game) Report {
-	cost := Of(g, gm)
+// model. The scratch follows Of's convention (nil allocates).
+func Evaluate(g *graph.Graph, gm game.Game, s *game.Scratch) Report {
+	cost := Of(g, gm, s)
 	_, opt := SumBGOptimum(g.N(), gm.Alpha())
 	r := Report{
 		Cost:     cost,

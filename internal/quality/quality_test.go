@@ -12,7 +12,7 @@ import (
 func TestSocialCostStar(t *testing.T) {
 	g := graph.Star(5)
 	gm := game.NewGreedyBuy(game.Sum, game.AlphaInt(4))
-	sc := Of(g, gm)
+	sc := Of(g, gm, nil)
 	// 4 edges owned by the center: 8 halves. Distances: center 4; each
 	// leaf 1 + 3*2 = 7: total 4 + 28 = 32.
 	if sc.EdgeHalves != 8 || sc.Dist != 32 {
@@ -46,6 +46,7 @@ func TestSumBGOptimumCrossover(t *testing.T) {
 func TestOptimumIsOptimalByBruteForce(t *testing.T) {
 	// For n = 5 and several alphas, no graph beats the claimed optimum.
 	n := 5
+	s := game.NewScratch(n)
 	gm := func(a game.Alpha) game.Game { return game.NewGreedyBuy(game.Sum, a) }
 	pairs := [][2]int{}
 	for u := 0; u < n; u++ {
@@ -65,7 +66,7 @@ func TestOptimumIsOptimalByBruteForce(t *testing.T) {
 			if !g.Connected() {
 				continue
 			}
-			sc := Of(g, gm(alpha))
+			sc := Of(g, gm(alpha), s)
 			if sc.Less(opt, alpha) {
 				t.Fatalf("alpha=%v: %v beats claimed optimum (%+v < %+v)", alpha, g, sc, opt)
 			}
@@ -87,7 +88,7 @@ func TestConvergedNetworksAreNearOptimal(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("trial %d did not converge", trial)
 		}
-		rep := Evaluate(g, gm)
+		rep := Evaluate(g, gm, nil)
 		if rep.Diameter > 4 {
 			t.Fatalf("trial %d: stable diameter %d too large", trial, rep.Diameter)
 		}
@@ -101,9 +102,44 @@ func TestEvaluateOnOptimum(t *testing.T) {
 	alpha := game.AlphaInt(10)
 	gm := game.NewGreedyBuy(game.Sum, alpha)
 	gOpt, _ := SumBGOptimum(12, alpha)
-	rep := Evaluate(gOpt, gm)
+	rep := Evaluate(gOpt, gm, nil)
 	if rep.Ratio != 1 {
 		t.Fatalf("optimum ratio = %v, want 1", rep.Ratio)
+	}
+}
+
+// TestOfAllocationFree pins the warmed metrics-in-a-loop path: with a
+// caller-owned scratch, Of must not allocate per call. This is the
+// regression guard for campaign hit scoring and sink-side quality metrics.
+func TestOfAllocationFree(t *testing.T) {
+	g := gen.BudgetNetwork(64, 3, gen.NewRand(1))
+	gm := game.NewGreedyBuy(game.Sum, game.NewAlpha(64, 4))
+	s := game.NewScratch(64)
+	want := Of(g, gm, s) // warm the batch scratch
+	avg := testing.AllocsPerRun(50, func() {
+		if Of(g, gm, s) != want {
+			t.Fatal("social cost changed")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warmed Of allocates %.1f per call, want 0", avg)
+	}
+}
+
+// TestOfScratchMatchesFresh: the scratch-reusing path computes the same
+// social cost as a fresh evaluation, across cost models.
+func TestOfScratchMatchesFresh(t *testing.T) {
+	g := gen.RandomConnected(20, 40, gen.NewRand(2))
+	s := game.NewScratch(20)
+	for _, gm := range []game.Game{
+		game.NewSwap(game.Max),
+		game.NewAsymSwap(game.Sum),
+		game.NewGreedyBuy(game.Sum, game.AlphaInt(3)),
+		game.NewBilateral(game.Max, game.NewAlpha(3, 2)),
+	} {
+		if got, want := Of(g, gm, s), Of(g, gm, nil); got != want {
+			t.Errorf("%s: scratch path %+v, fresh path %+v", gm.Name(), got, want)
+		}
 	}
 }
 

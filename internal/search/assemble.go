@@ -34,18 +34,49 @@ type AssembleSpec struct {
 	Limit int
 }
 
-// Run enumerates the family and returns the graphs accepted by Check, in
-// deterministic order.
-func (sp *AssembleSpec) Run() []*graph.Graph {
-	base := make([][2]int, 0, sp.N)
-	for _, e := range sp.ForcedOwned {
-		base = append(base, e)
+// Total returns the size of the family's index space: the product of the
+// connector-pool sizes. Every index decodes (via At) to one connector
+// selection, in the order Run visits them.
+func (sp *AssembleSpec) Total() int {
+	total := 1
+	for _, pool := range sp.Pools {
+		total *= len(pool)
 	}
+	return total
+}
+
+// At assembles the idx-th connector selection of the family — slot 0 is
+// the most significant digit, matching the nested enumeration order of
+// Run — and returns nil if the selection is not a valid unit-budget
+// candidate. It does not run Check, so sharded sweeps can split decoding
+// from acceptance.
+func (sp *AssembleSpec) At(idx int) *graph.Graph {
+	sel := make([][2]int, len(sp.Pools))
+	for slot := len(sp.Pools) - 1; slot >= 0; slot-- {
+		pool := sp.Pools[slot]
+		sel[slot] = pool[idx%len(pool)]
+		idx /= len(pool)
+	}
+	return sp.assemble(sp.baseEdges(), sel)
+}
+
+// baseEdges lists the fixed edges of every assembly: forced-owned edges
+// first, then the chain edges.
+func (sp *AssembleSpec) baseEdges() [][2]int {
+	base := make([][2]int, 0, sp.N)
+	base = append(base, sp.ForcedOwned...)
 	for _, ch := range sp.Chains {
 		for i := 0; i+1 < len(ch); i++ {
 			base = append(base, [2]int{ch[i], ch[i+1]})
 		}
 	}
+	return base
+}
+
+// Run enumerates the family and returns the graphs accepted by Check, in
+// deterministic order.
+func (sp *AssembleSpec) Run() []*graph.Graph {
+	base := sp.baseEdges()
 	var out []*graph.Graph
 	sel := make([][2]int, len(sp.Pools))
 	var rec func(slot int)

@@ -90,6 +90,22 @@ func Fig10Candidates(unicyclic bool, limit int) []*graph.Graph {
 	return out
 }
 
+// fig10Total is the size of the Figure 10 tree family's index space: one
+// index per Prüfer sequence on 8 labels.
+const fig10Total = 8 * 8 * 8 * 8 * 8 * 8
+
+// fig10At decodes the idx-th Prüfer sequence — position 0 is the most
+// significant digit, matching Fig10Candidates' recursion order — into its
+// tree base with the e/g ownership restriction, or nil if impossible.
+func fig10At(idx int) *graph.Graph {
+	prufer := make([]int, 6)
+	for pos := len(prufer) - 1; pos >= 0; pos-- {
+		prufer[pos] = idx % 8
+		idx /= 8
+	}
+	return treeWithOwnership(prufer)
+}
+
 // treeWithOwnership decodes the Prüfer sequence and assigns ownership so
 // that agents e and g own nothing; it returns nil if impossible (an edge
 // between e and g).

@@ -67,6 +67,13 @@ func (sp Fig5Spec) Candidates(limit int) []*graph.Graph {
 // candidatesWith runs the Figure 5 assembly family against an arbitrary
 // checker.
 func (sp Fig5Spec) candidatesWith(limit int, check func(g *graph.Graph) bool) []*graph.Graph {
+	return sp.assembleSpec(limit, check).Run()
+}
+
+// assembleSpec builds the Figure 5 assembly family of the shape
+// combination: the forced oscillating edges, the shaped group chains and
+// the three connector pools.
+func (sp Fig5Spec) assembleSpec(limit int, check func(g *graph.Graph) bool) *AssembleSpec {
 	var poolA, poolC, poolAny [][2]int
 	for _, a := range []int{1, 2, 3, 4} {
 		for v := 0; v <= 18; v++ {
@@ -91,7 +98,7 @@ func (sp Fig5Spec) candidatesWith(limit int, check func(g *graph.Graph) bool) []
 	chains = append(chains, groupEdges([]int{5, 6, 7}, sp.BShape)...)
 	chains = append(chains, groupEdges([]int{8, 9, 10, 11, 12, 13, 14}, sp.CShape)...)
 	chains = append(chains, groupEdges([]int{15, 16, 17, 18}, sp.DShape)...)
-	spec := &AssembleSpec{
+	return &AssembleSpec{
 		N: 19,
 		ForcedOwned: [][2]int{
 			{f5a1, f5b1}, // a1 owns her oscillating edge, at b1 in G1
@@ -102,7 +109,6 @@ func (sp Fig5Spec) candidatesWith(limit int, check func(g *graph.Graph) bool) []
 		Check:  check,
 		Limit:  limit,
 	}
-	return spec.Run()
 }
 
 // Fig5Candidates searches every shape combination in deterministic order.
@@ -268,18 +274,29 @@ func Fig6Candidates(opt Fig6Options, limit int) []*graph.Graph {
 func Fig6CandidatesMinimal(limit int) []*graph.Graph {
 	gm := game.NewAsymSwap(game.Max)
 	s := game.NewScratch(20)
-	moves := []game.Move{
-		{Agent: f6a1, Drop: []int{f6e1}, Add: []int{f6e5}},
-		{Agent: f6b1, Drop: []int{f6a1}, Add: []int{f6a3}},
-		{Agent: f6a1, Drop: []int{f6e5}, Add: []int{f6e1}},
-		{Agent: f6b1, Drop: []int{f6a3}, Add: []int{f6a1}},
-	}
+	moves := fig6Moves()
 	return fig6CandidatesWith(limit, func(g *graph.Graph) bool {
 		return figCycleMinimal(g, gm, s, moves)
 	})
 }
 
+// fig6Moves is the designated four-move best-response cycle of Figure 6.
+func fig6Moves() []game.Move {
+	return []game.Move{
+		{Agent: f6a1, Drop: []int{f6e1}, Add: []int{f6e5}},
+		{Agent: f6b1, Drop: []int{f6a1}, Add: []int{f6a3}},
+		{Agent: f6a1, Drop: []int{f6e5}, Add: []int{f6e1}},
+		{Agent: f6b1, Drop: []int{f6a3}, Add: []int{f6a1}},
+	}
+}
+
 func fig6CandidatesWith(limit int, check func(g *graph.Graph) bool) []*graph.Graph {
+	return fig6AssembleSpec(limit, check).Run()
+}
+
+// fig6AssembleSpec builds the Figure 6 assembly family: the two forced
+// oscillating edges, the four fixed chains and the four connector pools.
+func fig6AssembleSpec(limit int, check func(g *graph.Graph) bool) *AssembleSpec {
 	others := func(excl ...int) []int {
 		ex := map[int]bool{14: true} // e1 is saturated
 		for _, e := range excl {
@@ -314,7 +331,7 @@ func fig6CandidatesWith(limit int, check func(g *graph.Graph) bool) []*graph.Gra
 			}
 		}
 	}
-	spec := &AssembleSpec{
+	return &AssembleSpec{
 		N: 20,
 		ForcedOwned: [][2]int{
 			{f6a1, f6e1}, // a1 owns her oscillating edge, at e1 in G1
@@ -330,7 +347,6 @@ func fig6CandidatesWith(limit int, check func(g *graph.Graph) bool) []*graph.Gra
 		Check: check,
 		Limit: limit,
 	}
-	return spec.Run()
 }
 
 func fig6Check(g0 *graph.Graph, gm game.Game, s *game.Scratch, opt Fig6Options) bool {

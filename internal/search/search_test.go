@@ -167,6 +167,63 @@ func TestOwnershipVariantsCoverAllAssignments(t *testing.T) {
 	}
 }
 
+// TestAssembleAtMatchesRun pins the indexed enumeration to the recursive
+// one: iterating At in index order over the Figure 6 family visits exactly
+// the assemblies Run visits, in the same order.
+func TestAssembleAtMatchesRun(t *testing.T) {
+	const limit = 40
+	spec := fig6AssembleSpec(limit, func(*graph.Graph) bool { return true })
+	got := spec.Run()
+	var want []*graph.Graph
+	total := spec.Total()
+	for i := 0; i < total && len(want) < limit; i++ {
+		if g := spec.At(i); g != nil {
+			want = append(want, g)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Run found %d assemblies, At found %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("assembly %d differs between Run and At", i)
+		}
+	}
+}
+
+// TestFig10AtDecodesPruferIndex: index digits decode position 0 as the
+// most significant, matching the recursion order of Fig10Candidates.
+func TestFig10AtDecodesPruferIndex(t *testing.T) {
+	// idx = 1*8^5 + 3*8^2 + 5 encodes prufer [1 0 0 3 0 5].
+	idx := 1*8*8*8*8*8 + 3*8*8 + 5
+	want := treeWithOwnership([]int{1, 0, 0, 3, 0, 5})
+	got := fig10At(idx)
+	if (got == nil) != (want == nil) {
+		t.Fatalf("nil mismatch: got %v, want %v", got, want)
+	}
+	if got != nil && !got.Equal(want) {
+		t.Fatal("decoded tree differs from direct decoding")
+	}
+	if fig10Total != 262144 {
+		t.Fatalf("fig10Total = %d", fig10Total)
+	}
+}
+
+// TestFamilyDescriptors sanity-checks the exported sweep families.
+func TestFamilyDescriptors(t *testing.T) {
+	for _, f := range []Family{
+		Fig5Family(), Fig5MinimalFamily(),
+		Fig6Family(Fig6Options{}), Fig6MinimalFamily(), Fig10Family(),
+	} {
+		if f.Total <= 0 || f.At == nil || f.NewCheck == nil || f.NewGame == nil || len(f.Moves) == 0 {
+			t.Fatalf("family %q incomplete: %+v", f.Name, f)
+		}
+		if g := f.At(0); g != nil && g.N() != f.N {
+			t.Fatalf("family %q: candidate n=%d, want %d", f.Name, g.N(), f.N)
+		}
+	}
+}
+
 func TestFig10HostCheckRejectsPinnedBase(t *testing.T) {
 	// The erratum: the pinned Figure 10 base must fail the host-graph
 	// corollary check.

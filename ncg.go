@@ -22,6 +22,7 @@
 package ncg
 
 import (
+	"ncg/internal/campaign"
 	"ncg/internal/cycles"
 	"ncg/internal/dynamics"
 	"ncg/internal/ensemble"
@@ -29,7 +30,9 @@ import (
 	"ncg/internal/game"
 	"ncg/internal/gen"
 	"ncg/internal/graph"
+	"ncg/internal/hunt"
 	"ncg/internal/quality"
+	"ncg/internal/search"
 )
 
 // Core graph types.
@@ -200,6 +203,9 @@ var (
 	// FindBestResponseCycle searches the best-response state graph for a
 	// directed cycle.
 	FindBestResponseCycle = cycles.FindBestResponseCycle
+	// SearchBestResponseCycle is FindBestResponseCycle reporting also the
+	// number of distinct states searched.
+	SearchBestResponseCycle = cycles.SearchBestResponseCycle
 )
 
 // PaperCycles returns the verified cycle constructions of the paper, keyed
@@ -271,6 +277,78 @@ var (
 	LoadCheckpoint = ensemble.LoadCheckpoint
 	// ResumeJSONL prepares a partial JSONL file for resumption.
 	ResumeJSONL = ensemble.ResumeJSONL
+)
+
+// Counterexample-hunt campaigns: grids of instance samplers x game
+// variants searched for best-response cycles over a sharded worker pool,
+// streaming JSONL records (hits carry the canonical start-network encoding
+// and the cycle trace) with checkpoint/resume. Results are bit-identical
+// at any worker count.
+type (
+	// Campaign is one named counterexample hunt (samplers x variants grid,
+	// instance budget, per-instance state cap).
+	Campaign = campaign.Campaign
+	// CampaignSampler draws the start networks of one grid axis.
+	CampaignSampler = campaign.Sampler
+	// CampaignVariant names one game the campaign plays per instance.
+	CampaignVariant = campaign.Variant
+	// CampaignOptions override campaign defaults and shape execution
+	// (budget, seed, cap, max hits, workers, shard size, resume).
+	CampaignOptions = campaign.Options
+	// CampaignRecord is the result of searching one instance, the JSONL
+	// record unit.
+	CampaignRecord = campaign.Record
+	// CampaignSummary aggregates a campaign run per grid cell.
+	CampaignSummary = campaign.Summary
+	// CampaignProgress is the per-shard report of a running campaign.
+	CampaignProgress = campaign.Progress
+	// CampaignSink consumes the per-instance records of a campaign run.
+	CampaignSink = campaign.Sink
+	// FuncCampaignSink adapts a callback into a CampaignSink.
+	FuncCampaignSink = campaign.FuncSink
+	// CampaignCheckpoint holds instances recovered from a partial JSONL
+	// record file.
+	CampaignCheckpoint = campaign.Checkpoint
+	// CandidateFamily is an indexed deterministic candidate family (a
+	// figure sweep of the reconstruction searches) runnable on the
+	// campaign spine via SweepCandidateFamily.
+	CandidateFamily = search.Family
+	// HuntResult is a best-response cycle found on a unit-budget network.
+	HuntResult = hunt.HuntResult
+)
+
+var (
+	// RunCampaign executes a campaign's grid over a sharded worker pool,
+	// streaming records to the sinks.
+	RunCampaign = campaign.Run
+	// CampaignSamplers lists the built-in instance samplers.
+	CampaignSamplers = campaign.BuiltinSamplers
+	// CampaignVariants lists the built-in SUM/MAX x SG/ASG/GBG/BG grid.
+	CampaignVariants = campaign.BuiltinVariants
+	// CampaignSamplerByName / CampaignVariantByName resolve grid axes.
+	CampaignSamplerByName = campaign.SamplerByName
+	CampaignVariantByName = campaign.VariantByName
+	// NewCampaignJSONLSink streams campaign records as JSON lines.
+	NewCampaignJSONLSink = campaign.NewJSONLSink
+	// CreateCampaignJSONL creates (or truncates) a campaign record file.
+	CreateCampaignJSONL = campaign.CreateJSONL
+	// LoadCampaignCheckpoint parses a (possibly truncated) campaign JSONL
+	// record file.
+	LoadCampaignCheckpoint = campaign.LoadCheckpoint
+	// ResumeCampaignJSONL prepares a partial campaign file for resumption.
+	ResumeCampaignJSONL = campaign.ResumeJSONL
+	// SweepCandidateFamily runs a figure candidate sweep on the campaign
+	// spine; survivors in index order equal the sequential search's list.
+	SweepCandidateFamily = campaign.SweepFamily
+	// Fig5Family / Fig6MinimalFamily / Fig10Family are the Theorem 3.7 and
+	// Figure 10 candidate sweeps as indexed families.
+	Fig5Family        = search.Fig5Family
+	Fig6MinimalFamily = search.Fig6MinimalFamily
+	Fig10Family       = search.Fig10Family
+	// HuntUnitBudgetCycle hunts the structured cycle-pendant unit-budget
+	// family for a best-response cycle, reporting how many instances were
+	// actually searched.
+	HuntUnitBudgetCycle = hunt.HuntUnitBudgetCycle
 )
 
 // Experiment harness (the paper's empirical figures, running on the
