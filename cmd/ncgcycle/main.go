@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"ncg/internal/cli"
 	"ncg/internal/cycles"
+	"ncg/internal/dynamics"
 	"ncg/internal/game"
 	"ncg/internal/graph"
 )
@@ -35,6 +37,10 @@ Usage:
                      never changes results)
       -max-states n  override the per-analysis state caps (0 = defaults)
       -progress d    print exploration progress every d (e.g. 2s; 0 = off)
+      -schedule s    additionally play the figure start networks under an
+                     activation schedule (sequential, rounds,
+                     rounds-shuffled, rounds-skip, rounds-reject) and
+                     report each trajectory's outcome
 `
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -58,6 +64,7 @@ func (a *app) main(args []string) {
 	workers := fs.Int("workers", 0, "")
 	maxStates := fs.Int("max-states", 0, "")
 	progress := fs.Duration("progress", 0, "")
+	scheduleName := fs.String("schedule", "", "")
 	if err := fs.Parse(args); err != nil {
 		cli.Exit(2)
 	}
@@ -72,6 +79,14 @@ func (a *app) main(args []string) {
 	}
 	if *progress < 0 {
 		a.Fail("-progress must be >= 0, got %v", *progress)
+	}
+	var sched dynamics.Scheduler
+	if *scheduleName != "" {
+		s, ok := dynamics.ScheduleByName(*scheduleName)
+		if !ok {
+			a.Fail("unknown schedule %q (schedules: %s)", *scheduleName, strings.Join(dynamics.ScheduleNames(), ", "))
+		}
+		sched = s
 	}
 
 	failures := 0
@@ -162,6 +177,40 @@ func (a *app) main(args []string) {
 	explore("Cor 4.2 MAX paper host (erratum)", func() *graphGame {
 		return &graphGame{cycles.Fig10Start, game.NewGreedyBuyHost(game.Max, cycles.Fig10Alpha, cycles.Fig10HostGraph()), false}
 	}, 30000, false)
+
+	// Schedule spot checks: play each figure start network under the
+	// requested activation schedule. These trajectories are exploratory
+	// (seeded, deterministic) and do not count as verifications.
+	if sched != nil {
+		fmt.Fprintf(a.Stdout, "\ntrajectories under the %s schedule (seed 1, deterministic ties):\n", sched.Name())
+		cap := 4000
+		if *maxStates > 0 {
+			cap = *maxStates
+		}
+		play := func(name string, g *graph.Graph, gm game.Game) {
+			res := dynamics.Run(g.Clone(), dynamics.Config{
+				Game: gm, Tie: dynamics.TieFirst, Seed: 1,
+				MaxSteps: cap, Schedule: sched, DetectCycles: true,
+			})
+			var outcome string
+			switch {
+			case res.Cycled:
+				outcome = fmt.Sprintf("cycle of %d moves", res.CycleLen)
+			case res.Converged:
+				outcome = "converged to a stable network"
+			default:
+				outcome = "step bound reached without a repeat"
+			}
+			if res.Rounds > 0 {
+				outcome = fmt.Sprintf("%s (%d rounds, %d moves withheld)", outcome, res.Rounds, res.Skipped)
+			}
+			fmt.Fprintf(a.Stdout, "%-42s %4d steps  %s\n", name, res.Steps, outcome)
+		}
+		play("Fig 2 MAX-SG", cycles.Fig2Start(), game.NewSwap(game.Max))
+		play("Fig 3 SUM-ASG", cycles.Fig3Start(), game.NewAsymSwap(game.Sum))
+		play("Fig 9 SUM-GBG", cycles.Fig9Start(), game.NewGreedyBuy(game.Sum, cycles.Fig9Alpha))
+		play("Fig 10 MAX-GBG", cycles.Fig10Start(), game.NewGreedyBuy(game.Max, cycles.Fig10Alpha))
+	}
 
 	if failures > 0 {
 		fmt.Fprintf(a.Stdout, "\n%d verification failures\n", failures)

@@ -22,6 +22,7 @@ func TestFlagValidation(t *testing.T) {
 		{"negative max-states", []string{"-max-states", "-5"}},
 		{"negative progress", []string{"-progress", "-1s"}},
 		{"unknown flag", []string{"-frobnicate"}},
+		{"unknown schedule", []string{"-schedule", "simultaneous"}},
 	} {
 		if code, _, _ := runCmd(tc.args...); code != 2 {
 			t.Errorf("%s: exit %d, want 2", tc.name, code)
@@ -47,5 +48,24 @@ func TestTinyCapSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "verification failures") {
 		t.Errorf("failure summary missing:\n%s", out)
+	}
+}
+
+// TestScheduleSmoke: -schedule adds the figure-start trajectory section
+// (again under a tiny cap so the explorations stay cheap; their capped
+// failures are expected and keep the exit code at 1).
+func TestScheduleSmoke(t *testing.T) {
+	code, out, _ := runCmd("-max-states", "50", "-workers", "1", "-schedule", "rounds")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (capped explorations must be reported)", code)
+	}
+	for _, want := range []string{
+		"trajectories under the rounds schedule",
+		"Fig 2 MAX-SG",
+		"Fig 10 MAX-GBG",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory section misses %q:\n%s", want, out)
+		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"ncg/internal/campaign"
 	"ncg/internal/cli"
+	"ncg/internal/dynamics"
 )
 
 const usage = `ncghunt — sharded counterexample-hunt campaigns
@@ -37,7 +38,12 @@ Usage:
   ncghunt run [flags]
       Hunt best-response cycles over the samplers x variants grid:
         -samplers a,b  comma-separated sampler names (default: all)
-        -variants x,y  comma-separated variant names (default: all)
+        -variants x,y  comma-separated variant names (default: all
+                       built-ins; rounds-* variants hunt played round
+                       trajectories instead of the state graph)
+        -schedule s    override every selected variant's search schedule
+                       (sequential, rounds, rounds-shuffled, rounds-skip,
+                       rounds-reject)
         -n n           agent count for sized samplers (default 10)
         -instances k   instances per grid cell (default 100)
         -seed s        base seed (every instance derives its own stream)
@@ -106,9 +112,13 @@ func (a *app) cmdGrid(args []string) {
 		}
 		fmt.Fprintf(tw, "%s\t%s\n", smp.Name, notes)
 	}
-	fmt.Fprintln(tw, "\nVARIANT\tGAME")
-	for _, v := range campaign.BuiltinVariants() {
-		fmt.Fprintf(tw, "%s\t%s\n", v.Name, v.New(10).Name())
+	fmt.Fprintln(tw, "\nVARIANT\tGAME\tSEARCH")
+	for _, v := range append(campaign.BuiltinVariants(), campaign.RoundVariants()...) {
+		search := "state-graph exploration"
+		if v.Schedule != nil {
+			search = v.Schedule.Name() + " trajectory"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", v.Name, v.New(10).Name(), search)
 	}
 	tw.Flush()
 }
@@ -122,7 +132,8 @@ func (a *app) cmdRun(args []string, resume bool) {
 	fs.SetOutput(a.Stderr)
 	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
 	samplers := fs.String("samplers", "", "comma-separated sampler names (default: all)")
-	variants := fs.String("variants", "", "comma-separated variant names (default: all)")
+	variants := fs.String("variants", "", "comma-separated variant names (default: all built-ins)")
+	schedule := fs.String("schedule", "", "override every selected variant's search schedule")
 	n := fs.Int("n", 10, "agent count for sized samplers")
 	instances := fs.Int("instances", 100, "instances per grid cell")
 	seed := fs.Int64("seed", 1, "base seed")
@@ -160,7 +171,7 @@ func (a *app) cmdRun(args []string, resume bool) {
 	c := campaign.Campaign{
 		Name:      "ncghunt",
 		Samplers:  a.pickSamplers(*samplers, *n),
-		Variants:  a.pickVariants(*variants),
+		Variants:  a.pickVariants(*variants, *schedule),
 		N:         *n,
 		Instances: *instances,
 		Seed:      *seed,
@@ -260,18 +271,36 @@ func (a *app) pickSamplers(list string, n int) []campaign.Sampler {
 	return out
 }
 
-// pickVariants resolves the -variants list (empty: all built-ins).
-func (a *app) pickVariants(list string) []campaign.Variant {
-	if list == "" {
-		return campaign.BuiltinVariants()
-	}
+// pickVariants resolves the -variants list (empty: all built-ins) and
+// applies the -schedule override: "sequential" forces the exhaustive
+// state-graph search, a rounds name hunts each variant's played round
+// trajectory instead.
+func (a *app) pickVariants(list, schedule string) []campaign.Variant {
 	var out []campaign.Variant
-	for _, name := range strings.Split(list, ",") {
-		v, ok := campaign.VariantByName(strings.TrimSpace(name))
-		if !ok {
-			a.Fail("unknown variant %q; see ncghunt grid", strings.TrimSpace(name))
+	if list == "" {
+		out = campaign.BuiltinVariants()
+	} else {
+		for _, name := range strings.Split(list, ",") {
+			v, ok := campaign.VariantByName(strings.TrimSpace(name))
+			if !ok {
+				a.Fail("unknown variant %q; see ncghunt grid", strings.TrimSpace(name))
+			}
+			out = append(out, v)
 		}
-		out = append(out, v)
+	}
+	if schedule != "" {
+		s, ok := dynamics.ScheduleByName(schedule)
+		if !ok {
+			a.Fail("unknown schedule %q (schedules: %s)", schedule, strings.Join(dynamics.ScheduleNames(), ", "))
+		}
+		rd, rounds := s.(dynamics.Rounds)
+		for i := range out {
+			if rounds {
+				out[i].Schedule = rd
+			} else {
+				out[i].Schedule = nil
+			}
+		}
 	}
 	return out
 }

@@ -31,6 +31,7 @@ func TestFlagValidation(t *testing.T) {
 		{"infeasible budget n", []string{"run", "-samplers", "budget-k3", "-n", "6", "-instances", "1"}},
 		{"resume without jsonl", []string{"resume"}},
 		{"trailing args", []string{"run", "stray"}},
+		{"unknown schedule", []string{"run", "-schedule", "simultaneous"}},
 	} {
 		if code, _, _ := runCmd(tc.args...); code != 2 {
 			t.Errorf("%s: exit %d, want 2", tc.name, code)
@@ -43,7 +44,7 @@ func TestGrid(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	for _, want := range []string{"cycle-pendant", "budget-k3", "sum-asg", "max-bg"} {
+	for _, want := range []string{"cycle-pendant", "budget-k3", "sum-asg", "max-bg", "rounds-sum-sg", "rounds trajectory"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("grid output misses %q", want)
 		}
@@ -59,6 +60,26 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "2 instances searched") {
 		t.Errorf("summary missing searched count:\n%s", out)
+	}
+}
+
+// TestRoundHuntSmoke: a round variant runs on the campaign spine, and the
+// -schedule override switches a built-in variant to round search.
+func TestRoundHuntSmoke(t *testing.T) {
+	code, out, errOut := runCmd("run",
+		"-samplers", "random-tree", "-variants", "rounds-sum-sg",
+		"-n", "8", "-instances", "2", "-max-states", "200", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "rounds-sum-sg") || !strings.Contains(out, "2 instances searched") {
+		t.Errorf("round hunt summary incomplete:\n%s", out)
+	}
+	code, _, errOut = runCmd("run",
+		"-samplers", "random-tree", "-variants", "sum-sg", "-schedule", "rounds",
+		"-n", "8", "-instances", "2", "-max-states", "200", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("-schedule override exit %d, stderr: %s", code, errOut)
 	}
 }
 

@@ -32,9 +32,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"ncg/internal/cli"
+	"ncg/internal/dynamics"
 	"ncg/internal/ensemble"
 	"ncg/internal/experiments"
 )
@@ -53,6 +55,9 @@ Usage:
         -workers w  worker goroutines (0 = GOMAXPROCS; never changes results)
         -shard s    trials per shard (0 = auto; never changes results)
         -probe-workers w  per-run happiness-probe workers
+        -schedule s override the scenario's activation schedule
+                    (sequential, rounds, rounds-shuffled, rounds-skip,
+                    rounds-reject)
         -jsonl path stream per-trial records as JSON lines
         -csv path   stream per-trial records as CSV
         -resume     continue an interrupted run from the -jsonl file
@@ -108,10 +113,14 @@ func (a *app) cmdList(args []string) {
 		a.Fail("list takes no arguments")
 	}
 	tw := tabwriter.NewWriter(a.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NAME\tFAMILY\tPOLICY\tNS\tTRIALS\tDESCRIPTION")
+	fmt.Fprintln(tw, "NAME\tFAMILY\tPOLICY\tSCHEDULE\tNS\tTRIALS\tDESCRIPTION")
 	for _, sc := range ensemble.List() {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%d\t%s\n",
-			sc.Name, sc.Family, sc.Policy, sc.Ns, sc.Trials, sc.Description)
+		schedule := "sequential"
+		if sc.Schedule != nil {
+			schedule = sc.Schedule.Name()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%v\t%d\t%s\n",
+			sc.Name, sc.Family, sc.Policy, schedule, sc.Ns, sc.Trials, sc.Description)
 	}
 	tw.Flush()
 }
@@ -121,6 +130,7 @@ type gridFlags struct {
 	trials, nmin, nmax, nstep int
 	seed                      int64
 	workers, shard, probeWrk  int
+	schedule                  string
 }
 
 func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
@@ -133,7 +143,20 @@ func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
 	if withShard {
 		fs.IntVar(&gf.shard, "shard", 0, "trials per shard (0 = auto)")
 		fs.IntVar(&gf.probeWrk, "probe-workers", 0, "per-run happiness-probe workers")
+		fs.StringVar(&gf.schedule, "schedule", "", "override the scenario's activation schedule (empty: scenario default)")
 	}
+}
+
+// scheduleOverride resolves -schedule, nil if the scenario default applies.
+func (gf *gridFlags) scheduleOverride(a *app) dynamics.Scheduler {
+	if gf.schedule == "" {
+		return nil
+	}
+	s, ok := dynamics.ScheduleByName(gf.schedule)
+	if !ok {
+		a.Fail("unknown schedule %q (schedules: %s)", gf.schedule, strings.Join(dynamics.ScheduleNames(), ", "))
+	}
+	return s
 }
 
 // validate checks the flag combination up front and returns the explicit
@@ -194,6 +217,14 @@ func (a *app) cmdRun(args []string, gridRequired bool) {
 		a.Fail("unexpected arguments %v", fs.Args())
 	}
 	ns := gf.validate(a, gridRequired)
+	if s := gf.scheduleOverride(a); s != nil {
+		sc.Schedule = s
+		if _, ok := s.(dynamics.Rounds); ok {
+			// Round play can oscillate even where sequential play converges;
+			// report the repeat as a cycle instead of running to the bound.
+			sc.DetectCycles = true
+		}
+	}
 	if *resume && *jsonlPath == "" {
 		a.Fail("-resume needs -jsonl")
 	}

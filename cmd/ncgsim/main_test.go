@@ -31,6 +31,7 @@ func TestFlagValidation(t *testing.T) {
 		{"fig without number", []string{"fig"}},
 		{"fig bad number", []string{"fig", "3"}},
 		{"infeasible budget grid", []string{"run", "sg-sum-budget-k3", "-nmin", "4", "-nmax", "4", "-trials", "1"}},
+		{"unknown schedule", []string{"run", "sg-sum-budget-k3", "-schedule", "simultaneous"}},
 	} {
 		if code, _, _ := runCmd(tc.args...); code != 2 {
 			t.Errorf("%s: exit %d, want 2", tc.name, code)
@@ -43,7 +44,7 @@ func TestListSmoke(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	for _, want := range []string{"fig7-asg-sum-k2", "bilateral-sum-tree", "POLICY"} {
+	for _, want := range []string{"fig7-asg-sum-k2", "bilateral-sum-tree", "POLICY", "SCHEDULE", "rounds-sg-sum-budget-k3"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("list output misses %q", want)
 		}
@@ -77,6 +78,24 @@ func TestSweepSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "asg-sum-tree") {
 		t.Errorf("summary missing scenario name:\n%s", out)
+	}
+}
+
+// TestScheduleOverrideSmoke: -schedule switches a sequential scenario to
+// round play (and a round scenario runs as registered).
+func TestScheduleOverrideSmoke(t *testing.T) {
+	code, out, errOut := runCmd("run", "sg-sum-budget-k3",
+		"-nmin", "8", "-nmax", "8", "-trials", "2", "-workers", "1", "-schedule", "rounds")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "sg-sum-budget-k3") {
+		t.Errorf("summary missing scenario name:\n%s", out)
+	}
+	code, _, errOut = runCmd("run", "rounds-asg-sum-k2",
+		"-nmin", "8", "-nmax", "8", "-trials", "2", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("round scenario exit %d, stderr: %s", code, errOut)
 	}
 }
 

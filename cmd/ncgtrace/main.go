@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ncg/internal/cli"
 	"ncg/internal/dynamics"
@@ -27,9 +28,12 @@ const usage = `ncgtrace — trace a single network creation process step by step
 Usage:
   ncgtrace [-n 9] [-game max-sg] [-alpha-num 1 -alpha-den 1]
            [-policy maxcost-det] [-init path] [-k 1] [-seed 1]
+           [-schedule sequential]
 
-Games:    sum-sg, max-sg, sum-asg, max-asg, sum-gbg, max-gbg.
-Policies: maxcost, maxcost-det, random.
+Games:     sum-sg, max-sg, sum-asg, max-asg, sum-gbg, max-gbg.
+Policies:  maxcost, maxcost-det, random.
+Schedules: sequential, rounds, rounds-shuffled, rounds-skip, rounds-reject
+           (round schedules trace simultaneous moves and detect cycles).
 Initial networks: path, cycle, random-tree, budget-k (budget via -k).
 `
 
@@ -58,6 +62,7 @@ func (a *app) main(args []string) {
 	initName := fs.String("init", "path", "initial network: path, cycle, random-tree, budget-k (k via -k)")
 	k := fs.Int("k", 1, "budget for -init budget-k")
 	seed := fs.Int64("seed", 1, "seed for random choices")
+	scheduleName := fs.String("schedule", "sequential", "activation schedule: sequential or a rounds variant")
 	if err := fs.Parse(args); err != nil {
 		cli.Exit(2)
 	}
@@ -69,6 +74,10 @@ func (a *app) main(args []string) {
 	}
 	if *alphaDen <= 0 {
 		a.Fail("-alpha-den must be positive, got %d", *alphaDen)
+	}
+	sched, ok := dynamics.ScheduleByName(*scheduleName)
+	if !ok {
+		a.Fail("unknown schedule %q (schedules: %s)", *scheduleName, strings.Join(dynamics.ScheduleNames(), ", "))
 	}
 
 	var gm game.Game
@@ -124,17 +133,32 @@ func (a *app) main(args []string) {
 		a.Fail("unknown init %q", *initName)
 	}
 
+	_, rounds := sched.(dynamics.Rounds)
 	fmt.Fprintf(a.Stdout, "initial: %v\n", g)
 	res := dynamics.Run(g, dynamics.Config{
-		Game:   gm,
-		Policy: pol,
-		Tie:    tie,
-		Seed:   *seed,
+		Game:     gm,
+		Policy:   pol,
+		Tie:      tie,
+		Seed:     *seed,
+		Schedule: sched,
+		// Round schedules can oscillate even in sequentially convergent
+		// games; detect the repeat instead of tracing to the step bound.
+		DetectCycles: rounds,
 		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
-			fmt.Fprintf(a.Stdout, "step %3d: %v   -> diameter %d\n", step, mv, g.Diameter())
+			// Mid-round states of a simultaneous schedule can be transiently
+			// disconnected; print "inf" instead of the sentinel distance.
+			diam := fmt.Sprint(g.Diameter())
+			if g.Diameter() >= graph.Unreachable {
+				diam = "inf"
+			}
+			fmt.Fprintf(a.Stdout, "step %3d: %v   -> diameter %s\n", step, mv, diam)
 		},
 	})
 	fmt.Fprintf(a.Stdout, "final:   %v\n", g)
 	fmt.Fprintf(a.Stdout, "steps=%d converged=%v star=%v double-star=%v\n",
 		res.Steps, res.Converged, g.IsStar(), g.IsDoubleStar())
+	if rounds {
+		fmt.Fprintf(a.Stdout, "rounds=%d skipped=%d cycled=%v cycle-len=%d\n",
+			res.Rounds, res.Skipped, res.Cycled, res.CycleLen)
+	}
 }

@@ -25,10 +25,29 @@ func TestFlagValidation(t *testing.T) {
 		{"infeasible budget", []string{"-init", "budget-k", "-n", "6", "-k", "3"}},
 		{"stray argument", []string{"stray"}},
 		{"unknown flag", []string{"-frobnicate"}},
+		{"unknown schedule", []string{"-schedule", "simultaneous"}},
 	} {
 		if code, _, _ := runCmd(tc.args...); code != 2 {
 			t.Errorf("%s: exit %d, want 2", tc.name, code)
 		}
+	}
+}
+
+// TestRoundTrace: a round schedule traces simultaneous moves and reports
+// the round summary line; an explicit -schedule sequential matches the
+// default trace exactly.
+func TestRoundTrace(t *testing.T) {
+	code, out, errOut := runCmd("-n", "7", "-schedule", "rounds")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "rounds=") || !strings.Contains(out, "skipped=") {
+		t.Errorf("round trace missing its summary line:\n%s", out)
+	}
+	_, def, _ := runCmd("-n", "7")
+	_, seq, _ := runCmd("-n", "7", "-schedule", "sequential")
+	if def != seq {
+		t.Errorf("-schedule sequential diverged from the default trace")
 	}
 }
 

@@ -1,0 +1,69 @@
+// Simultaneous play: what changes when agents move in rounds.
+//
+// Sequential best-response dynamics in the SUM Swap Game always converge —
+// the game admits an ordinal potential, so improving moves taken one at a
+// time can never loop (Kawald & Lenzner, Theorem 2.1 territory). Drop the
+// one-agent-per-step assumption, though, and the potential argument
+// evaporates: when every unhappy agent best-responds against the same
+// pre-round snapshot and the responses commit together, the played
+// trajectory can revisit an earlier network and oscillate forever.
+//
+// This example takes one random connected network, shows the sequential
+// process converging, then plays the same start under the round schedules
+// and watches the collision policy decide the fate of the dynamics:
+// first-writer-wins oscillates, skip-on-conflict converges, reject-round
+// stalls without committing a single move.
+package main
+
+import (
+	"fmt"
+
+	"ncg"
+)
+
+func main() {
+	start := ncg.RandomConnected(14, 28, ncg.NewRand(33))
+	gm := ncg.NewSumSwapGame()
+	fmt.Println("start network:", start)
+
+	// The classical sequential process: one unhappy agent per step.
+	seq := ncg.Run(start.Clone(), ncg.ProcessConfig{
+		Game: gm, Policy: ncg.MaxCostPolicy(),
+		Tie: ncg.TieFirst, Seed: 1, MaxSteps: 4000, DetectCycles: true,
+	})
+	fmt.Printf("\nsequential: converged=%v after %d moves (potential game — always does)\n",
+		seq.Converged, seq.Steps)
+
+	// The same start under every round schedule.
+	fmt.Println("\nsimultaneous rounds, by collision policy:")
+	for _, name := range []string{"rounds", "rounds-skip", "rounds-reject", "rounds-shuffled"} {
+		sched, _ := ncg.ScheduleByName(name)
+		res := ncg.Run(start.Clone(), ncg.ProcessConfig{
+			Game: gm, Tie: ncg.TieFirst, Seed: 1,
+			MaxSteps: 4000, DetectCycles: true, Schedule: sched,
+		})
+		outcome := "hit the round bound"
+		switch {
+		case res.Cycled:
+			outcome = fmt.Sprintf("OSCILLATES: revisits a network, cycle of %d moves", res.CycleLen)
+		case res.Converged:
+			outcome = "converged to a stable network"
+		case res.Steps == 0:
+			outcome = "STALLS: every round collides, no move ever commits"
+		}
+		fmt.Printf("  %-16s %3d moves in %d rounds (%d withheld)  %s\n",
+			name, res.Steps, res.Rounds, res.Skipped, outcome)
+	}
+
+	// Replay the oscillating schedule's trajectory and print the cycle it
+	// closes: the networks it shuttles between and the moves in between.
+	fc, moves := ncg.SearchRoundCycle(start, ncg.ProcessConfig{
+		Game: gm, Tie: ncg.TieFirst, Seed: 1, MaxSteps: 4000,
+		Schedule: ncg.RoundSchedule{Active: ncg.ActiveAll, Collision: ncg.FirstWriterWins},
+	})
+	fmt.Printf("\nthe first-writer-wins cycle, found after %d committed moves:\n", moves)
+	for i, mv := range fc.Moves {
+		fmt.Printf("  state %v\n  move  %v\n", fc.States[i], mv)
+	}
+	fmt.Println("  ... and back to the first state: selfish simultaneous play never settles.")
+}

@@ -17,9 +17,11 @@ package campaign
 import (
 	"fmt"
 
+	"ncg/internal/dynamics"
 	"ncg/internal/game"
 	"ncg/internal/gen"
 	"ncg/internal/graph"
+	"ncg/internal/rng"
 	"ncg/internal/search"
 )
 
@@ -50,6 +52,14 @@ type Variant struct {
 	Name string
 	// New builds the game for an n-agent instance.
 	New func(n int) game.Game
+	// Schedule, when non-nil, must be a dynamics.Rounds value and switches
+	// the variant's search from the exhaustive best-response state-graph
+	// explorer to one played simultaneous-round trajectory per instance
+	// (cycles.SearchRoundCycle, TieFirst, seeded by the instance stream,
+	// step-capped by the campaign's MaxStates). Hits carry the witnessed
+	// round cycle in the usual record fields; Record.States counts the
+	// committed moves instead of interned states.
+	Schedule dynamics.Scheduler
 }
 
 // Campaign is one named counterexample hunt: the sampler x variant grid,
@@ -140,9 +150,9 @@ func (c Campaign) validate() error {
 // inst in grid cell (si, vi).
 func instanceSeed(base int64, si, vi, inst, a int) int64 {
 	if a == 0 {
-		return gen.Seed(base, uint64(si), uint64(vi), uint64(inst))
+		return rng.Seed(base, uint64(si), uint64(vi), uint64(inst))
 	}
-	return gen.Seed(base, uint64(si), uint64(vi), uint64(inst), uint64(a))
+	return rng.Seed(base, uint64(si), uint64(vi), uint64(inst), uint64(a))
 }
 
 // SampleCyclePendant draws a unit-budget network consisting of one cycle
@@ -289,9 +299,29 @@ func BuiltinVariants() []Variant {
 	}
 }
 
-// VariantByName returns the built-in variant with the given name.
+// RoundVariants lists the simultaneous-round hunt variants: the swap games
+// played under first-writer-wins rounds, where even the SUM variants —
+// sequentially convergent by potential — can oscillate. They are not part
+// of BuiltinVariants (the default grids and their seed streams are
+// unchanged); select them by name.
+func RoundVariants() []Variant {
+	rounds := dynamics.Rounds{Active: dynamics.ActiveAll, Collision: dynamics.FirstWriterWins}
+	return []Variant{
+		{Name: "rounds-sum-sg", New: func(int) game.Game { return game.NewSwap(game.Sum) }, Schedule: rounds},
+		{Name: "rounds-max-sg", New: func(int) game.Game { return game.NewSwap(game.Max) }, Schedule: rounds},
+		{Name: "rounds-sum-asg", New: func(int) game.Game { return game.NewAsymSwap(game.Sum) }, Schedule: rounds},
+		{Name: "rounds-max-asg", New: func(int) game.Game { return game.NewAsymSwap(game.Max) }, Schedule: rounds},
+	}
+}
+
+// VariantByName returns the built-in or round variant with the given name.
 func VariantByName(name string) (Variant, bool) {
 	for _, v := range BuiltinVariants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	for _, v := range RoundVariants() {
 		if v.Name == name {
 			return v, true
 		}

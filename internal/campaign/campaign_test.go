@@ -335,6 +335,51 @@ func TestHitRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRoundVariantHunt hunts a simultaneous-round variant: SUM-SG, whose
+// sequential dynamics converge by potential, oscillates under rounds, so a
+// modest random ensemble must produce hits — each carrying a replayable,
+// closing round-cycle trace — and the record stream must stay bit-identical
+// across worker counts like every other campaign.
+func TestRoundVariantHunt(t *testing.T) {
+	v, ok := VariantByName("rounds-sum-sg")
+	if !ok || v.Schedule == nil {
+		t.Fatal("rounds-sum-sg not registered as a round variant")
+	}
+	c := Campaign{
+		Name:      "round-hunt",
+		Samplers:  []Sampler{ConnectedSampler(2)},
+		Variants:  []Variant{v},
+		N:         14,
+		Instances: 16,
+		Seed:      5,
+		MaxStates: 4000,
+	}
+	ref, refSum := runJSONL(t, c, Options{Workers: 1, ShardSize: 1})
+	if got, sum := runJSONL(t, c, Options{Workers: 4, ShardSize: 2}); got != ref || !reflect.DeepEqual(sum, refSum) {
+		t.Fatal("round-variant records differ across worker counts")
+	}
+	hits := 0
+	if _, err := Run(c, Options{Workers: 2}, FuncSink(func(rec Record) error {
+		if !rec.Hit {
+			return nil
+		}
+		hits++
+		fc, err := rec.DecodeCycle()
+		if err != nil {
+			return err
+		}
+		if len(fc.Moves) == 0 || len(fc.Moves) != len(fc.States) {
+			t.Fatalf("round hit has %d moves over %d states", len(fc.Moves), len(fc.States))
+		}
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if hits == 0 {
+		t.Fatalf("no round cycles found over %d instances (summary %+v); pick new seeds", c.Instances, refSum)
+	}
+}
+
 // TestEncodeDecodeGraph round-trips networks through the hex encoding.
 func TestEncodeDecodeGraph(t *testing.T) {
 	r := gen.NewRand(7)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"ncg/internal/cycles"
+	"ncg/internal/dynamics"
 	"ncg/internal/gen"
 	"ncg/internal/graph"
 	"ncg/internal/search"
@@ -475,7 +476,22 @@ func runInstance(c *Campaign, smp *Sampler, v *Variant, si, vi, inst int, w *wor
 		}
 		return rec
 	}
-	fc, states := cycles.SearchBestResponseCycle(g, v.New(g.N()), c.MaxStates)
+	var fc *cycles.FoundCycle
+	var states int
+	if v.Schedule != nil {
+		// Round variants witness one played trajectory per instance instead
+		// of exhausting the best-response state graph; the instance seed
+		// selects it and MaxStates caps its committed moves.
+		fc, states = cycles.SearchRoundCycle(g, dynamics.Config{
+			Game:     v.New(g.N()),
+			Tie:      dynamics.TieFirst,
+			Seed:     rec.Seed,
+			MaxSteps: c.MaxStates,
+			Schedule: v.Schedule,
+		})
+	} else {
+		fc, states = cycles.SearchBestResponseCycle(g, v.New(g.N()), c.MaxStates)
+	}
 	rec.States = states
 	if fc != nil {
 		rec.Hit = true

@@ -1,0 +1,62 @@
+package cycles
+
+import (
+	"ncg/internal/dynamics"
+	"ncg/internal/game"
+	"ncg/internal/graph"
+)
+
+// SearchRoundCycle plays the simultaneous-move round process of cfg from
+// start (which is left untouched) and, when the played trajectory revisits a
+// state, reconstructs the repeating segment as a FoundCycle. The second
+// return is the number of committed moves, the round analogue of the state
+// count of SearchBestResponseCycle. A nil FoundCycle means the run converged
+// or hit its step bound without repeating a state.
+//
+// Unlike the exhaustive best-response search, this witnesses one concrete
+// trajectory: cfg.Seed and the Rounds activation/collision policy select it,
+// and different seeds may converge where others oscillate. cfg.DetectCycles
+// is forced on; a caller-provided OnStep still runs.
+//
+// The returned states are the actually-played networks (no canonical
+// re-orientation). Moves[i] applied to States[i] yields States[i+1], and the
+// final move closes the loop under the game's state equality. Each move was
+// a best response against its round's opening snapshot — mid-round moves
+// need not improve on their immediate predecessor state, because earlier
+// commits of the same round already changed it.
+func SearchRoundCycle(start *graph.Graph, cfg dynamics.Config) (*FoundCycle, int) {
+	if _, ok := cfg.Schedule.(dynamics.Rounds); !ok {
+		panic("cycles: SearchRoundCycle requires a dynamics.Rounds schedule")
+	}
+	cfg.DetectCycles = true
+	var moves []game.Move
+	prev := cfg.OnStep
+	cfg.OnStep = func(step, mover int, mv game.Move, g *graph.Graph) {
+		// The move is a private copy the callback may retain.
+		moves = append(moves, mv)
+		if prev != nil {
+			prev(step, mover, mv, g)
+		}
+	}
+	res := dynamics.Run(start.Clone(), cfg)
+	if !res.Cycled {
+		return nil, res.Steps
+	}
+	// The state after the final move equals the state after move `pre`;
+	// replay the prefix silently, then record the cycle's states.
+	pre := res.Steps - res.CycleLen
+	replay := start.Clone()
+	for _, mv := range moves[:pre] {
+		game.ApplyMove(replay, mv)
+	}
+	fc := &FoundCycle{
+		States: make([]*graph.Graph, 0, res.CycleLen),
+		Moves:  make([]game.Move, 0, res.CycleLen),
+	}
+	for _, mv := range moves[pre:res.Steps] {
+		fc.States = append(fc.States, replay.Clone())
+		fc.Moves = append(fc.Moves, mv)
+		game.ApplyMove(replay, mv)
+	}
+	return fc, res.Steps
+}

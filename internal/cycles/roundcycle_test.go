@@ -1,0 +1,94 @@
+package cycles
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncg/internal/dynamics"
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+// sameState compares two networks under gm's state equality: labeled edge
+// sets, with ownership when the game distinguishes it.
+func sameState(a, b *graph.Graph, gm game.Game) bool {
+	if gm.OwnershipMatters() {
+		return a.Equal(b)
+	}
+	return a.EqualUnowned(b)
+}
+
+// TestSearchRoundCycle: over a seed stream known to produce oscillating
+// round runs (the TestRoundsOutcomes stream of internal/dynamics), every
+// witnessed cycle replays exactly — Moves[i] maps States[i] to States[i+1]
+// and the last move closes the loop — and the result agrees with a direct
+// detect-cycles run of the same configuration.
+func TestSearchRoundCycle(t *testing.T) {
+	gm := game.NewSwap(game.Sum)
+	r := rand.New(rand.NewSource(79))
+	found := 0
+	for trial := 0; trial < 24 && found < 3; trial++ {
+		n := 10 + r.Intn(10)
+		g := gen.RandomConnected(n, n-1+r.Intn(6), r)
+		cfg := dynamics.Config{
+			Game: gm, Tie: dynamics.TieFirst, Seed: r.Int63(),
+			Schedule: dynamics.Rounds{Active: dynamics.ActiveAll, Collision: dynamics.FirstWriterWins},
+		}
+		before := g.Clone()
+		fc, steps := SearchRoundCycle(g, cfg)
+		if !g.Equal(before) {
+			t.Fatal("SearchRoundCycle mutated the start network")
+		}
+		ref := dynamics.Run(g.Clone(), withDetect(cfg))
+		if steps != ref.Steps {
+			t.Fatalf("trial %d: reported %d steps, direct run played %d", trial, steps, ref.Steps)
+		}
+		if (fc != nil) != ref.Cycled {
+			t.Fatalf("trial %d: cycle found = %v, direct run cycled = %v", trial, fc != nil, ref.Cycled)
+		}
+		if fc == nil {
+			continue
+		}
+		found++
+		if len(fc.Moves) != ref.CycleLen || len(fc.States) != ref.CycleLen {
+			t.Fatalf("trial %d: cycle has %d moves over %d states, want %d of each",
+				trial, len(fc.Moves), len(fc.States), ref.CycleLen)
+		}
+		for i, mv := range fc.Moves {
+			if !applicable(fc.States[i], mv) {
+				t.Fatalf("trial %d: move %d not applicable to its state", trial, i)
+			}
+			next := fc.States[i].Clone()
+			game.ApplyMove(next, mv)
+			want := fc.States[0]
+			if i+1 < len(fc.States) {
+				want = fc.States[i+1]
+			}
+			if !sameState(next, want, gm) {
+				t.Fatalf("trial %d: move %d does not reach the next cycle state", trial, i)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("seed stream produced no round cycles; pick new seeds")
+	}
+}
+
+// withDetect returns cfg with cycle detection on and no callback, the
+// reference configuration SearchRoundCycle must agree with.
+func withDetect(cfg dynamics.Config) dynamics.Config {
+	cfg.DetectCycles = true
+	cfg.OnStep = nil
+	return cfg
+}
+
+// TestSearchRoundCycleRequiresRounds: a sequential schedule is rejected.
+func TestSearchRoundCycleRequiresRounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a sequential schedule")
+		}
+	}()
+	SearchRoundCycle(graph.New(4), dynamics.Config{Game: game.NewSwap(game.Sum)})
+}

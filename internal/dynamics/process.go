@@ -55,9 +55,15 @@ type Config struct {
 	// count. Games whose probes mutate the graph transiently (Buy,
 	// Bilateral) are always probed serially.
 	Workers int
+	// Schedule selects the activation regime: nil or Sequential{} runs the
+	// classical one-agent-per-step process, a Rounds value runs
+	// simultaneous-move rounds (see Scheduler). Sequential runs are
+	// bit-identical whether Schedule is nil or Sequential{}.
+	Schedule Scheduler
 	// DetectCycles records visited states and stops when a state repeats,
 	// proving non-convergence of the played trajectory. States are
-	// compared with or without ownership according to the game.
+	// compared with or without ownership according to the game. Under a
+	// Rounds schedule, states are compared at round boundaries.
 	DetectCycles bool
 	// OnStep, if non-nil, is invoked after each applied move. It must not
 	// mutate g; the move is a private copy the callback may retain.
@@ -77,6 +83,13 @@ type Result struct {
 	// CycleLen is the number of moves between the two visits of the
 	// repeated state when Cycled is set.
 	CycleLen int
+	// Rounds is the number of simultaneous-move rounds played; zero under
+	// the sequential schedule.
+	Rounds int
+	// Skipped counts improving moves withheld by a round collision policy
+	// (including every move of a rejected round); zero under the
+	// sequential schedule.
+	Skipped int
 	// MoveKinds counts performed moves by kind.
 	MoveKinds [4]int
 	// Kinds is the per-step move-kind trajectory (phase analysis,
@@ -104,9 +117,20 @@ func pickMove(moves []game.Move, tie TieBreak, r *rand.Rand) game.Move {
 }
 
 // Stable reports whether g is a stable network (pure Nash equilibrium) of
-// gm: no agent has a feasible improving move.
+// gm: no agent has a feasible improving move. The scan runs through the
+// process engine: one batched all-pairs build serves every agent's probe
+// as a distance oracle, replacing the per-candidate searches of a bare
+// HasImproving sweep (see BenchmarkStable).
 func Stable(g *graph.Graph, gm game.Game) bool {
-	s := game.NewScratch(g.N())
+	if game.PreferNaiveScan(gm, g) {
+		gm = game.Naive(gm)
+	}
+	e := newEngine(g, gm, 1)
+	if e.halvesOK {
+		// Building the cache installs it as the scratches' oracle.
+		e.cost(0)
+	}
+	s := e.scratch()
 	for u := 0; u < g.N(); u++ {
 		if gm.HasImproving(g, u, s) {
 			return false

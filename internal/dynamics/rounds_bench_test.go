@@ -1,0 +1,73 @@
+package dynamics
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/gen"
+)
+
+// BenchmarkRoundStep is the pinned round-dynamics workload: SUM-ASG
+// simultaneous rounds (all unhappy agents, first-writer-wins) on a 128-agent
+// budget network, capped at 256 committed moves. Each round snapshots the
+// network, probes and scans every agent, and commits the collision-free
+// responses — the hot path of the Rounds schedule. Part of the CI
+// performance trajectory (BENCH_ensemble.json vs BENCH_baseline.json);
+// keep the workload fixed.
+func BenchmarkRoundStep(b *testing.B) {
+	g0 := gen.BudgetNetwork(128, 3, gen.NewRand(1))
+	cfg := Config{
+		Game:     game.NewAsymSwap(game.Sum),
+		Tie:      TieFirst,
+		Seed:     7,
+		Schedule: Rounds{Active: ActiveAll, Collision: FirstWriterWins},
+		MaxSteps: 256,
+	}
+	r := NewRunner()
+	g := g0.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CopyFrom(g0)
+		res := r.Run(g, cfg)
+		if res.Steps == 0 || res.Rounds == 0 {
+			b.Fatalf("run changed behaviour: %+v", res)
+		}
+	}
+}
+
+// benchStableSweep probes a converged (stable) 128-agent network — the
+// worst case for Stable, which cannot exit early. The engine variant is
+// the shipped Stable (one batched all-pairs build serving every probe as a
+// distance oracle); the plain variant is the pre-engine sweep it replaced
+// (bare HasImproving with a fresh scratch and no oracle).
+func benchStableSweep(b *testing.B, engine bool) {
+	gm := game.NewAsymSwap(game.Sum)
+	g := gen.BudgetNetwork(128, 3, gen.NewRand(1))
+	res := Run(g, Config{Game: gm, Policy: MaxCost{}, Seed: 7})
+	if !res.Converged {
+		b.Fatal("setup run did not converge")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok := true
+		if engine {
+			ok = Stable(g, gm)
+		} else {
+			s := game.NewScratch(g.N())
+			for u := 0; u < g.N(); u++ {
+				if gm.HasImproving(g, u, s) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			b.Fatal("converged network reported unstable")
+		}
+	}
+}
+
+func BenchmarkStable128(b *testing.B)      { benchStableSweep(b, true) }
+func BenchmarkStablePlain128(b *testing.B) { benchStableSweep(b, false) }

@@ -42,6 +42,9 @@ type Runner struct {
 	fp     state.Fingerprint
 	steps  []int
 	enc    []uint64
+	// round holds the simultaneous-move arenas (see rounds.go), unused by
+	// sequential runs.
+	round roundState
 }
 
 // NewRunner returns an empty Runner; arenas grow on first use.
@@ -92,6 +95,9 @@ func (r *Runner) Run(g *graph.Graph, cfg Config) Result {
 		// is adversarial there, and the naive scans enumerate identical
 		// moves in identical order, so the trace is unchanged.
 		cfg.Game = game.Naive(cfg.Game)
+	}
+	if rd, ok := cfg.Schedule.(Rounds); ok {
+		return r.runRounds(g, cfg, rd)
 	}
 	rng := r.seed(cfg.Seed)
 	e := &r.eng

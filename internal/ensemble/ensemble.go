@@ -129,6 +129,11 @@ type Scenario struct {
 	// repeat, proving non-convergence of the played trajectory; useful for
 	// the variants without a convergence guarantee (Buy, bilateral).
 	DetectCycles bool
+	// Schedule selects the activation regime of every trial (nil:
+	// sequential one-agent-per-step play, the classical process). Round
+	// scenarios set a dynamics.Rounds value here; the record schema is
+	// unchanged — round trials report committed moves as Steps.
+	Schedule dynamics.Scheduler
 }
 
 // validate reports structural problems that would make the scenario

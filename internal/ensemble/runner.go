@@ -8,6 +8,7 @@ import (
 
 	"ncg/internal/dynamics"
 	"ncg/internal/gen"
+	"ncg/internal/rng"
 )
 
 // Options override a scenario's defaults and shape the execution.
@@ -103,7 +104,7 @@ func newTrialExec() *trialExec {
 // reuse, which is what makes ensemble runs bit-identical at any worker
 // count.
 func runTrial(sc Scenario, n, trial int, base int64, probeWorkers int, ex *trialExec) Record {
-	seed := gen.Seed(base, uint64(n), uint64(trial))
+	seed := rng.Seed(base, uint64(n), uint64(trial))
 	ex.rng.Seed(seed)
 	g := sc.NewInitial(n, ex.rng)
 	res := ex.dyn.Run(g, dynamics.Config{
@@ -113,6 +114,7 @@ func runTrial(sc Scenario, n, trial int, base int64, probeWorkers int, ex *trial
 		MaxSteps:     sc.MaxSteps,
 		Seed:         seed + 1,
 		Workers:      probeWorkers,
+		Schedule:     sc.Schedule,
 		DetectCycles: sc.DetectCycles,
 	})
 	return Record{
@@ -244,7 +246,7 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 			}
 			if opt.Done != nil {
 				if rec, ok := opt.Done.record(n, t); ok {
-					if rec.Scenario != sc.Name || rec.Seed != gen.Seed(base, uint64(n), uint64(t)) {
+					if rec.Scenario != sc.Name || rec.Seed != rng.Seed(base, uint64(n), uint64(t)) {
 						out.err = fmt.Errorf("ensemble: checkpoint record n=%d trial=%d is from scenario %q seed %d, not this run", n, t, rec.Scenario, rec.Seed)
 						return out
 					}

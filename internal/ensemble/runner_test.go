@@ -55,6 +55,43 @@ func TestExecuteBitIdenticalAcrossWorkersAndShards(t *testing.T) {
 	}
 }
 
+// TestExecuteRoundScenario runs a registered round scenario end to end:
+// the record stream is bit-identical across worker counts and shard sizes
+// (round trials consume probe workers too, so this also covers the
+// parallel-scan determinism of the Rounds schedule), and every trial
+// actually played rounds (cycling or step-bound trials report Converged
+// false without a cycle flag only when the bound cut them).
+func TestExecuteRoundScenario(t *testing.T) {
+	sc, ok := Lookup("rounds-sg-sum-budget-k3")
+	if !ok {
+		t.Fatal("round scenario not registered")
+	}
+	base := Options{Ns: []int{8, 12}, Trials: 8, Seed: 3}
+	ref, refSum := runJSONL(t, sc, Options{Ns: base.Ns, Trials: base.Trials, Seed: base.Seed, Workers: 1, ShardSize: base.Trials})
+	for _, opt := range []Options{
+		{Ns: base.Ns, Trials: base.Trials, Seed: base.Seed, Workers: 8, ShardSize: 1},
+		{Ns: base.Ns, Trials: base.Trials, Seed: base.Seed, Workers: 3, ShardSize: 4, ProbeWorkers: 4},
+	} {
+		got, gotSum := runJSONL(t, sc, opt)
+		if got != ref {
+			t.Fatalf("workers=%d probe=%d changed the round record stream", opt.Workers, opt.ProbeWorkers)
+		}
+		if !reflect.DeepEqual(gotSum, refSum) {
+			t.Fatalf("workers=%d probe=%d changed the summary", opt.Workers, opt.ProbeWorkers)
+		}
+	}
+	var recs []Record
+	if _, err := Execute(sc, Options{Ns: []int{10}, Trials: 6, Seed: 2},
+		FuncSink(func(rec Record) error { recs = append(recs, rec); return nil })); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Steps == 0 && !rec.Converged {
+			t.Fatalf("round trial made no progress: %+v", rec)
+		}
+	}
+}
+
 // TestResumeFromTruncatedJSONL kills a run mid-file (by truncating its
 // JSONL output inside a record) and checks that resuming completes the
 // file byte-for-byte identically to an uninterrupted run, with the same

@@ -226,6 +226,67 @@ func init() {
 		DetectCycles: true,
 	})
 
+	// Simultaneous-move rounds: every unhappy agent best-responds against
+	// the round's opening snapshot, colliding commits resolved
+	// first-writer-wins. Even SUM variants with a sequential potential can
+	// oscillate here, so all four detect cycles and cap their steps.
+	mustRegister(Scenario{
+		Name:         "rounds-sg-sum-budget-k3",
+		Description:  "SUM-SG on the budget-3 ensemble under simultaneous rounds (first-writer-wins)",
+		Family:       FamilySwap,
+		NewGame:      func(int) game.Game { return game.NewSwap(game.Sum) },
+		NewInitial:   budget(3),
+		CheckN:       budgetCheck(3),
+		Ns:           grid,
+		Trials:       60,
+		Seed:         1,
+		MaxSteps:     4000,
+		DetectCycles: true,
+		Schedule:     dynamics.Rounds{Active: dynamics.ActiveAll, Collision: dynamics.FirstWriterWins},
+	})
+	mustRegister(Scenario{
+		Name:         "rounds-sg-max-budget-k3",
+		Description:  "MAX-SG on the budget-3 ensemble under shuffled simultaneous rounds",
+		Family:       FamilySwap,
+		NewGame:      func(int) game.Game { return game.NewSwap(game.Max) },
+		NewInitial:   budget(3),
+		CheckN:       budgetCheck(3),
+		Ns:           grid,
+		Trials:       60,
+		Seed:         1,
+		MaxSteps:     4000,
+		DetectCycles: true,
+		Schedule:     dynamics.Rounds{Active: dynamics.ActiveShuffled, Collision: dynamics.FirstWriterWins},
+	})
+	mustRegister(Scenario{
+		Name:         "rounds-asg-sum-k2",
+		Description:  "SUM-ASG on the budget-2 ensemble under simultaneous rounds (first-writer-wins)",
+		Family:       FamilyAsymSwap,
+		NewGame:      func(int) game.Game { return game.NewAsymSwap(game.Sum) },
+		NewInitial:   budget(2),
+		CheckN:       budgetCheck(2),
+		Ns:           grid,
+		Trials:       60,
+		Seed:         1,
+		MaxSteps:     4000,
+		DetectCycles: true,
+		Schedule:     dynamics.Rounds{Active: dynamics.ActiveAll, Collision: dynamics.FirstWriterWins},
+	})
+	mustRegister(Scenario{
+		Name:         "rounds-asg-max-k2",
+		Description:  "MAX-ASG on the budget-2 ensemble under simultaneous rounds (skip-on-conflict)",
+		Family:       FamilyAsymSwap,
+		NewGame:      func(int) game.Game { return game.NewAsymSwap(game.Max) },
+		NewInitial:   budget(2),
+		CheckN:       budgetCheck(2),
+		Ns:           grid,
+		Trials:       60,
+		Seed:         1,
+		MaxSteps:     4000,
+		DetectCycles: true,
+		Schedule:     dynamics.Rounds{Active: dynamics.ActiveAll, Collision: dynamics.SkipOnConflict},
+	})
+
 	// Bilateral equal-split Buy Game (Corbo & Parkes): both endpoints
 	// consent and share the edge price.
 	mustRegister(Scenario{

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"ncg/internal/graph"
+	"ncg/internal/rng"
 )
 
 // Rand is the random source consumed by all generators.
@@ -18,24 +19,14 @@ type Rand = rand.Rand
 // NewRand returns a rand.Rand seeded with seed.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-// SplitMix64 derives independent sub-seeds from a base seed; it is the
-// standard splitmix64 step and is used to give every (configuration, trial)
-// pair of an experiment its own reproducible stream.
-func SplitMix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// SplitMix64 derives independent sub-seeds from a base seed; it is
+// rng.SplitMix64, re-exported because generator call sites read naturally
+// as gen.SplitMix64.
+func SplitMix64(x uint64) uint64 { return rng.SplitMix64(x) }
 
-// Seed combines a base seed with index terms into a new seed.
-func Seed(base int64, idx ...uint64) int64 {
-	x := uint64(base)
-	for _, i := range idx {
-		x = SplitMix64(x ^ SplitMix64(i))
-	}
-	return int64(x >> 1)
-}
+// Seed combines a base seed with index terms into a new seed; it is
+// rng.Seed, the shared per-trial/per-instance stream derivation.
+func Seed(base int64, idx ...uint64) int64 { return rng.Seed(base, idx...) }
 
 // BudgetNetwork builds a random connected network on n agents in which
 // every agent owns exactly k edges, following Section 3.4.1 verbatim:

@@ -1,0 +1,96 @@
+package rng
+
+import "testing"
+
+// TestSplitMix64Reference pins the canonical splitmix64 test vectors
+// (seed 0, first three outputs). These exact values flow into every
+// derived seed of the repository, so a mismatch here means every recorded
+// JSONL stream would silently change.
+func TestSplitMix64Reference(t *testing.T) {
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	s := NewStream(0)
+	x := uint64(0)
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("Stream output %d = %#x, want %#x", i, got, w)
+		}
+		// The stateless step must agree with the stream.
+		x += gamma
+		if got := SplitMix64(x - gamma); got != w {
+			t.Fatalf("SplitMix64 chain %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+// TestSeedStream pins the exact derived-seed values the ensemble and
+// campaign spines key their records on. The reference values are computed
+// by the pre-extraction implementation (gen.Seed before internal/rng
+// existed); they must never drift, or existing checkpoints stop resuming.
+func TestSeedStream(t *testing.T) {
+	// oldSplit/oldSeed are verbatim copies of the historical inline code.
+	oldSplit := func(x uint64) uint64 {
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	oldSeed := func(base int64, idx ...uint64) int64 {
+		x := uint64(base)
+		for _, i := range idx {
+			x = oldSplit(x ^ oldSplit(i))
+		}
+		return int64(x >> 1)
+	}
+	cases := [][]uint64{
+		{},
+		{0},
+		{10, 0},
+		{10, 59},
+		{50, 59},
+		{0, 0, 0},
+		{3, 7, 99},
+		{1, 2, 3, 4},
+	}
+	for _, base := range []int64{1, 7, -3, 1 << 40} {
+		for _, idx := range cases {
+			if got, want := Seed(base, idx...), oldSeed(base, idx...); got != want {
+				t.Fatalf("Seed(%d, %v) = %d, want %d", base, idx, got, want)
+			}
+		}
+	}
+	// A handful of literal pins on top of the cross-check, so a bug in the
+	// local reference copy cannot hide a drift.
+	if got := Seed(1, 10, 0); got != 6576006514320072251 {
+		t.Fatalf("Seed(1, 10, 0) = %d", got)
+	}
+	if got := Seed(1, 0, 0, 0); got != 5179350173753458171 {
+		t.Fatalf("Seed(1, 0, 0, 0) = %d", got)
+	}
+}
+
+// TestSeedNonNegative checks the sign-bit shift: derived seeds feed
+// rand.NewSource, which is happiest with non-negative values.
+func TestSeedNonNegative(t *testing.T) {
+	for base := int64(-50); base < 50; base++ {
+		for i := uint64(0); i < 20; i++ {
+			if s := Seed(base, i); s < 0 {
+				t.Fatalf("Seed(%d, %d) = %d < 0", base, i, s)
+			}
+		}
+	}
+}
+
+// TestMix64Finalizer pins the bare finalizer against the full step: the
+// intern table's slot spreading must keep its historical values.
+func TestMix64Finalizer(t *testing.T) {
+	for _, x := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		if got, want := Mix64(x+gamma), SplitMix64(x); got != want {
+			t.Fatalf("Mix64(%#x+gamma) = %#x, want SplitMix64 %#x", x, got, want)
+		}
+	}
+	if got := Mix64(0); got != 0 {
+		// The finalizer is a bijection fixing 0 — relied on by nothing,
+		// pinned so any change to the mixer constants is loud.
+		t.Fatalf("Mix64(0) = %#x, want 0", got)
+	}
+}

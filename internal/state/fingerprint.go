@@ -7,7 +7,10 @@
 // state-graph exploration.
 package state
 
-import "ncg/internal/graph"
+import (
+	"ncg/internal/graph"
+	"ncg/internal/rng"
+)
 
 // Tables holds the per-(owner,endpoint) Zobrist randomness of n-vertex
 // networks: one 64-bit value per directed pair for the ownership-aware
@@ -36,21 +39,14 @@ func NewTablesSeeded(n int, seed uint64) *Tables {
 		aware: make([]uint64, n*n),
 		blind: make([]uint64, n*n),
 	}
-	s := seed
-	next := func() uint64 {
-		s += 0x9e3779b97f4a7c15
-		z := s
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
+	s := rng.NewStream(seed)
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u != v {
-				t.aware[u*n+v] = next()
+				t.aware[u*n+v] = s.Next()
 			}
 			if u < v {
-				r := next()
+				r := s.Next()
 				t.blind[u*n+v] = r
 				t.blind[v*n+u] = r
 			}

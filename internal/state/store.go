@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"ncg/internal/graph"
+	"ncg/internal/rng"
 )
 
 // Ref identifies an interned state: the shard that holds it and the entry
@@ -110,11 +111,7 @@ func (s *Store) Encode(g *graph.Graph, buf []uint64) []uint64 {
 }
 
 // mix64 is the splitmix64 finalizer, spreading fingerprints over slots.
-func mix64(h uint64) uint64 {
-	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
-	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
-	return h ^ (h >> 31)
-}
+func mix64(h uint64) uint64 { return rng.Mix64(h) }
 
 // Intern looks up the state encoded in enc (with fingerprint h) and inserts
 // it if absent, copying the encoding into the shard arena. It returns the

@@ -132,6 +132,41 @@ type (
 // the summary.
 func Run(g *Graph, cfg ProcessConfig) ProcessResult { return dynamics.Run(g, cfg) }
 
+// Activation schedules: ProcessConfig.Schedule selects who moves when. The
+// default (nil, or SequentialSchedule) is the paper's one-unhappy-agent-
+// per-step process; RoundSchedule plays simultaneous-move rounds where
+// every activated agent best-responds against the same pre-round snapshot
+// and the responses commit together under a collision policy.
+type (
+	// Scheduler is the sealed move-activation regime interface.
+	Scheduler = dynamics.Scheduler
+	// SequentialSchedule is the classical one-agent-per-step schedule.
+	SequentialSchedule = dynamics.Sequential
+	// RoundSchedule is the simultaneous-move round schedule.
+	RoundSchedule = dynamics.Rounds
+	// RoundActiveSet selects which agents a round activates.
+	RoundActiveSet = dynamics.ActiveSet
+	// RoundCollision resolves same-round moves touching a common edge slot.
+	RoundCollision = dynamics.Collision
+)
+
+// Round activation sets and collision policies.
+const (
+	ActiveAll       = dynamics.ActiveAll
+	ActiveShuffled  = dynamics.ActiveShuffled
+	ActivePolicy    = dynamics.ActivePolicy
+	FirstWriterWins = dynamics.FirstWriterWins
+	SkipOnConflict  = dynamics.SkipOnConflict
+	RejectRound     = dynamics.RejectRound
+)
+
+var (
+	// ScheduleNames lists the registry names accepted by ScheduleByName.
+	ScheduleNames = dynamics.ScheduleNames
+	// ScheduleByName resolves a registry name to its schedule.
+	ScheduleByName = dynamics.ScheduleByName
+)
+
 // ProcessRunner executes processes back to back while reusing every heavy
 // allocation (engine scratches, the all-pairs distance cache, move
 // buffers) across runs; results are identical to Run. Use one per worker
@@ -206,6 +241,10 @@ var (
 	// SearchBestResponseCycle is FindBestResponseCycle reporting also the
 	// number of distinct states searched.
 	SearchBestResponseCycle = cycles.SearchBestResponseCycle
+	// SearchRoundCycle plays one round-schedule trajectory (the config
+	// must carry a RoundSchedule) and returns the cycle it closes, if any,
+	// with the number of committed moves.
+	SearchRoundCycle = cycles.SearchRoundCycle
 )
 
 // PaperCycles returns the verified cycle constructions of the paper, keyed
