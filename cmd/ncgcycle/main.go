@@ -41,6 +41,9 @@ Usage:
                      activation schedule (sequential, rounds,
                      rounds-shuffled, rounds-skip, rounds-reject) and
                      report each trajectory's outcome
+      -oracle o      distance oracle of the -schedule trajectories (auto,
+                     exact, landmark, landmark:k; landmark is
+                     bit-identical to exact)
 `
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -65,6 +68,7 @@ func (a *app) main(args []string) {
 	maxStates := fs.Int("max-states", 0, "")
 	progress := fs.Duration("progress", 0, "")
 	scheduleName := fs.String("schedule", "", "")
+	oracleName := fs.String("oracle", "auto", "")
 	if err := fs.Parse(args); err != nil {
 		cli.Exit(2)
 	}
@@ -87,6 +91,10 @@ func (a *app) main(args []string) {
 			a.Fail("unknown schedule %q (schedules: %s)", *scheduleName, strings.Join(dynamics.ScheduleNames(), ", "))
 		}
 		sched = s
+	}
+	oracle, err := dynamics.ParseOracleSpec(*oracleName)
+	if err != nil {
+		a.Fail("%v", err)
 	}
 
 	failures := 0
@@ -191,6 +199,7 @@ func (a *app) main(args []string) {
 			res := dynamics.Run(g.Clone(), dynamics.Config{
 				Game: gm, Tie: dynamics.TieFirst, Seed: 1,
 				MaxSteps: cap, Schedule: sched, DetectCycles: true,
+				Oracle: oracle,
 			})
 			var outcome string
 			switch {

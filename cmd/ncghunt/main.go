@@ -44,6 +44,9 @@ Usage:
         -schedule s    override every selected variant's search schedule
                        (sequential, rounds, rounds-shuffled, rounds-skip,
                        rounds-reject)
+        -oracle o      distance oracle of round-trajectory variants (auto,
+                       exact, landmark, landmark:k; landmark records are
+                       bit-identical to exact)
         -n n           agent count for sized samplers (default 10)
         -instances k   instances per grid cell (default 100)
         -seed s        base seed (every instance derives its own stream)
@@ -134,6 +137,7 @@ func (a *app) cmdRun(args []string, resume bool) {
 	samplers := fs.String("samplers", "", "comma-separated sampler names (default: all)")
 	variants := fs.String("variants", "", "comma-separated variant names (default: all built-ins)")
 	schedule := fs.String("schedule", "", "override every selected variant's search schedule")
+	oracleName := fs.String("oracle", "auto", "distance oracle of round-trajectory variants")
 	n := fs.Int("n", 10, "agent count for sized samplers")
 	instances := fs.Int("instances", 100, "instances per grid cell")
 	seed := fs.Int64("seed", 1, "base seed")
@@ -168,10 +172,14 @@ func (a *app) cmdRun(args []string, resume bool) {
 	case resume && *jsonlPath == "":
 		a.Fail("resume needs -jsonl")
 	}
+	oracle, err := dynamics.ParseOracleSpec(*oracleName)
+	if err != nil {
+		a.Fail("%v", err)
+	}
 	c := campaign.Campaign{
 		Name:      "ncghunt",
 		Samplers:  a.pickSamplers(*samplers, *n),
-		Variants:  a.pickVariants(*variants, *schedule),
+		Variants:  a.pickVariants(*variants, *schedule, oracle),
 		N:         *n,
 		Instances: *instances,
 		Seed:      *seed,
@@ -274,8 +282,9 @@ func (a *app) pickSamplers(list string, n int) []campaign.Sampler {
 // pickVariants resolves the -variants list (empty: all built-ins) and
 // applies the -schedule override: "sequential" forces the exhaustive
 // state-graph search, a rounds name hunts each variant's played round
-// trajectory instead.
-func (a *app) pickVariants(list, schedule string) []campaign.Variant {
+// trajectory instead. The oracle spec applies to every round-trajectory
+// variant (the exhaustive explorer always runs exact).
+func (a *app) pickVariants(list, schedule string, oracle dynamics.OracleSpec) []campaign.Variant {
 	var out []campaign.Variant
 	if list == "" {
 		out = campaign.BuiltinVariants()
@@ -301,6 +310,9 @@ func (a *app) pickVariants(list, schedule string) []campaign.Variant {
 				out[i].Schedule = nil
 			}
 		}
+	}
+	for i := range out {
+		out[i].Oracle = oracle
 	}
 	return out
 }

@@ -58,6 +58,9 @@ Usage:
         -schedule s override the scenario's activation schedule
                     (sequential, rounds, rounds-shuffled, rounds-skip,
                     rounds-reject)
+        -oracle o   distance oracle (auto, exact, landmark, landmark:k;
+                    landmark records are bit-identical to exact, so this
+                    trades memory for wall-clock only)
         -jsonl path stream per-trial records as JSON lines
         -csv path   stream per-trial records as CSV
         -resume     continue an interrupted run from the -jsonl file
@@ -130,7 +133,7 @@ type gridFlags struct {
 	trials, nmin, nmax, nstep int
 	seed                      int64
 	workers, shard, probeWrk  int
-	schedule                  string
+	schedule, oracle          string
 }
 
 func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
@@ -144,7 +147,21 @@ func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
 		fs.IntVar(&gf.shard, "shard", 0, "trials per shard (0 = auto)")
 		fs.IntVar(&gf.probeWrk, "probe-workers", 0, "per-run happiness-probe workers")
 		fs.StringVar(&gf.schedule, "schedule", "", "override the scenario's activation schedule (empty: scenario default)")
+		fs.StringVar(&gf.oracle, "oracle", "", "distance oracle: auto, exact, landmark, landmark:k (empty: scenario default)")
 	}
+}
+
+// oracleOverride resolves -oracle; ok is false if the scenario default
+// applies.
+func (gf *gridFlags) oracleOverride(a *app) (dynamics.OracleSpec, bool) {
+	if gf.oracle == "" {
+		return dynamics.OracleSpec{}, false
+	}
+	spec, err := dynamics.ParseOracleSpec(gf.oracle)
+	if err != nil {
+		a.Fail("%v", err)
+	}
+	return spec, true
 }
 
 // scheduleOverride resolves -schedule, nil if the scenario default applies.
@@ -224,6 +241,9 @@ func (a *app) cmdRun(args []string, gridRequired bool) {
 			// report the repeat as a cycle instead of running to the bound.
 			sc.DetectCycles = true
 		}
+	}
+	if spec, ok := gf.oracleOverride(a); ok {
+		sc.Oracle = spec
 	}
 	if *resume && *jsonlPath == "" {
 		a.Fail("-resume needs -jsonl")

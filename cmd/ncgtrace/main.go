@@ -28,12 +28,14 @@ const usage = `ncgtrace — trace a single network creation process step by step
 Usage:
   ncgtrace [-n 9] [-game max-sg] [-alpha-num 1 -alpha-den 1]
            [-policy maxcost-det] [-init path] [-k 1] [-seed 1]
-           [-schedule sequential]
+           [-schedule sequential] [-oracle auto]
 
 Games:     sum-sg, max-sg, sum-asg, max-asg, sum-gbg, max-gbg.
 Policies:  maxcost, maxcost-det, random.
 Schedules: sequential, rounds, rounds-shuffled, rounds-skip, rounds-reject
            (round schedules trace simultaneous moves and detect cycles).
+Oracles:   auto, exact, landmark, landmark:k — the distance oracle of the
+           swap-game scans; landmark traces are bit-identical to exact.
 Initial networks: path, cycle, random-tree, budget-k (budget via -k).
 `
 
@@ -63,6 +65,7 @@ func (a *app) main(args []string) {
 	k := fs.Int("k", 1, "budget for -init budget-k")
 	seed := fs.Int64("seed", 1, "seed for random choices")
 	scheduleName := fs.String("schedule", "sequential", "activation schedule: sequential or a rounds variant")
+	oracleName := fs.String("oracle", "auto", "distance oracle: auto, exact, landmark, landmark:k")
 	if err := fs.Parse(args); err != nil {
 		cli.Exit(2)
 	}
@@ -78,6 +81,10 @@ func (a *app) main(args []string) {
 	sched, ok := dynamics.ScheduleByName(*scheduleName)
 	if !ok {
 		a.Fail("unknown schedule %q (schedules: %s)", *scheduleName, strings.Join(dynamics.ScheduleNames(), ", "))
+	}
+	oracle, err := dynamics.ParseOracleSpec(*oracleName)
+	if err != nil {
+		a.Fail("%v", err)
 	}
 
 	var gm game.Game
@@ -141,6 +148,7 @@ func (a *app) main(args []string) {
 		Tie:      tie,
 		Seed:     *seed,
 		Schedule: sched,
+		Oracle:   oracle,
 		// Round schedules can oscillate even in sequentially convergent
 		// games; detect the repeat instead of tracing to the step bound.
 		DetectCycles: rounds,

@@ -60,6 +60,11 @@ type Variant struct {
 	// round cycle in the usual record fields; Record.States counts the
 	// committed moves instead of interned states.
 	Schedule dynamics.Scheduler
+	// Oracle selects the distance oracle of round-variant trajectories
+	// (zero value: auto). Landmark mode is bit-identical to exact, so
+	// records never depend on the choice; the exhaustive explorer ignores
+	// it (state-graph search always runs exact).
+	Oracle dynamics.OracleSpec
 }
 
 // Campaign is one named counterexample hunt: the sampler x variant grid,

@@ -488,6 +488,7 @@ func runInstance(c *Campaign, smp *Sampler, v *Variant, si, vi, inst int, w *wor
 			Seed:     rec.Seed,
 			MaxSteps: c.MaxStates,
 			Schedule: v.Schedule,
+			Oracle:   v.Oracle,
 		})
 	} else {
 		fc, states = cycles.SearchBestResponseCycle(g, v.New(g.N()), c.MaxStates)

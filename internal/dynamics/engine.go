@@ -35,7 +35,10 @@ type engine struct {
 	// degrees, the precondition for serving costs from the distance cache.
 	halvesOK bool
 	cache    *costCache
-	probe    []bool
+	// lmk is the landmark oracle of landmark-mode runs (nil otherwise),
+	// kept exact across moves by afterMove.
+	lmk   *graph.Landmarks
+	probe []bool
 	// ord/agents/costs are the reusable buffers of the engine-side policy
 	// orderings (pickEngine), so cost sorting allocates nothing per step.
 	ord    []int
@@ -47,11 +50,12 @@ type engine struct {
 
 // reset prepares the runner-owned engine for a run, reusing every arena
 // whose size still fits.
-func (e *engine) reset(r *Runner, g *graph.Graph, gm game.Game, workers int) {
+func (e *engine) reset(r *Runner, g *graph.Graph, gm game.Game, workers int, spec OracleSpec) {
 	if workers < 1 {
 		workers = 1
 	}
 	n := g.N()
+	spec = spec.resolve(n)
 	e.g = g
 	e.gm = gm
 	e.workers = workers
@@ -66,16 +70,31 @@ func (e *engine) reset(r *Runner, g *graph.Graph, gm game.Game, workers int) {
 		r.scr = append(r.scr, game.NewScratch(n))
 	}
 	e.scr = r.scr[:workers]
+	// Landmark mode: maintain k exact landmark rows instead of the n²
+	// matrix. Only the delta-evaluated swap scans consult the filter;
+	// other games simply run oracle-less under this mode.
+	e.lmk = nil
+	if spec.Mode == OracleLandmark && n > 0 && game.UsesSwapScans(gm) {
+		if r.lmk == nil {
+			r.lmk = graph.BuildLandmarks(g, spec.K, nil)
+		} else {
+			r.lmk.Rebuild(g, spec.K)
+		}
+		e.lmk = r.lmk
+	}
 	for _, s := range e.scr {
 		// A stale oracle from a previous run would serve distances of the
 		// wrong network; cost() reinstalls the cache once it is built.
 		s.SetDistOracle(nil)
+		s.SetLandmarks(e.lmk)
 	}
 	// Naive-wrapped games deliberately run without the distance cache:
 	// the wrap marks a regime (see game.PreferNaiveScan) where cache
-	// maintenance costs more than the BFS costs it replaces.
+	// maintenance costs more than the BFS costs it replaces. Landmark
+	// mode skips the cache too — its O(n²) matrix is exactly what the
+	// mode exists to avoid; cost reads fall back to per-agent searches.
 	e.halvesOK = false
-	if n > 0 && !game.IsNaive(gm) {
+	if n > 0 && !game.IsNaive(gm) && spec.Mode != OracleLandmark {
 		_, e.halvesOK = game.EdgeCostHalves(gm, g, 0)
 	}
 	if cap(e.probe) < workers {
@@ -88,7 +107,7 @@ func (e *engine) reset(r *Runner, g *graph.Graph, gm game.Game, workers int) {
 // runs executed through a Runner share arenas across runs instead.
 func newEngine(g *graph.Graph, gm game.Game, workers int) *engine {
 	r := &Runner{}
-	r.eng.reset(r, g, gm, workers)
+	r.eng.reset(r, g, gm, workers, OracleSpec{Mode: OracleExact})
 	return &r.eng
 }
 
@@ -146,11 +165,18 @@ func (e *engine) buildScratches() []*graph.BatchBFSScratch {
 	return r.batch[:shards]
 }
 
-// afterMove folds an applied move into the cache; g must already be in the
-// post-move state.
+// afterMove folds an applied move into the cache and the landmark oracle;
+// g must already be in the post-move state. The landmark repair is invoked
+// explicitly rather than through the graph's observer slot, which cycle
+// detection occupies with the state fingerprint; the transient edge
+// replay inside Apply fires that observer symmetrically, so the
+// fingerprint cancels back to the post-move state.
 func (e *engine) afterMove(mv game.Move) {
 	if e.cache != nil {
 		e.cache.update(e.g, mv)
+	}
+	if e.lmk != nil {
+		e.lmk.Apply(e.g, mv.Agent, mv.Drop, mv.Add)
 	}
 }
 

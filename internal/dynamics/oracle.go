@@ -1,0 +1,92 @@
+package dynamics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OracleMode selects how a process serves the distances behind its
+// best-response scans and cost reads.
+type OracleMode int
+
+const (
+	// OracleAuto picks per run: exact below AutoLandmarkMinN vertices,
+	// landmark at or above it. The zero value, so configs that never
+	// mention oracles keep their existing behaviour (every repo-grid size
+	// sits below the threshold and resolves to exact).
+	OracleAuto OracleMode = iota
+	// OracleExact maintains the full all-pairs distance matrix (O(n²)
+	// memory); scans and cost policies read exact distances.
+	OracleExact
+	// OracleLandmark maintains k exact landmark rows (O(kn) memory); swap
+	// scans prune candidates against triangle-inequality bounds and
+	// re-score every survivor exactly, so traces are bit-identical to
+	// exact mode.
+	OracleLandmark
+)
+
+// DefaultLandmarkK is the landmark count used when a spec leaves K zero.
+const DefaultLandmarkK = 16
+
+// AutoLandmarkMinN is the vertex count from which OracleAuto switches to
+// the landmark oracle: below it the exact matrix fits comfortably and its
+// searchless scoring wins; above it the matrix build and memory dominate.
+const AutoLandmarkMinN = 4096
+
+// OracleSpec selects the distance-oracle mode of a run.
+type OracleSpec struct {
+	Mode OracleMode
+	// K is the landmark count of landmark mode; 0 means DefaultLandmarkK.
+	K int
+}
+
+// resolve pins the auto mode for an n-vertex run and fills the default K.
+func (o OracleSpec) resolve(n int) OracleSpec {
+	if o.Mode == OracleAuto {
+		if n >= AutoLandmarkMinN {
+			o.Mode = OracleLandmark
+		} else {
+			o.Mode = OracleExact
+		}
+	}
+	if o.K == 0 {
+		o.K = DefaultLandmarkK
+	}
+	return o
+}
+
+func (o OracleSpec) String() string {
+	switch o.Mode {
+	case OracleExact:
+		return "exact"
+	case OracleLandmark:
+		if o.K == 0 || o.K == DefaultLandmarkK {
+			return "landmark"
+		}
+		return fmt.Sprintf("landmark:%d", o.K)
+	default:
+		return "auto"
+	}
+}
+
+// ParseOracleSpec parses the -oracle flag syntax: "auto" (or empty),
+// "exact", "landmark", or "landmark:k" with a positive landmark count k.
+func ParseOracleSpec(s string) (OracleSpec, error) {
+	switch s {
+	case "", "auto":
+		return OracleSpec{Mode: OracleAuto}, nil
+	case "exact":
+		return OracleSpec{Mode: OracleExact}, nil
+	case "landmark":
+		return OracleSpec{Mode: OracleLandmark}, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "landmark:"); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 1 {
+			return OracleSpec{}, fmt.Errorf("dynamics: bad landmark count %q (want a positive integer)", rest)
+		}
+		return OracleSpec{Mode: OracleLandmark, K: k}, nil
+	}
+	return OracleSpec{}, fmt.Errorf("dynamics: unknown oracle %q (want auto, exact, or landmark[:k])", s)
+}

@@ -1,0 +1,191 @@
+package dynamics
+
+import (
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+func TestParseOracleSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want OracleSpec
+		ok   bool
+	}{
+		{"", OracleSpec{Mode: OracleAuto}, true},
+		{"auto", OracleSpec{Mode: OracleAuto}, true},
+		{"exact", OracleSpec{Mode: OracleExact}, true},
+		{"landmark", OracleSpec{Mode: OracleLandmark}, true},
+		{"landmark:4", OracleSpec{Mode: OracleLandmark, K: 4}, true},
+		{"landmark:999", OracleSpec{Mode: OracleLandmark, K: 999}, true},
+		{"landmark:0", OracleSpec{}, false},
+		{"landmark:-3", OracleSpec{}, false},
+		{"landmark:x", OracleSpec{}, false},
+		{"matrix", OracleSpec{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseOracleSpec(c.in)
+		if c.ok != (err == nil) || got != c.want {
+			t.Fatalf("ParseOracleSpec(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+		if c.ok {
+			back, err := ParseOracleSpec(got.String())
+			if err != nil || back.Mode != got.Mode {
+				t.Fatalf("round-trip of %q via %q failed: %v, %v", c.in, got.String(), back, err)
+			}
+		}
+	}
+}
+
+func TestOracleSpecResolve(t *testing.T) {
+	if got := (OracleSpec{}).resolve(AutoLandmarkMinN - 1); got.Mode != OracleExact {
+		t.Fatalf("auto below threshold resolved to %v", got.Mode)
+	}
+	if got := (OracleSpec{}).resolve(AutoLandmarkMinN); got.Mode != OracleLandmark || got.K != DefaultLandmarkK {
+		t.Fatalf("auto at threshold resolved to %+v", got)
+	}
+	if got := (OracleSpec{Mode: OracleLandmark, K: 7}).resolve(10); got.K != 7 {
+		t.Fatalf("explicit K overridden: %+v", got)
+	}
+}
+
+// oracleParityConfigs spans the regimes whose landmark traces must be
+// bit-identical to exact mode: both swap games, both cost kinds, the
+// engine-backed and plain policies, all tie rules, cycle detection, and a
+// simultaneous-move schedule.
+func oracleParityConfigs() []Config {
+	return []Config{
+		{Game: game.NewSwap(game.Sum), Policy: MaxCost{}, Tie: TieRandom, Seed: 5, DetectCycles: true},
+		{Game: game.NewSwap(game.Sum), Policy: MinIndex{}, Tie: TieFirst, DetectCycles: true},
+		{Game: game.NewSwap(game.Max), Policy: MaxCostDeterministic{}, Tie: TieFirst},
+		{Game: game.NewAsymSwap(game.Sum), Policy: MaxCost{}, Tie: TieLast, Seed: 9, DetectCycles: true},
+		{Game: game.NewAsymSwap(game.Max), Policy: MinIndex{}, Tie: TieRandom, Seed: 3},
+		{Game: game.NewAsymSwap(game.Sum), Policy: Random{}, Tie: TieRandom, Seed: 7, Workers: 3},
+		{Game: game.NewSwap(game.Sum), Policy: MinIndex{}, Tie: TieRandom, Seed: 11,
+			Schedule: Rounds{Active: ActiveAll, Collision: SkipOnConflict}, DetectCycles: true},
+	}
+}
+
+// TestLandmarkRunIsBitIdentical pins the tentpole contract at several sizes
+// and landmark counts: a landmark-mode run must produce move-for-move the
+// same trajectory, the same cycle verdicts and the same final network as
+// the exact-mode run of the same seed. Coverage narrows as n grows (these
+// are full dynamics runs, hundreds of steps each); every config × k pair
+// still runs at n=32.
+func TestLandmarkRunIsBitIdentical(t *testing.T) {
+	ks := map[int][]int{32: {1, 2, 4, 16, 64}, 128: {1, 16}, 256: {16}}
+	sizes := []int{32, 128, 256}
+	if testing.Short() {
+		sizes = sizes[:2]
+		ks[128] = []int{16}
+	}
+	for _, n := range sizes {
+		extra := n / 4
+		mk := func() *graph.Graph { return gen.RandomConnected(n, n-1+extra, gen.NewRand(int64(100+n))) }
+		for ci, cfg := range oracleParityConfigs() {
+			if n == 256 && (ci == 1 || ci == 3 || ci == 4) {
+				// The slowest serial configs; their regimes (MinIndex probe
+				// waves, ASG ownership, MAX witnesses) are covered at 128.
+				continue
+			}
+			exact := cfg
+			exact.Oracle = OracleSpec{Mode: OracleExact}
+			wantRes, wantSteps, wantG := traceOf(mk, exact)
+			for _, k := range ks[n] {
+				lmc := cfg
+				lmc.Oracle = OracleSpec{Mode: OracleLandmark, K: k}
+				res, steps, g := traceOf(mk, lmc)
+				if !resultsEqual(res, wantRes) {
+					t.Fatalf("n=%d config %d k=%d: result %+v, want %+v", n, ci, k, res, wantRes)
+				}
+				for i := range steps {
+					if steps[i] != wantSteps[i] {
+						t.Fatalf("n=%d config %d k=%d step %d:\n got %s\nwant %s", n, ci, k, i, steps[i], wantSteps[i])
+					}
+				}
+				if len(steps) != len(wantSteps) || !g.Equal(wantG) {
+					t.Fatalf("n=%d config %d k=%d: trajectories diverge (%d vs %d steps)",
+						n, ci, k, len(steps), len(wantSteps))
+				}
+			}
+		}
+	}
+}
+
+// TestLandmarkRunnerReuse runs landmark-mode trials back to back through
+// one Runner across different sizes and seeds; every trial must match a
+// fresh single-use run.
+func TestLandmarkRunnerReuse(t *testing.T) {
+	r := NewRunner()
+	for trial, n := range []int{64, 48, 64, 129} {
+		mk := func() *graph.Graph { return gen.RandomConnected(n, n+3, gen.NewRand(int64(7*trial+1))) }
+		cfg := Config{
+			Game:         game.NewSwap(game.Sum),
+			Policy:       MaxCost{},
+			Seed:         int64(trial),
+			Oracle:       OracleSpec{Mode: OracleLandmark, K: 5},
+			DetectCycles: true,
+		}
+		want := Run(mk(), cfg)
+		got := r.Run(mk(), cfg)
+		if !resultsEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): reused runner %+v, fresh %+v", trial, n, got, want)
+		}
+	}
+}
+
+// TestRunnerShrinksArenas: a run at a much smaller size must release the
+// big run's arenas instead of pinning them for the rest of a sweep.
+func TestRunnerShrinksArenas(t *testing.T) {
+	r := NewRunner()
+	big := 320
+	cfg := Config{Game: game.NewSwap(game.Sum), Policy: MaxCost{}, DetectCycles: true}
+	r.Run(gen.RandomConnected(big, big+10, gen.NewRand(1)), cfg)
+	if r.capN != big || r.cache == nil || r.cache.n != big {
+		t.Fatalf("big run left capN=%d cache=%v", r.capN, r.cache != nil)
+	}
+	// A mild step down must keep the arena capacity watermark.
+	r.Run(gen.RandomConnected(big/2, big/2+10, gen.NewRand(2)), cfg)
+	if r.capN != big {
+		t.Fatalf("2x step-down moved capN to %d", r.capN)
+	}
+	// A >4x step down must release them; the small run then regrows its own.
+	small := big / 5
+	res := r.Run(gen.RandomConnected(small, small+10, gen.NewRand(3)), cfg)
+	if res.Steps == 0 && !res.Converged {
+		t.Fatalf("small run did nothing: %+v", res)
+	}
+	if r.capN != small {
+		t.Fatalf("capN = %d after shrink, want %d", r.capN, small)
+	}
+	if r.cache != nil && r.cache.n != small {
+		t.Fatalf("cache still sized %d after shrink", r.cache.n)
+	}
+	if r.scrN != small {
+		t.Fatalf("scratches still sized %d after shrink", r.scrN)
+	}
+	if r.lmk != nil && r.lmk.N() > 4*small {
+		t.Fatalf("landmark arena still sized %d after shrink", r.lmk.N())
+	}
+}
+
+// TestStableUnchangedByLandmarks: Stable always runs exact; a stable
+// network must stay stable regardless of any prior landmark-mode run on
+// the same graph value.
+func TestStableUnchangedByLandmarks(t *testing.T) {
+	g := gen.RandomConnected(40, 44, gen.NewRand(4))
+	cfg := Config{
+		Game:   game.NewSwap(game.Sum),
+		Policy: MinIndex{},
+		Oracle: OracleSpec{Mode: OracleLandmark, K: 4},
+	}
+	res := Run(g, cfg)
+	if !res.Converged {
+		t.Fatalf("landmark run did not converge: %+v", res)
+	}
+	if !Stable(g, game.NewSwap(game.Sum)) {
+		t.Fatal("converged landmark run left an unstable network")
+	}
+}

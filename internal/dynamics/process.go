@@ -55,6 +55,12 @@ type Config struct {
 	// count. Games whose probes mutate the graph transiently (Buy,
 	// Bilateral) are always probed serially.
 	Workers int
+	// Oracle selects the distance-oracle mode backing scans and cost
+	// reads. The zero value (auto) resolves by run size: exact below
+	// AutoLandmarkMinN vertices, landmark above. Landmark mode prunes
+	// with sound bounds and re-scores survivors exactly, so its traces
+	// are bit-identical to exact mode at any size.
+	Oracle OracleSpec
 	// Schedule selects the activation regime: nil or Sequential{} runs the
 	// classical one-agent-per-step process, a Rounds value runs
 	// simultaneous-move rounds (see Scheduler). Sequential runs are

@@ -95,7 +95,7 @@ func (rs *roundState) moveAt(i int) game.Move {
 func (r *Runner) runRounds(g *graph.Graph, cfg Config, rd Rounds) Result {
 	rng := r.seed(cfg.Seed)
 	e := &r.eng
-	e.reset(r, g, cfg.Game, cfg.Workers)
+	e.reset(r, g, cfg.Game, cfg.Workers, cfg.Oracle)
 	s := e.scratch()
 	ep, hasEngine := cfg.Policy.(enginePolicy)
 

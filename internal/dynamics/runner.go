@@ -26,6 +26,12 @@ type Runner struct {
 	// batch holds one kernel scratch per cache-build shard.
 	batch []*graph.BatchBFSScratch
 	cache *costCache
+	// lmk is the recyclable landmark oracle of landmark-mode runs.
+	lmk *graph.Landmarks
+	// capN is the largest network size the arenas were grown for since
+	// the last release; when a run arrives at under a quarter of that,
+	// the oversized arenas are dropped instead of pinning their memory.
+	capN  int
 	moves []game.Move
 	kinds []game.MoveKind
 	// dropBuf/addBuf back the per-step clone of the picked move, reused
@@ -59,6 +65,33 @@ func (r *Runner) seed(seed int64) *rand.Rand {
 		r.rng.Seed(seed)
 	}
 	return r.rng
+}
+
+// fitArenas tracks the network size the arenas serve and releases them
+// when a run arrives at under a quarter of it: a sweep stepping down from
+// a large n would otherwise pin the big run's O(n²) cache, kernel
+// scratches and state store for its whole remainder. Everything regrows
+// on demand, so a release only costs the reallocation.
+func (r *Runner) fitArenas(n int) {
+	if r.capN > 4*n {
+		r.scr = nil
+		r.scrN = 0
+		r.batch = nil
+		r.cache = nil
+		r.lmk = nil
+		r.tables = nil
+		r.tabN = 0
+		r.store = nil
+		r.moves = nil
+		r.steps = nil
+		r.enc = nil
+		r.eng = engine{}
+		r.round = roundState{}
+		r.capN = 0
+	}
+	if n > r.capN {
+		r.capN = n
+	}
 }
 
 // cloneInto copies mv into the runner's reusable move backing; the copy is
@@ -96,12 +129,13 @@ func (r *Runner) Run(g *graph.Graph, cfg Config) Result {
 		// moves in identical order, so the trace is unchanged.
 		cfg.Game = game.Naive(cfg.Game)
 	}
+	r.fitArenas(g.N())
 	if rd, ok := cfg.Schedule.(Rounds); ok {
 		return r.runRounds(g, cfg, rd)
 	}
 	rng := r.seed(cfg.Seed)
 	e := &r.eng
-	e.reset(r, g, cfg.Game, cfg.Workers)
+	e.reset(r, g, cfg.Game, cfg.Workers, cfg.Oracle)
 	s := e.scratch()
 	ep, hasEngine := cfg.Policy.(enginePolicy)
 

@@ -1,0 +1,135 @@
+package dynamics
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
+)
+
+// Large-n scale checks. The n=10^5 cases are opt-in (NCG_SCALE_SMOKE /
+// NCG_SCALE_BENCH): they allocate multi-gigabyte bitset adjacencies and run
+// for tens of seconds, which the default `go test ./...` and the CI bench
+// smoke (-benchtime 1x) must not pay. CI runs the smoke in a dedicated
+// timeout-bounded step.
+
+const scaleN = 100_000
+
+func scaleGraph() *graph.Graph {
+	return gen.SparseNetwork(scaleN, scaleN/10, gen.NewRand(1))
+}
+
+// TestScaleSmokeBestResponseStep: one full SUM-SG best-response step at
+// n=10^5 on a sparse network under the landmark oracle — the headline
+// capability of landmark mode. Exact mode would need an n² distance matrix
+// (~40 GB) before the first scan.
+func TestScaleSmokeBestResponseStep(t *testing.T) {
+	if os.Getenv("NCG_SCALE_SMOKE") == "" {
+		t.Skip("set NCG_SCALE_SMOKE=1 to run the n=1e5 smoke test")
+	}
+	g := scaleGraph()
+	res := Run(g, Config{
+		Game:     game.NewSwap(game.Sum),
+		Policy:   MinIndex{},
+		MaxSteps: 1,
+		Oracle:   OracleSpec{Mode: OracleLandmark, K: 16},
+	})
+	if res.Steps != 1 && !res.Converged {
+		t.Fatalf("scale smoke made no progress: %+v", res)
+	}
+}
+
+// TestOracleMemoryBudget pins the oracle's O(kn) memory contract: building
+// the landmark oracle with a warm batch scratch must allocate on the order
+// of the k×n row matrix (4kn bytes), nowhere near the 4n² of an exact
+// distance matrix. TotalAlloc is monotonic, so the measurement is immune to
+// GC timing.
+func TestOracleMemoryBudget(t *testing.T) {
+	const n, k = 8192, 16
+	g := gen.SparseNetwork(n, n/8, gen.NewRand(2))
+	s := graph.NewBatchBFSScratch(n)
+	graph.BuildLandmarks(g, k, s) // warm the scratch arenas
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	lm := graph.BuildLandmarks(g, k, s)
+	runtime.ReadMemStats(&after)
+	if !lm.Complete() {
+		t.Fatal("oracle incomplete on a connected graph")
+	}
+	delta := int64(after.TotalAlloc) - int64(before.TotalAlloc)
+	budget := int64((4*k + 64) * n) // rows + ids/suspects/struct slack
+	if delta > budget {
+		t.Fatalf("oracle build allocated %d bytes, budget %d (O(kn) contract)", delta, budget)
+	}
+	runtime.KeepAlive(lm)
+}
+
+// BenchmarkOracleBuild8192 / BenchmarkLandmarkScan8192 are the CI-sized
+// points of the oracle trajectory (recorded in BENCH_baseline.json); the
+// 1e5 variants below are the same measurements at headline scale, opt-in
+// because of their multi-gigabyte footprint.
+func BenchmarkOracleBuild8192(b *testing.B) {
+	const n = 8192
+	g := gen.SparseNetwork(n, n/8, gen.NewRand(2))
+	s := graph.NewBatchBFSScratch(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm := graph.BuildLandmarks(g, 16, s)
+		if !lm.Complete() {
+			b.Fatal("oracle incomplete")
+		}
+	}
+}
+
+func BenchmarkLandmarkScan8192(b *testing.B) {
+	const n = 8192
+	g := gen.SparseNetwork(n, n/8, gen.NewRand(2))
+	lm := graph.BuildLandmarks(g, 16, nil)
+	gm := game.NewSwap(game.Sum)
+	s := game.NewScratch(n)
+	s.SetLandmarks(lm)
+	var moves []game.Move
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moves, _ = gm.BestMoves(g, 0, s, moves[:0])
+	}
+	runtime.KeepAlive(moves)
+}
+
+func BenchmarkOracleBuild1e5(b *testing.B) {
+	if os.Getenv("NCG_SCALE_BENCH") == "" {
+		b.Skip("set NCG_SCALE_BENCH=1 to run the n=1e5 benchmarks")
+	}
+	g := scaleGraph()
+	s := graph.NewBatchBFSScratch(scaleN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm := graph.BuildLandmarks(g, 16, s)
+		if !lm.Complete() {
+			b.Fatal("oracle incomplete")
+		}
+	}
+}
+
+// BenchmarkLandmarkScan1e5 times one filtered best-response scan (BestMoves
+// of agent 0) at n=10^5 with the landmark filter armed.
+func BenchmarkLandmarkScan1e5(b *testing.B) {
+	if os.Getenv("NCG_SCALE_BENCH") == "" {
+		b.Skip("set NCG_SCALE_BENCH=1 to run the n=1e5 benchmarks")
+	}
+	g := scaleGraph()
+	lm := graph.BuildLandmarks(g, 16, nil)
+	gm := game.NewSwap(game.Sum)
+	s := game.NewScratch(scaleN)
+	s.SetLandmarks(lm)
+	var moves []game.Move
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moves, _ = gm.BestMoves(g, 0, s, moves[:0])
+	}
+	runtime.KeepAlive(moves)
+}

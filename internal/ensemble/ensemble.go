@@ -134,6 +134,11 @@ type Scenario struct {
 	// scenarios set a dynamics.Rounds value here; the record schema is
 	// unchanged — round trials report committed moves as Steps.
 	Schedule dynamics.Scheduler
+	// Oracle selects the distance oracle of every trial (zero value: auto —
+	// exact at the registry's grid sizes, landmark above the auto
+	// threshold). Landmark trials are bit-identical to exact ones, so the
+	// choice never changes records, only memory and wall-clock at large n.
+	Oracle dynamics.OracleSpec
 }
 
 // validate reports structural problems that would make the scenario

@@ -116,6 +116,7 @@ func runTrial(sc Scenario, n, trial int, base int64, probeWorkers int, ex *trial
 		Workers:      probeWorkers,
 		Schedule:     sc.Schedule,
 		DetectCycles: sc.DetectCycles,
+		Oracle:       sc.Oracle,
 	})
 	return Record{
 		Scenario:  sc.Name,

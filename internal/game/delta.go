@@ -16,8 +16,10 @@ import (
 //
 // where N'(u) is u's neighbourhood after the change. One bitset BFS per
 // relevant vertex of G-u (current neighbours eagerly, candidate targets
-// lazily, all cached in the Scratch matrix for the duration of the scan)
-// therefore replaces the per-candidate full BFS of the naive scan.
+// lazily, all cached in a scan-local row pool for the duration of the scan)
+// therefore replaces the per-candidate full BFS of the naive scan. The pool
+// hands out O(n) rows on demand — deg(u) plus one per surviving target —
+// so scratch memory scales with the rows a scan actually touches, not n².
 //
 // Scoring is split so the per-candidate work shrinks below O(n). With
 // a(v) = 1 + min_w d_{G-u}(w, v) over the current neighbours and the
@@ -36,10 +38,14 @@ type deltaScratch struct {
 	// the current scan (scratches may be reused across sizes).
 	n  int
 	dn int
-	// mat row w holds d_{G-u}(w, .) for the current scan agent u; done
-	// marks computed rows.
-	mat  []int32
-	done graph.Bitset
+	// The d_{G-u}(w, .) rows of the current scan live in a lazily grown
+	// pool: rowIdx maps a vertex to its pool slot (-1: not computed),
+	// rowTouched lists the vertices holding a slot so a new scan resets in
+	// O(rows used) time.
+	pool       [][]int32
+	rowIdx     []int32
+	rowTouched []int32
+	used       int
 	// min1/arg1/min2: per-vertex minimum over the neighbour rows, the
 	// neighbour attaining it (as a position in nbrs, -1 if none), and the
 	// minimum over the remaining neighbours.
@@ -94,8 +100,13 @@ func (d *deltaScratch) grow(n int) {
 		return
 	}
 	d.n = n
-	d.mat = make([]int32, n*n)
-	d.done = graph.NewBitset(n)
+	d.pool = d.pool[:0] // previous rows are too short for the new size
+	d.used = 0
+	d.rowTouched = d.rowTouched[:0]
+	d.rowIdx = make([]int32, n)
+	for i := range d.rowIdx {
+		d.rowIdx[i] = -1
+	}
 	d.min1 = make([]int32, n)
 	d.min2 = make([]int32, n)
 	d.arg1 = make([]int32, n)
@@ -124,6 +135,32 @@ func (s *Scratch) deltaBegin(g *graph.Graph, u int) {
 	d.dn = g.N()
 	d.bndDone.Reset()
 	d.minsReady = false
+	for _, w := range d.rowTouched {
+		d.rowIdx[w] = -1
+	}
+	d.rowTouched = d.rowTouched[:0]
+	d.used = 0
+}
+
+// cachedRow returns the pooled d_{G-u} row of w, or nil if the scan has not
+// computed it yet.
+func (d *deltaScratch) cachedRow(w int) []int32 {
+	if i := d.rowIdx[w]; i >= 0 {
+		return d.pool[i][:d.dn]
+	}
+	return nil
+}
+
+// newRow claims a pool slot for w's row; the content is uninitialized.
+func (d *deltaScratch) newRow(w int) []int32 {
+	if d.used == len(d.pool) {
+		d.pool = append(d.pool, make([]int32, d.n))
+	}
+	row := d.pool[d.used][:d.dn]
+	d.rowIdx[w] = int32(d.used)
+	d.used++
+	d.rowTouched = append(d.rowTouched, int32(w))
+	return row
 }
 
 // deltaInit prepares s for delta scans of agent u: it computes the
@@ -139,7 +176,6 @@ func (s *Scratch) deltaInit(g *graph.Graph, u int) {
 		return
 	}
 	d.minsReady = true
-	d.done.Reset()
 	s.nbrs = g.NeighborList(u, s.nbrs[:0])
 	for v := 0; v < n; v++ {
 		d.min1[v] = graph.Unreachable
@@ -159,8 +195,7 @@ func (s *Scratch) deltaInit(g *graph.Graph, u int) {
 		}
 		d.rowp = d.rowp[:0]
 		for _, w := range s.nbrs {
-			d.rowp = append(d.rowp, d.mat[w*d.dn:(w+1)*d.dn])
-			d.done.Set(w)
+			d.rowp = append(d.rowp, d.newRow(w))
 		}
 		g.BatchBFSExcluding(s.nbrs, u, d.rowp, nil, d.batch)
 	}
@@ -234,11 +269,10 @@ func (s *Scratch) deltaInit(g *graph.Graph, u int) {
 // PartialBFS over the damage. Without an oracle it is a fresh search.
 func (s *Scratch) deltaRow(g *graph.Graph, u, w int) []int32 {
 	d := &s.delta
-	row := d.mat[w*d.dn : (w+1)*d.dn]
-	if d.done.Has(w) {
+	if row := d.cachedRow(w); row != nil {
 		return row
 	}
-	d.done.Set(w)
+	row := d.newRow(w)
 	if s.oracle == nil {
 		g.BFSExcluding(w, u, row, s.bfs)
 		return row
@@ -268,10 +302,21 @@ func (s *Scratch) deltaRow(g *graph.Graph, u, w int) []int32 {
 // exactly the distance profile of u after adding the edge {u,y}.
 func (s *Scratch) deltaTarget(g *graph.Graph, u, y int) []int32 {
 	d := &s.delta
-	if d.done.Has(y) {
-		return d.mat[y*d.dn : (y+1)*d.dn]
+	// A pooled row implies the aggregates are filled: targets are
+	// non-neighbours, so only this function ever computes their rows.
+	if row := d.cachedRow(y); row != nil {
+		return row
 	}
 	row := s.deltaRow(g, u, y)
+	s.deltaTargetAggr(u, y, row)
+	return row
+}
+
+// deltaTargetAggr fills the post-add aggregates of target y from its
+// d_{G-u} row. Factored out of deltaTarget so the batched landmark scan
+// can aggregate rows it materializes outside the row pool.
+func (s *Scratch) deltaTargetAggr(u, y int, row []int32) {
+	d := &s.delta
 	var sum int64
 	m1, c1, m2 := int32(0), int32(-2), int32(0)
 	for v, rv := range row {
@@ -302,7 +347,6 @@ func (s *Scratch) deltaTarget(g *graph.Graph, u, y int) []int32 {
 	}
 	d.ySum[y] = sum
 	d.yMax1[y], d.yC1[y], d.yMax2[y] = m1, c1, m2
-	return row
 }
 
 // deltaFinite converts an aggregated distance value to cost semantics:
@@ -512,8 +556,14 @@ func (s *Scratch) deltaDropDist(x int, kind DistKind) int64 {
 // deltaSwapDist returns u's distance cost after swapping the edge {u,x}
 // for {u,y}.
 func (s *Scratch) deltaSwapDist(g *graph.Graph, u, x, y int, kind DistKind) int64 {
+	return s.deltaSwapScore(x, y, s.deltaTarget(g, u, y), kind)
+}
+
+// deltaSwapScore scores the swap (drop x, add y) from y's d_{G-u} row and
+// its already-filled aggregates. Factored out of deltaSwapDist so the
+// batched landmark scan shares the exact same bucket-correction math.
+func (s *Scratch) deltaSwapScore(x, y int, ry []int32, kind DistKind) int64 {
 	d := &s.delta
-	ry := s.deltaTarget(g, u, y)
 	xi := d.pos[x]
 	bucket := d.witBuf[d.witOff[xi]:d.witOff[xi+1]]
 	if kind == Sum {

@@ -53,6 +53,18 @@ func ProbesPurely(gm Game) bool {
 	return ok && p.ProbesPurely()
 }
 
+// UsesSwapScans reports whether gm's best-response scans are the
+// delta-evaluated swap scans, the ones that honour an installed landmark
+// filter (Swap and AsymSwap; naive-wrapped games run the reference scans
+// and never consult it).
+func UsesSwapScans(gm Game) bool {
+	switch gm.(type) {
+	case *Swap, *AsymSwap:
+		return true
+	}
+	return false
+}
+
 // EdgeCostHalves returns the alpha/2-unit edge-cost count of agent u in g
 // under gm's cost model, and whether that model is known. It lets process
 // engines combine cached distance costs with the degree-derived edge-cost
@@ -166,6 +178,12 @@ type Scratch struct {
 	// that delta scans use to score additions without a search and to
 	// prune hopeless swap targets. See SetDistOracle.
 	oracle DistOracle
+
+	// lmk, when installed (and oracle is not), provides landmark distance
+	// rows that swap scans turn into sound lower bounds for candidate
+	// pruning; lm holds the filter's per-scan tables. See SetLandmarks.
+	lmk *graph.Landmarks
+	lm  lmScratch
 
 	// batch and resBuf serve AllCosts' batched all-sources pass.
 	batch  *graph.BatchBFSScratch

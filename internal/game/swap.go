@@ -122,8 +122,41 @@ func swapPrepare(b *base, g *graph.Graph, u int, drops dropFunc, model costModel
 // is first checked against its oracle bound; hopeless targets cost no
 // search at all, and the neighbour-row preparation itself is deferred
 // until some target survives — a happy agent is then certified without a
-// single BFS.
+// single BFS. With a landmark oracle instead, one probe search arms the
+// triangle-inequality filter (see landmark.go), and again the neighbour
+// rows are only built once some target's bound survives.
 func swapAny(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch) bool {
+	if model == modelSwap && s.oracle == nil && s.lmk != nil {
+		s.buf = drops(g, u, s.buf[:0])
+		if len(s.buf) == 0 {
+			return false
+		}
+		s.deltaBegin(g, u)
+		if s.lmProbe(g, u, b.kind) {
+			s.buf2 = b.swapTargets(g, u, s.buf2[:0])
+			cur := s.lm.curSum
+			if b.kind == Max {
+				cur = s.lm.curEcc
+			}
+			if s.delta.dn >= deltaBatchMinN {
+				// At scale the surviving targets' rows go through the
+				// batched kernel, 64 per group, instead of one search each.
+				return s.lmAnyImproving(g, u, b.kind, cur)
+			}
+			for _, y := range s.buf2 {
+				if s.lmTargetBound(y, b.kind) >= cur {
+					continue
+				}
+				s.deltaInit(g, u)
+				for _, x := range s.buf {
+					if s.deltaSwapDist(g, u, x, y, b.kind) < cur {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
 	if model == modelSwap && s.oracle != nil {
 		s.buf = drops(g, u, s.buf[:0])
 		if len(s.buf) == 0 {
@@ -169,9 +202,16 @@ func swapScan(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s
 	s.pool = s.pool[:0]
 	cur := swapPrepare(b, g, u, drops, model, s)
 	prune := model == modelSwap && s.oracle != nil
-	for _, x := range s.buf {
+	lmPrune := model == modelSwap && s.oracle == nil && s.lmk != nil &&
+		s.lmArm(u, b.kind)
+	// At scale the surviving targets are scored up front through the
+	// batched kernel; the emission loop below then only looks scores up,
+	// in unchanged order.
+	lmScore := lmPrune && s.lmBatchScores(g, u, b.kind, cur.Dist, true)
+	nt := len(s.buf2)
+	for xi, x := range s.buf {
 		halves := deltaSwapHalves(g, u, x, model)
-		for _, y := range s.buf2 {
+		for yi, y := range s.buf2 {
 			if prune {
 				// A target whose oracle bound cannot beat the current
 				// cost yields no improving swap for any drop; for SUM the
@@ -184,7 +224,17 @@ func swapScan(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s
 					continue
 				}
 			}
-			c := Cost{Halves: halves, Dist: s.deltaSwapDist(g, u, x, y, b.kind)}
+			// The landmark bound likewise holds for every drop.
+			if lmPrune && s.lmTargetBound(y, b.kind) >= cur.Dist {
+				continue
+			}
+			var dist int64
+			if lmScore {
+				dist = s.lm.score[xi*nt+yi]
+			} else {
+				dist = s.deltaSwapDist(g, u, x, y, b.kind)
+			}
+			c := Cost{Halves: halves, Dist: dist}
 			if c.Less(cur, b.alpha) {
 				dst = append(dst, Move{Agent: u, Drop: s.single(x), Add: s.single(y)})
 			}
@@ -201,9 +251,15 @@ func swapBest(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s
 	best := cur
 	start := len(dst)
 	prune := model == modelSwap && s.oracle != nil
-	for _, x := range s.buf {
+	lmPrune := model == modelSwap && s.oracle == nil && s.lmk != nil &&
+		s.lmArm(u, b.kind)
+	// The running best only descends from cur, so the non-strict memo set
+	// (bound <= cur) covers every pair the emission loop keeps.
+	lmScore := lmPrune && s.lmBatchScores(g, u, b.kind, cur.Dist, false)
+	nt := len(s.buf2)
+	for xi, x := range s.buf {
 		halves := deltaSwapHalves(g, u, x, model)
-		for _, y := range s.buf2 {
+		for yi, y := range s.buf2 {
 			if prune {
 				// A target bounded strictly above the running best can
 				// neither improve on it nor tie it; for SUM the pair
@@ -216,7 +272,18 @@ func swapBest(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s
 					continue
 				}
 			}
-			c := Cost{Halves: halves, Dist: s.deltaSwapDist(g, u, x, y, b.kind)}
+			// A landmark bound strictly above the running best can
+			// neither improve on it nor tie it, whatever the drop.
+			if lmPrune && s.lmTargetBound(y, b.kind) > best.Dist {
+				continue
+			}
+			var dist int64
+			if lmScore {
+				dist = s.lm.score[xi*nt+yi]
+			} else {
+				dist = s.deltaSwapDist(g, u, x, y, b.kind)
+			}
+			c := Cost{Halves: halves, Dist: dist}
 			switch c.Cmp(best, b.alpha) {
 			case -1:
 				dst = dst[:start]

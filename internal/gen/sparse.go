@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncg/internal/graph"
+)
+
+// Sparse generation for large-n runs. RandomConnected draws its fill-in
+// edges by rejection against the bitset adjacency, which is fine at grid
+// sizes but couples the generator to an O(n²/8) structure and to m
+// potentially of order n². The sparse path generates an explicit edge list
+// — a uniform random labeled tree (Prüfer) plus `extra` distinct non-tree
+// edges, deduplicated through a hash set — in O(n + extra) expected time
+// and memory, and only then loads it into whatever representation the
+// caller wants. Edge ownership follows the package convention: a uniformly
+// random endpoint owns each edge.
+
+// Edge is one generated edge, owned by U.
+type Edge struct {
+	U, V int32
+}
+
+// ValidateSparse reports whether the sparse-network parameters are
+// feasible: n >= 1, extra >= 0, and the requested edge count n-1+extra not
+// exceeding n(n-1)/2. The simple-graph bound is checked in int64, so huge n
+// cannot overflow the check. Like the other validators it is meant for
+// user-facing input; the generators keep the panic for internal callers.
+func ValidateSparse(n, extra int) error {
+	if n < 1 || extra < 0 {
+		return fmt.Errorf("sparse network needs n >= 1 and extra >= 0, got n=%d extra=%d", n, extra)
+	}
+	maxM := int64(n) * int64(n-1) / 2
+	if m := int64(n-1) + int64(extra); m > maxM {
+		return fmt.Errorf("sparse network needs n-1+extra <= %d, got n=%d extra=%d", maxM, n, extra)
+	}
+	// The rejection loop needs headroom: cap the density at half the
+	// simple-graph bound so each draw hits a free pair with probability at
+	// least one half. Tiny graphs are exempt — a tree alone can exceed half
+	// density there, and the loop still terminates in O(1) expected draws.
+	if m := int64(n-1) + int64(extra); n >= 8 && 2*m > maxM {
+		return fmt.Errorf("sparse network is for sparse regimes: n-1+extra must stay at or below %d (half density), got %d", maxM/2, m)
+	}
+	return nil
+}
+
+// SparseEdges generates the edge list of a random connected sparse network:
+// a uniform random labeled tree on n vertices plus extra distinct fill-in
+// edges, each edge owned by a uniformly random endpoint. O(n + extra)
+// expected time and memory, no adjacency structure of any kind. Panics on
+// infeasible parameters (pre-check user input with ValidateSparse).
+func SparseEdges(n, extra int, r *rand.Rand) []Edge {
+	if err := ValidateSparse(n, extra); err != nil {
+		panic("gen: " + err.Error())
+	}
+	edges := make([]Edge, 0, n-1+extra)
+	seen := make(map[uint64]struct{}, n-1+extra)
+	key := func(u, v int) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(v)
+	}
+	emit := func(u, v int) {
+		seen[key(u, v)] = struct{}{}
+		if r.Intn(2) == 0 {
+			u, v = v, u
+		}
+		edges = append(edges, Edge{U: int32(u), V: int32(v)})
+	}
+	switch n {
+	case 1:
+		return edges
+	case 2:
+		emit(0, 1)
+		return edges
+	}
+	// Uniform tree: random Prüfer sequence, decoded with the ptr/leaf scan
+	// (O(n), same decoding as TreeFromPrufer but emitting edges instead of
+	// driving a Graph).
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = r.Intn(n)
+	}
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, p := range prufer {
+		deg[p]++
+	}
+	ptr := 0
+	for deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, p := range prufer {
+		emit(leaf, p)
+		deg[p]--
+		if deg[p] == 1 && p < ptr {
+			leaf = p
+		} else {
+			ptr++
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	emit(leaf, n-1)
+	// Fill-in: rejection against the hash set. ValidateSparse capped the
+	// density at one half, so each draw succeeds with probability >= 1/2
+	// and the loop finishes in O(extra) expected draws.
+	for added := 0; added < extra; {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, dup := seen[key(u, v)]; dup {
+			continue
+		}
+		emit(u, v)
+		added++
+	}
+	return edges
+}
+
+// SparseNetwork builds the graph of SparseEdges(n, extra, r): a random
+// connected network with n-1+extra edges, generated in O(n + extra) and
+// loaded into the bitset representation edge by edge.
+func SparseNetwork(n, extra int, r *rand.Rand) *graph.Graph {
+	edges := SparseEdges(n, extra, r)
+	g := graph.New(n)
+	for _, e := range edges {
+		g.AddEdge(int(e.U), int(e.V))
+	}
+	return g
+}

@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"testing"
+
+	"ncg/internal/graph"
+)
+
+func TestSparseEdgesInvariants(t *testing.T) {
+	for _, tc := range []struct{ n, extra int }{
+		{1, 0}, {2, 0}, {3, 0}, {5, 2}, {40, 0}, {40, 25}, {257, 100},
+	} {
+		r := NewRand(int64(tc.n*1000 + tc.extra))
+		edges := SparseEdges(tc.n, tc.extra, r)
+		if len(edges) != max(tc.n-1, 0)+tc.extra {
+			t.Fatalf("n=%d extra=%d: %d edges", tc.n, tc.extra, len(edges))
+		}
+		seen := map[[2]int32]bool{}
+		for _, e := range edges {
+			if e.U == e.V || e.U < 0 || int(e.U) >= tc.n || e.V < 0 || int(e.V) >= tc.n {
+				t.Fatalf("n=%d: bad edge %v", tc.n, e)
+			}
+			k := [2]int32{min(e.U, e.V), max(e.U, e.V)}
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate edge %v", tc.n, e)
+			}
+			seen[k] = true
+		}
+		g := graph.New(tc.n)
+		for _, e := range edges {
+			g.AddEdge(int(e.U), int(e.V))
+		}
+		if tc.n > 0 && g.BFS(0, nil, graph.NewBFSScratch(tc.n)).Reached != tc.n {
+			t.Fatalf("n=%d extra=%d: not connected", tc.n, tc.extra)
+		}
+	}
+}
+
+func TestSparseNetworkMatchesEdges(t *testing.T) {
+	a := SparseNetwork(60, 20, NewRand(9))
+	edges := SparseEdges(60, 20, NewRand(9))
+	b := graph.New(60)
+	for _, e := range edges {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	if !a.Equal(b) {
+		t.Fatal("SparseNetwork diverges from SparseEdges under the same seed")
+	}
+	if a.M() != 79 {
+		t.Fatalf("edge count %d, want 79", a.M())
+	}
+}
+
+func TestValidateSparse(t *testing.T) {
+	for _, tc := range []struct {
+		n, extra int
+		ok       bool
+	}{
+		{1, 0, true}, {2, 0, true}, {100, 50, true},
+		{0, 0, false}, {5, -1, false},
+		// 2*(n-1+extra) > n(n-1)/2 trips the half-density cap.
+		{10, 30, false},
+		{10, 13, true},
+	} {
+		err := ValidateSparse(tc.n, tc.extra)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ValidateSparse(%d, %d) = %v, want ok=%v", tc.n, tc.extra, err, tc.ok)
+		}
+	}
+}
+
+func TestSparseDeterministic(t *testing.T) {
+	a := SparseEdges(80, 30, NewRand(42))
+	b := SparseEdges(80, 30, NewRand(42))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

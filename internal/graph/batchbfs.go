@@ -34,12 +34,16 @@ type BatchBFSScratch struct {
 	next  []uint64
 	tmat  []int32 // n x 64 transposed depth staging, entry [v*64+i]
 	seq   []int
-	// CSR neighbour lists of the current graph, rebuilt once per batch call
-	// and shared by all its source groups: the neighbours of v are
-	// csr[csrOff[v]:csrOff[v+1]]. Expansion walks these flat lists instead
-	// of re-unpacking adjacency bitset words every level.
+	// CSR neighbour lists of the current graph, shared by all source groups
+	// of a batch call: the neighbours of v are csr[csrOff[v]:csrOff[v+1]].
+	// Expansion walks these flat lists instead of re-unpacking adjacency
+	// bitset words every level. The snapshot is cached across calls keyed on
+	// (graph identity, adjacency version), so repeated searches of an
+	// unchanged network skip the O(n²/64) bitset scan of the rebuild.
 	csr    []int32
 	csrOff []int32
+	csrFor *Graph
+	csrVer uint64
 	// curV/curW and nxtV/nxtW are the frontier lists of the current and
 	// the next level, a vertex paired with its newly-settled source word;
 	// touched flags the 64-vertex blocks expansion wrote into, so settling
@@ -87,8 +91,12 @@ func (s *BatchBFSScratch) sequence(n int) []int {
 	return s.seq[:n]
 }
 
-// buildCSR snapshots g's adjacency into the scratch's flat neighbour lists.
+// buildCSR snapshots g's adjacency into the scratch's flat neighbour lists,
+// reusing the previous snapshot when the graph has not mutated since.
 func (g *Graph) buildCSR(s *BatchBFSScratch) {
+	if s.csrFor == g && s.csrVer == g.version {
+		return
+	}
 	n := g.n
 	if cap(s.csrOff) < n+1 {
 		s.csrOff = make([]int32, n+1)
@@ -111,6 +119,8 @@ func (g *Graph) buildCSR(s *BatchBFSScratch) {
 	off[n] = int32(len(list))
 	s.csr = list
 	s.csrOff = off
+	s.csrFor = g
+	s.csrVer = g.version
 }
 
 // fill32 sets every entry of dst to val using memmove doubling.

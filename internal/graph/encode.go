@@ -58,6 +58,7 @@ func (g *Graph) LoadOwnedRows(rows []uint64) {
 	for u := 0; u < g.n; u++ {
 		g.deg[u] = g.adj[u].Count()
 	}
+	g.version++
 }
 
 // LoadAdjRows overwrites g with the state encoded by AppendAdjRows, giving
@@ -86,4 +87,5 @@ func (g *Graph) LoadAdjRows(rows []uint64) {
 		}
 	}
 	g.m = edges2 / 2
+	g.version++
 }

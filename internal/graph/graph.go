@@ -22,7 +22,16 @@ type Graph struct {
 	out []Bitset // out[u] = neighbours v with o({u,v}) = u
 	deg []int
 	obs EdgeObserver
+	// version counts adjacency mutations (edge insertions, removals and
+	// bulk overwrites; ownership transfers don't change adjacency). Batch
+	// kernels key their CSR snapshot on it, so back-to-back searches of an
+	// unchanged network skip the snapshot rebuild.
+	version uint64
 }
+
+// AdjVersion returns the adjacency mutation counter; it changes whenever
+// the edge set may have changed since a previous observation.
+func (g *Graph) AdjVersion() uint64 { return g.version }
 
 // EdgeObserver receives a callback after every edge mutation of a graph it
 // is installed on, the hook behind incrementally maintained state
@@ -113,6 +122,7 @@ func (g *Graph) AddEdge(owner, v int) {
 	g.deg[owner]++
 	g.deg[v]++
 	g.m++
+	g.version++
 	if g.obs != nil {
 		g.obs.EdgeAdded(owner, v)
 	}
@@ -135,6 +145,7 @@ func (g *Graph) RemoveEdge(u, v int) {
 	g.deg[u]--
 	g.deg[v]--
 	g.m--
+	g.version++
 	if g.obs != nil {
 		g.obs.EdgeRemoved(owner, other)
 	}
@@ -203,6 +214,7 @@ func (g *Graph) CopyFrom(src *Graph) {
 		g.deg[u] = src.deg[u]
 	}
 	g.m = src.m
+	g.version++
 }
 
 // Equal reports whether g and o are identical labeled networks: same vertex

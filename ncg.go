@@ -167,6 +167,28 @@ var (
 	ScheduleByName = dynamics.ScheduleByName
 )
 
+// Distance oracles. ProcessConfig.Oracle selects the distance backend of a
+// run: the exact all-pairs cache, or a k-landmark oracle whose bound-based
+// candidate filter re-scores surviving moves exactly — trajectories stay
+// bit-identical to exact mode at O(kn) oracle memory.
+type (
+	// OracleSpec selects a run's distance oracle; the zero value is auto.
+	OracleSpec = dynamics.OracleSpec
+	// OracleMode enumerates the oracle selection modes.
+	OracleMode = dynamics.OracleMode
+)
+
+// Oracle modes.
+const (
+	OracleAuto     = dynamics.OracleAuto
+	OracleExact    = dynamics.OracleExact
+	OracleLandmark = dynamics.OracleLandmark
+)
+
+// ParseOracleSpec parses the -oracle flag syntax: "auto" (or empty),
+// "exact", "landmark", or "landmark:k".
+var ParseOracleSpec = dynamics.ParseOracleSpec
+
 // ProcessRunner executes processes back to back while reusing every heavy
 // allocation (engine scratches, the all-pairs distance cache, move
 // buffers) across runs; results are identical to Run. Use one per worker
@@ -205,6 +227,12 @@ var (
 	RandomConnected = gen.RandomConnected
 	// RandomTree builds a uniform labeled tree with random ownership.
 	RandomTree = gen.RandomTree
+	// SparseNetwork builds a connected n-vertex network with extra
+	// non-tree edges in O(n + extra) expected time — the large-n
+	// counterpart of RandomConnected for landmark-oracle runs.
+	SparseNetwork = gen.SparseNetwork
+	// SparseEdges returns the edge list SparseNetwork loads.
+	SparseEdges = gen.SparseEdges
 	// NewRand builds the deterministic random source the generators use.
 	NewRand = gen.NewRand
 )
