@@ -2,8 +2,13 @@ package ncg
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestFacadeQuickstart exercises the public API end to end.
@@ -195,5 +200,76 @@ func TestFacadeCampaign(t *testing.T) {
 	}
 	if f := Fig10Family(); f.Total != 262144 {
 		t.Fatalf("Fig10 family total = %d", f.Total)
+	}
+}
+
+// TestFacadeCampaignService runs the lease-based coordinator end to end
+// through the facade: open, serve, one worker, merged stream byte-identical
+// to the single-process run.
+func TestFacadeCampaignService(t *testing.T) {
+	tree, ok := CampaignSamplerByName("random-tree")
+	if !ok {
+		t.Fatal("random-tree sampler missing")
+	}
+	sumSG, ok := CampaignVariantByName("sum-sg")
+	if !ok {
+		t.Fatal("sum-sg variant missing")
+	}
+	c := Campaign{
+		Name:      "facade-service",
+		Samplers:  []CampaignSampler{tree},
+		Variants:  []CampaignVariant{sumSG},
+		N:         8,
+		Instances: 6,
+		Seed:      3,
+		MaxStates: 200,
+	}
+	var want bytes.Buffer
+	if _, err := RunCampaign(c, CampaignOptions{}, NewCampaignJSONLSink(&want)); err != nil {
+		t.Fatal(err)
+	}
+
+	co, err := OpenCoordinator(CoordinatorConfig{Campaign: c, Dir: t.TempDir(), ShardSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	stats, err := RunCampaignWorker(context.Background(), CampaignWorkerConfig{URL: srv.URL, Campaign: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards == 0 {
+		t.Fatalf("worker completed no shards: %+v", stats)
+	}
+	select {
+	case <-co.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("campaign never merged; status %+v", co.Status())
+	}
+	got, err := os.ReadFile(co.ResultPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("merged stream differs from single-process run (%d vs %d bytes)", len(got), len(want.Bytes()))
+	}
+}
+
+// TestFacadeAtomicWriteFile smoke-tests the crash-safe checkpoint writer.
+func TestFacadeAtomicWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	for _, content := range []string{"one", "two"} {
+		if err := AtomicWriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "two" {
+		t.Fatalf("read %q, want %q", data, "two")
 	}
 }

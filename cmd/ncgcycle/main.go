@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -97,6 +98,15 @@ func (a *app) main(args []string) {
 		a.Fail("%v", err)
 	}
 
+	// Interrupt seam: explorations abort at their next level barrier, the
+	// analysis loop stops between analyses, and the command exits 130.
+	ctx, stop := cli.SignalContext(a.Stderr, "ncgcycle")
+	defer stop()
+	interrupted := func() {
+		fmt.Fprintln(a.Stderr, "ncgcycle: interrupted")
+		cli.Exit(cli.SignalExitCode)
+	}
+
 	failures := 0
 	verify := func(inst cycles.Instance) {
 		err := inst.Verify()
@@ -151,6 +161,7 @@ func (a *app) main(args []string) {
 			MaxStates:    cap,
 			BestResponse: gg.best,
 			Workers:      *workers,
+			Cancel:       ctx.Done(),
 		}
 		if *progress > 0 {
 			last := time.Now()
@@ -164,6 +175,9 @@ func (a *app) main(args []string) {
 			}
 		}
 		res, err := cycles.Explore(gg.start(), gg.game, opt)
+		if errors.Is(err, cycles.ErrCancelled) {
+			interrupted()
+		}
 		report(name, res, err, wantStableFree)
 	}
 
@@ -196,10 +210,13 @@ func (a *app) main(args []string) {
 			cap = *maxStates
 		}
 		play := func(name string, g *graph.Graph, gm game.Game) {
+			if ctx.Err() != nil {
+				interrupted()
+			}
 			res := dynamics.Run(g.Clone(), dynamics.Config{
 				Game: gm, Tie: dynamics.TieFirst, Seed: 1,
 				MaxSteps: cap, Schedule: sched, DetectCycles: true,
-				Oracle: oracle,
+				Oracle: oracle, Cancel: ctx.Done(),
 			})
 			var outcome string
 			switch {

@@ -13,18 +13,26 @@
 //	            [-seed s] [-max-states m] [-max-hits h]
 //	            [-workers w] [-shard s] [-jsonl path] [-progress]
 //	ncghunt resume -jsonl path [same flags as run]
+//	ncghunt serve -dir path [-addr host:port] [campaign flags]
+//	ncghunt work -url http://host:port [campaign flags]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"ncg/internal/campaign"
 	"ncg/internal/cli"
+	"ncg/internal/coord"
 	"ncg/internal/dynamics"
 )
 
@@ -64,6 +72,27 @@ Usage:
       re-searching only the instances the file does not fully record.
       Give the same flags as the original run.
 
+  ncghunt serve -dir path [flags]
+      Serve the campaign as a fault-tolerant lease-based coordinator:
+      workers (ncghunt work) lease shards over HTTP, crashed workers'
+      shards re-lease on expiry, and the merged record stream in
+      <dir>/records.jsonl is byte-identical to a single-process run.
+      The directory is resumable: restarting serve on it continues from
+      the manifest. Campaign flags as in run, plus:
+        -addr host:port  listen address (default 127.0.0.1:8777)
+        -shard s         instances per shard (default 64)
+        -lease-ttl d     heartbeat-renewed lease expiry (default 30s)
+
+  ncghunt work -url http://host:port [flags]
+      Run a worker against a coordinator. Give the same campaign flags
+      as the serve side (the fingerprint handshake rejects drift), plus:
+        -name id  worker name in leases and logs
+
+All subcommands stop gracefully on SIGINT/SIGTERM: run and resume
+checkpoint to -jsonl and exit 130 (resume continues them), work finishes
+its current instance and releases its lease, serve shuts the listener
+down with the manifest intact.
+
 Run "ncghunt grid" to see the available samplers and variants.
 `
 
@@ -92,6 +121,10 @@ func (a *app) main(args []string) {
 		a.cmdRun(args[1:], false)
 	case "resume":
 		a.cmdRun(args[1:], true)
+	case "serve":
+		a.cmdServe(args[1:])
+	case "work":
+		a.cmdWork(args[1:])
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(a.Stdout, usage)
 	default:
@@ -126,6 +159,52 @@ func (a *app) cmdGrid(args []string) {
 	tw.Flush()
 }
 
+// campaignFlags holds the grid-definition flags shared by run, resume,
+// serve and work: everything that shapes the campaign itself (and hence
+// its fingerprint), as opposed to how it is executed.
+type campaignFlags struct {
+	samplers, variants, schedule, oracle string
+	n, instances, maxStates              int
+	seed                                 int64
+}
+
+func (cf *campaignFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&cf.samplers, "samplers", "", "comma-separated sampler names (default: all)")
+	fs.StringVar(&cf.variants, "variants", "", "comma-separated variant names (default: all built-ins)")
+	fs.StringVar(&cf.schedule, "schedule", "", "override every selected variant's search schedule")
+	fs.StringVar(&cf.oracle, "oracle", "auto", "distance oracle of round-trajectory variants")
+	fs.IntVar(&cf.n, "n", 10, "agent count for sized samplers")
+	fs.IntVar(&cf.instances, "instances", 100, "instances per grid cell")
+	fs.Int64Var(&cf.seed, "seed", 1, "base seed")
+	fs.IntVar(&cf.maxStates, "max-states", 20000, "per-instance state cap")
+}
+
+// build validates the flags and assembles the campaign. Every flag
+// combination error is a usage error, never a worker panic.
+func (cf *campaignFlags) build(a *app) campaign.Campaign {
+	switch {
+	case cf.instances <= 0:
+		a.Fail("-instances must be positive, got %d", cf.instances)
+	case cf.maxStates <= 0:
+		a.Fail("-max-states must be positive, got %d", cf.maxStates)
+	case cf.n < 1:
+		a.Fail("-n must be >= 1, got %d", cf.n)
+	}
+	oracle, err := dynamics.ParseOracleSpec(cf.oracle)
+	if err != nil {
+		a.Fail("%v", err)
+	}
+	return campaign.Campaign{
+		Name:      "ncghunt",
+		Samplers:  a.pickSamplers(cf.samplers, cf.n),
+		Variants:  a.pickVariants(cf.variants, cf.schedule, oracle),
+		N:         cf.n,
+		Instances: cf.instances,
+		Seed:      cf.seed,
+		MaxStates: cf.maxStates,
+	}
+}
+
 func (a *app) cmdRun(args []string, resume bool) {
 	sub := "run"
 	if resume {
@@ -134,14 +213,8 @@ func (a *app) cmdRun(args []string, resume bool) {
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 	fs.SetOutput(a.Stderr)
 	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
-	samplers := fs.String("samplers", "", "comma-separated sampler names (default: all)")
-	variants := fs.String("variants", "", "comma-separated variant names (default: all built-ins)")
-	schedule := fs.String("schedule", "", "override every selected variant's search schedule")
-	oracleName := fs.String("oracle", "auto", "distance oracle of round-trajectory variants")
-	n := fs.Int("n", 10, "agent count for sized samplers")
-	instances := fs.Int("instances", 100, "instances per grid cell")
-	seed := fs.Int64("seed", 1, "base seed")
-	maxStates := fs.Int("max-states", 20000, "per-instance state cap")
+	var cf campaignFlags
+	cf.register(fs)
 	maxHits := fs.Int("max-hits", 0, "stop after this many hits (0 = all)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	shard := fs.Int("shard", 0, "instances per shard (0 = auto)")
@@ -153,43 +226,25 @@ func (a *app) cmdRun(args []string, resume bool) {
 	if fs.NArg() > 0 {
 		a.Fail("unexpected arguments %v", fs.Args())
 	}
-
-	// Upfront validation: every flag combination error is a usage error,
-	// never a worker panic.
 	switch {
-	case *instances <= 0:
-		a.Fail("-instances must be positive, got %d", *instances)
-	case *maxStates <= 0:
-		a.Fail("-max-states must be positive, got %d", *maxStates)
 	case *maxHits < 0:
 		a.Fail("-max-hits must be >= 0, got %d", *maxHits)
 	case *workers < 0:
 		a.Fail("-workers must be >= 0, got %d", *workers)
 	case *shard < 0:
 		a.Fail("-shard must be >= 0, got %d", *shard)
-	case *n < 1:
-		a.Fail("-n must be >= 1, got %d", *n)
 	case resume && *jsonlPath == "":
 		a.Fail("resume needs -jsonl")
 	}
-	oracle, err := dynamics.ParseOracleSpec(*oracleName)
-	if err != nil {
-		a.Fail("%v", err)
-	}
-	c := campaign.Campaign{
-		Name:      "ncghunt",
-		Samplers:  a.pickSamplers(*samplers, *n),
-		Variants:  a.pickVariants(*variants, *schedule, oracle),
-		N:         *n,
-		Instances: *instances,
-		Seed:      *seed,
-		MaxStates: *maxStates,
-	}
+	c := cf.build(a)
 
+	ctx, stop := cli.SignalContext(a.Stderr, "ncghunt")
+	defer stop()
 	opt := campaign.Options{
 		MaxHits:   *maxHits,
 		Workers:   *workers,
 		ShardSize: *shard,
+		Context:   ctx,
 	}
 	if *progress {
 		opt.Progress = func(p campaign.Progress) {
@@ -225,6 +280,16 @@ func (a *app) cmdRun(args []string, resume bool) {
 	}))
 
 	sum, err := campaign.Run(c, opt, sinks...)
+	if errors.Is(err, context.Canceled) {
+		// Interrupted at an instance boundary: the sinks flushed a clean
+		// resumable prefix before Run returned.
+		if *jsonlPath != "" {
+			fmt.Fprintf(a.Stderr, "ncghunt: interrupted; continue with: ncghunt resume -jsonl %s [same flags]\n", *jsonlPath)
+		} else {
+			fmt.Fprintln(a.Stderr, "ncghunt: interrupted (rerun with -jsonl to make runs resumable)")
+		}
+		cli.Exit(cli.SignalExitCode)
+	}
 	if err != nil {
 		a.Errorf("%v", err)
 	}
@@ -251,6 +316,135 @@ func (a *app) cmdRun(args []string, resume bool) {
 		for _, m := range fc.Moves {
 			fmt.Fprintf(a.Stdout, "  %v\n", m)
 		}
+	}
+}
+
+// cmdServe runs the lease-based campaign coordinator: the fault-tolerant
+// service form of run, for campaigns spanning many worker processes or
+// machines.
+func (a *app) cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(a.Stderr)
+	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
+	var cf campaignFlags
+	cf.register(fs)
+	dir := fs.String("dir", "", "coordinator state directory (manifest, shard files, merged records)")
+	addr := fs.String("addr", "127.0.0.1:8777", "listen address")
+	shard := fs.Int("shard", 0, "instances per shard (0 = 64)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "heartbeat-renewed lease expiry (0 = 30s)")
+	if err := fs.Parse(args); err != nil {
+		cli.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		a.Fail("unexpected arguments %v", fs.Args())
+	}
+	if *dir == "" {
+		a.Fail("serve needs -dir")
+	}
+	if *shard < 0 {
+		a.Fail("-shard must be >= 0, got %d", *shard)
+	}
+	// Install the signal seam before anything is announced on stdout so a
+	// SIGINT arriving the instant the service is observable is already a
+	// graceful stop, never a mid-write kill.
+	ctx, stop := cli.SignalContext(a.Stderr, "ncghunt")
+	defer stop()
+
+	c, err := coord.Open(coord.Config{
+		Campaign:  cf.build(a),
+		Dir:       *dir,
+		ShardSize: *shard,
+		LeaseTTL:  *leaseTTL,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(a.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		a.Errorf("%v", err)
+	}
+	defer c.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		a.Errorf("%v", err)
+	}
+	st := c.Status()
+	fmt.Fprintf(a.Stdout, "ncghunt: serving campaign %s on %s (%d shards, %d done)\n",
+		st.Fingerprint, ln.Addr(), st.Shards, st.Done)
+	srv := &http.Server{Handler: c.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	interrupted := false
+	select {
+	case <-c.Done():
+		fmt.Fprintf(a.Stdout, "ncghunt: campaign complete; merged records in %s\n", c.ResultPath())
+		// Linger briefly so workers waiting in their (<=1s) lease-poll
+		// loop learn "done" from the protocol and exit cleanly instead
+		// of burning their retry budget against a vanished coordinator.
+		select {
+		case <-time.After(2 * time.Second):
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+		// The manifest already holds every completed shard; restarting
+		// serve on the same -dir resumes exactly here.
+		fmt.Fprintf(a.Stderr, "ncghunt: coordinator stopping; resume with: ncghunt serve -dir %s [same flags]\n", *dir)
+		interrupted = true
+	case err := <-serveErr:
+		a.Errorf("%v", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+	}
+	if interrupted {
+		cli.Exit(cli.SignalExitCode)
+	}
+}
+
+// cmdWork runs one worker process against a coordinator.
+func (a *app) cmdWork(args []string) {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	fs.SetOutput(a.Stderr)
+	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
+	var cf campaignFlags
+	cf.register(fs)
+	url := fs.String("url", "", "coordinator base URL (http://host:port)")
+	name := fs.String("name", "", "worker name in leases and logs (default: host:pid)")
+	if err := fs.Parse(args); err != nil {
+		cli.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		a.Fail("unexpected arguments %v", fs.Args())
+	}
+	if *url == "" {
+		a.Fail("work needs -url")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	ctx, stop := cli.SignalContext(a.Stderr, "ncghunt")
+	defer stop()
+	stats, err := coord.RunWorker(ctx, coord.WorkerConfig{
+		URL:      *url,
+		Campaign: cf.build(a),
+		Name:     *name,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(a.Stderr, format+"\n", args...)
+		},
+	})
+	fmt.Fprintf(a.Stdout, "ncghunt: worker %s done: %d shards, %d records, %d retries\n",
+		*name, stats.Shards, stats.Records, stats.Retries)
+	if errors.Is(err, context.Canceled) {
+		// Graceful drain: the current instance finished and the lease was
+		// released before RunWorker returned.
+		cli.Exit(cli.SignalExitCode)
+	}
+	if err != nil {
+		a.Errorf("%v", err)
 	}
 }
 

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ncg/internal/campaign"
+	"ncg/internal/cli"
+)
+
+// syncBuffer is a locked bytes.Buffer: exec's copier goroutine writes to
+// it while the test polls String().
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestMain doubles the test binary as the ncghunt executable: with
+// NCGHUNT_BE_CMD set it runs the CLI on the \x1f-separated argument list
+// instead of the tests, so signal tests can exercise a real process
+// receiving real signals without building the command separately.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("NCGHUNT_BE_CMD"); args != "" {
+		os.Exit(run(strings.Split(args, "\x1f"), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// spawn re-executes the test binary as ncghunt with the given arguments.
+func spawn(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "NCGHUNT_BE_CMD="+strings.Join(args, "\x1f"))
+	return cmd
+}
+
+// exitCode waits for the process and returns its exit status.
+func exitCode(t *testing.T, cmd *exec.Cmd) int {
+	t.Helper()
+	err := cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("wait: %v", err)
+	return -1
+}
+
+// TestSIGINTCheckpointsRun is the graceful-shutdown smoke test of the
+// ISSUE: interrupt a real `ncghunt run` process mid-campaign and assert
+// it exits with the interrupt status, the JSONL file it leaves behind is
+// a clean resumable checkpoint (complete lines only, loadable, partial),
+// and resuming completes it byte-identically to an uninterrupted run.
+func TestSIGINTCheckpointsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and reruns the campaign")
+	}
+	huntArgs := []string{
+		"-samplers", "random-tree", "-variants", "sum-asg",
+		"-n", "9", "-instances", "2000", "-max-states", "600", "-workers", "2",
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hunt.jsonl")
+	cmd := spawn(t, append([]string{"run", "-jsonl", path}, huntArgs...)...)
+	var stderr syncBuffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt once the run has demonstrably streamed a record.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(path); err == nil && bytes.Contains(data, []byte("\n")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("run produced no records; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if code := exitCode(t, cmd); code != cli.SignalExitCode {
+		t.Fatalf("interrupted run exited %d, want %d; stderr: %s", code, cli.SignalExitCode, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resume") {
+		t.Fatalf("no resume hint on stderr: %s", stderr.String())
+	}
+
+	// The file must be a clean checkpoint: newline-terminated complete
+	// lines, loadable, and genuinely partial (the campaign is far larger
+	// than anything searchable before the signal).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Fatalf("checkpoint does not end at a record boundary: %q", data[max(0, len(data)-80):])
+	}
+	cp, err := campaign.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() == 0 || cp.Len() >= 2000 {
+		t.Fatalf("checkpoint recovered %d instances, want a partial run", cp.Len())
+	}
+	t.Logf("interrupted after %d of 2000 instances", cp.Len())
+
+	// Resume in-process and compare against an uninterrupted reference run.
+	if code, _, errOut := runCmd(append([]string{"resume", "-jsonl", path}, huntArgs...)...); code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, errOut)
+	}
+	refPath := filepath.Join(dir, "ref.jsonl")
+	if code, _, errOut := runCmd(append([]string{"run", "-jsonl", refPath}, huntArgs...)...); code != 0 {
+		t.Fatalf("reference run exit %d, stderr: %s", code, errOut)
+	}
+	resumed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, ref) {
+		t.Fatalf("resumed file differs from uninterrupted run (%d vs %d bytes)", len(resumed), len(ref))
+	}
+}
+
+// TestSIGINTStopsServe interrupts a real coordinator process and asserts
+// the interrupt exit status and the resume hint.
+func TestSIGINTStopsServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	cmd := spawn(t, "serve", "-dir", dir, "-addr", "127.0.0.1:0",
+		"-samplers", "random-tree", "-variants", "sum-asg",
+		"-n", "8", "-instances", "10", "-max-states", "200")
+	var stdout, stderr syncBuffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(stdout.String(), "serving campaign") {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("coordinator never came up; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if code := exitCode(t, cmd); code != cli.SignalExitCode {
+		t.Fatalf("interrupted serve exited %d, want %d; stderr: %s", code, cli.SignalExitCode, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resume with") {
+		t.Fatalf("no resume hint on stderr: %s", stderr.String())
+	}
+}

@@ -25,6 +25,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -268,6 +270,8 @@ func (a *app) cmdRun(args []string, gridRequired bool) {
 		}
 	}
 
+	ctx, stop := cli.SignalContext(a.Stderr, "ncgsim")
+	defer stop()
 	opt := ensemble.Options{
 		Ns:           ns,
 		Trials:       gf.trials,
@@ -275,6 +279,7 @@ func (a *app) cmdRun(args []string, gridRequired bool) {
 		Workers:      gf.workers,
 		ShardSize:    gf.shard,
 		ProbeWorkers: gf.probeWrk,
+		Context:      ctx,
 	}
 	var sinks []ensemble.Sink
 	if *jsonlPath != "" {
@@ -305,6 +310,16 @@ func (a *app) cmdRun(args []string, gridRequired bool) {
 	stopProfiles := a.startProfiles(*cpuProfile, *memProfile)
 	sum, err := ensemble.Execute(sc, opt, sinks...)
 	stopProfiles()
+	if errors.Is(err, context.Canceled) {
+		// Interrupted at a trial boundary: the sinks flushed a clean
+		// resumable prefix before Execute returned.
+		if *jsonlPath != "" {
+			fmt.Fprintf(a.Stderr, "ncgsim: interrupted; continue with: ncgsim %s %s -resume -jsonl %s [same flags]\n", sub, name, *jsonlPath)
+		} else {
+			fmt.Fprintln(a.Stderr, "ncgsim: interrupted (rerun with -jsonl to make runs resumable)")
+		}
+		cli.Exit(cli.SignalExitCode)
+	}
 	if err != nil {
 		a.Errorf("%v", err)
 	}

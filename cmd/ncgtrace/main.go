@@ -140,6 +140,12 @@ func (a *app) main(args []string) {
 		a.Fail("unknown init %q", *initName)
 	}
 
+	// Interrupt seam: the trace stops at the next step boundary (round
+	// boundary under a rounds schedule), prints the summary of the prefix
+	// it played, and exits 130 — never a mid-line kill.
+	ctx, stop := cli.SignalContext(a.Stderr, "ncgtrace")
+	defer stop()
+
 	_, rounds := sched.(dynamics.Rounds)
 	fmt.Fprintf(a.Stdout, "initial: %v\n", g)
 	res := dynamics.Run(g, dynamics.Config{
@@ -149,6 +155,7 @@ func (a *app) main(args []string) {
 		Seed:     *seed,
 		Schedule: sched,
 		Oracle:   oracle,
+		Cancel:   ctx.Done(),
 		// Round schedules can oscillate even in sequentially convergent
 		// games; detect the repeat instead of tracing to the step bound.
 		DetectCycles: rounds,
@@ -168,5 +175,9 @@ func (a *app) main(args []string) {
 	if rounds {
 		fmt.Fprintf(a.Stdout, "rounds=%d skipped=%d cycled=%v cycle-len=%d\n",
 			res.Rounds, res.Skipped, res.Cycled, res.CycleLen)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(a.Stderr, "ncgtrace: interrupted; the trace above is the played prefix")
+		cli.Exit(cli.SignalExitCode)
 	}
 }

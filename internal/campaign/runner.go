@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,6 +16,13 @@ import (
 
 // Options override a campaign's defaults and shape the execution.
 type Options struct {
+	// Context, if non-nil, cancels the run between instances: in-flight
+	// shards stop at their next instance boundary, everything already
+	// emitted is flushed, and Run returns the context's error — the file
+	// left behind is a maximal resumable checkpoint, exactly as if the
+	// campaign had been cut by MaxHits. The graceful-shutdown seam of the
+	// cmds routes SIGINT/SIGTERM here.
+	Context context.Context
 	// Instances overrides the per-cell instance budget (0: campaign
 	// default).
 	Instances int
@@ -109,6 +117,16 @@ type worker struct {
 	check func(g *graph.Graph) bool
 }
 
+// newWorkerArena builds one worker's execution arena; RunShard and the
+// pool of run share it so both paths search instances identically.
+func newWorkerArena(c *Campaign) *worker {
+	w := &worker{rng: gen.NewRand(0)}
+	if c.NewCheck != nil {
+		w.check = c.NewCheck()
+	}
+	return w
+}
+
 // flusher matches sinks that can push buffered records to their backing
 // store; Run flushes after every emitted shard so an interrupted campaign
 // leaves a maximal resumable checkpoint.
@@ -145,19 +163,8 @@ func Run(c Campaign, opt Options, sinks ...Sink) (Summary, error) {
 }
 
 func run(c Campaign, opt Options, sinks []Sink) (Summary, error) {
-	if opt.Instances > 0 {
-		c.Instances = opt.Instances
-	}
-	if opt.Seed != 0 {
-		c.Seed = opt.Seed
-	}
-	if opt.MaxStates > 0 {
-		c.MaxStates = opt.MaxStates
-	}
-	if c.MaxResamples <= 0 {
-		c.MaxResamples = defaultMaxResamples
-	}
-	if err := c.validate(); err != nil {
+	c, err := Resolve(c, opt)
+	if err != nil {
 		return Summary{}, err
 	}
 	workers := opt.Workers
@@ -165,17 +172,10 @@ func run(c Campaign, opt Options, sinks []Sink) (Summary, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	var cells []cell
+	cells := planCells(c)
 	total := 0
-	for si := range c.Samplers {
-		for vi := range c.Variants {
-			instances := c.Instances
-			if t := c.Samplers[si].Total; t > 0 && instances > t {
-				instances = t
-			}
-			cells = append(cells, cell{si: si, vi: vi, instances: instances})
-			total += instances
-		}
+	for _, cl := range cells {
+		total += cl.instances
 	}
 	if err := checkpointInside(opt.Done, c, cells); err != nil {
 		return Summary{}, err
@@ -212,6 +212,21 @@ func run(c Campaign, opt Options, sinks []Sink) (Summary, error) {
 	}
 
 	var abort atomic.Bool
+	if ctx := opt.Context; ctx != nil {
+		// The watcher flips the same abort latch an error or the MaxHits
+		// cut uses: in-flight shards stop at their next instance boundary
+		// and the emit loop flushes everything already ordered, so the
+		// sinks hold a maximal resumable prefix when Run returns.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				abort.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
 	runShard := func(sh shard, w *worker) shardOut {
 		out := shardOut{
 			recs:    make([]Record, 0, sh.hi-sh.lo),
@@ -263,10 +278,7 @@ func run(c Campaign, opt Options, sinks []Sink) (Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := &worker{rng: gen.NewRand(0)}
-			if c.NewCheck != nil {
-				w.check = c.NewCheck()
-			}
+			w := newWorkerArena(&c)
 			for i := range next {
 				var out shardOut
 				if abort.Load() {
@@ -382,6 +394,12 @@ func run(c Campaign, opt Options, sinks []Sink) (Summary, error) {
 		sum.Instances += sum.Cells[i].Instances
 		sum.Searched += sum.Cells[i].Searched
 		sum.Hits += sum.Cells[i].Hits
+	}
+	if firstErr == nil && opt.Context != nil {
+		// A cancelled run is reported as such even though the partial
+		// stream is valid: callers distinguish "interrupted, resume later"
+		// from a completed hunt.
+		firstErr = opt.Context.Err()
 	}
 	if firstErr != nil {
 		return sum, firstErr

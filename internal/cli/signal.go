@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalExitCode is the conventional exit status of a run stopped by an
+// interrupt (128 + SIGINT), distinguishing "checkpointed and stopped"
+// from success (0) and failure (1) for supervisors and shell scripts.
+const SignalExitCode = 130
+
+// SignalContext is the graceful-shutdown seam shared by all commands: it
+// returns a context cancelled on the first SIGINT or SIGTERM, announcing
+// the shutdown on stderr. The long-running spines (campaign, ensemble,
+// cycles, dynamics) take the context — or its Done channel — and stop at
+// the next clean boundary (instance, trial, level, step), flushing
+// whatever checkpoint they keep, so an interrupted run is resumable, never
+// torn mid-write. A second signal falls through to Go's default handling
+// (immediate death), keeping a hung run killable. Call stop to release
+// the signal handler.
+func SignalContext(stderr io.Writer, name string) (ctx context.Context, stop context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			if stderr != nil {
+				fmt.Fprintf(stderr, "%s: %v — stopping at the next checkpoint (again to kill)\n", name, sig)
+			}
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	return ctx, cancel
+}

@@ -1,0 +1,260 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ncg/internal/campaign"
+	"ncg/internal/game"
+)
+
+// testCampaign is the small deterministic hunt grid the coordinator tests
+// distribute: two samplers (one random, one enumerated single-instance)
+// crossed with two swap variants.
+func testCampaign() campaign.Campaign {
+	return campaign.Campaign{
+		Name:     "coord-test",
+		Samplers: []campaign.Sampler{campaign.TreeSampler(), campaign.DirectedLineSampler()},
+		Variants: []campaign.Variant{
+			{Name: "sum-sg", New: func(int) game.Game { return game.NewSwap(game.Sum) }},
+			{Name: "max-sg", New: func(int) game.Game { return game.NewSwap(game.Max) }},
+		},
+		N:         8,
+		Instances: 10,
+		Seed:      7,
+		MaxStates: 300,
+	}
+}
+
+// singleProcessBytes is the canonical baseline: the exact JSONL stream a
+// single-process campaign.Run writes for the test campaign.
+func singleProcessBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := campaign.Run(testCampaign(), campaign.Options{}, campaign.NewJSONLSink(&buf)); err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// runWorkers drives n fault-free workers against url until the campaign
+// completes.
+func runWorkers(t *testing.T, url string, n int) {
+	t.Helper()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		go func() {
+			_, err := RunWorker(context.Background(), WorkerConfig{
+				URL:      url,
+				Campaign: testCampaign(),
+				Name:     "worker-" + name,
+			})
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+}
+
+func TestCoordinatorMergeMatchesSingleProcess(t *testing.T) {
+	want := singleProcessBytes(t)
+	dir := t.TempDir()
+	c, err := Open(Config{Campaign: testCampaign(), Dir: dir, ShardSize: 3, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	runWorkers(t, srv.URL, 3)
+
+	select {
+	case <-c.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("campaign did not complete; status %+v", c.Status())
+	}
+	got, err := os.ReadFile(c.ResultPath())
+	if err != nil {
+		t.Fatalf("read merged stream: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged stream differs from single-process run:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	st := c.Status()
+	if !st.Merged || st.Done != st.Shards || st.Records != bytes.Count(want, []byte("\n")) {
+		t.Fatalf("bad final status %+v", st)
+	}
+}
+
+func TestCoordinatorResumesFromManifest(t *testing.T) {
+	want := singleProcessBytes(t)
+	dir := t.TempDir()
+	cfg := Config{Campaign: testCampaign(), Dir: dir, ShardSize: 3, LeaseTTL: time.Second}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Complete exactly one shard by hand, then "crash" the coordinator
+	// by just abandoning it.
+	ctx := context.Background()
+	recs, err := campaign.RunShard(ctx, c.camp, c.plan[0], nil)
+	if err != nil {
+		t.Fatalf("RunShard: %v", err)
+	}
+	data, err := campaign.MarshalRecords(recs)
+	if err != nil {
+		t.Fatalf("MarshalRecords: %v", err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	w := &workerLoop{cfg: WorkerConfig{URL: srv.URL, Client: srv.Client(), Logf: t.Logf, RetryBase: time.Millisecond, RetryMax: time.Millisecond, MaxRetries: 3}}
+	var resp CompleteResponse
+	if err := w.callRetry(ctx, "/v1/complete", CompleteRequest{Index: 0, Worker: "hand", Records: string(data)}, &resp); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	srv.Close()
+	c.Close()
+
+	// Reopen: the completed shard must be recovered from the manifest.
+	c2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+	if st := c2.Status(); st.Done != 1 {
+		t.Fatalf("after resume, done = %d, want 1 (status %+v)", st.Done, st)
+	}
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	runWorkers(t, srv2.URL, 2)
+	got, err := os.ReadFile(c2.ResultPath())
+	if err != nil {
+		t.Fatalf("read merged stream: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed merge differs from single-process run")
+	}
+
+	// A third open of the finished directory reports merged immediately.
+	c3, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open finished dir: %v", err)
+	}
+	defer c3.Close()
+	select {
+	case <-c3.Done():
+	default:
+		t.Fatalf("finished directory did not report done")
+	}
+}
+
+func TestCoordinatorRejectsForeignCampaign(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Campaign: testCampaign(), Dir: dir, ShardSize: 3}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	c.Close()
+	other := testCampaign()
+	other.Seed = 99
+	if _, err := Open(Config{Campaign: other, Dir: dir, ShardSize: 3}); err == nil {
+		t.Fatalf("Open accepted a different campaign on the same directory")
+	}
+	if _, err := Open(Config{Campaign: testCampaign(), Dir: dir, ShardSize: 5}); err == nil {
+		t.Fatalf("Open accepted a different shard size on the same directory")
+	}
+}
+
+func TestWorkerFingerprintMismatchIsPermanent(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{Campaign: testCampaign(), Dir: dir, ShardSize: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	drifted := testCampaign()
+	drifted.MaxStates = 12345
+	start := time.Now()
+	_, err = RunWorker(context.Background(), WorkerConfig{URL: srv.URL, Campaign: drifted, Name: "drifted"})
+	if err == nil {
+		t.Fatalf("drifted worker did not fail")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("fingerprint mismatch took %v; should fail fast, not retry", time.Since(start))
+	}
+}
+
+func TestLeaseExpiryReleasesShard(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	clock := &now
+	c, err := Open(Config{
+		Campaign: testCampaign(), Dir: dir, ShardSize: 3,
+		LeaseTTL: time.Minute,
+		Now:      func() time.Time { return *clock },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer c.Close()
+
+	c.mu.Lock()
+	l := c.grant(0, "w1", now)
+	c.mu.Unlock()
+	if st := c.Status(); st.Leased != 1 {
+		t.Fatalf("leased = %d, want 1", st.Leased)
+	}
+	later := now.Add(2 * time.Minute)
+	clock = &later
+	if st := c.Status(); st.Leased != 0 || st.Pending != st.Shards {
+		t.Fatalf("after expiry, status %+v; want all pending", st)
+	}
+	c.mu.Lock()
+	_, live := c.leases[l.id]
+	c.mu.Unlock()
+	if live {
+		t.Fatalf("expired lease still live")
+	}
+}
+
+func TestManifestTornTailIsRecovered(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Campaign: testCampaign(), Dir: dir, ShardSize: 3}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Simulate a crash mid-append: torn garbage after the header.
+	c.mu.Lock()
+	c.man.appendTorn(manifestEntry{Type: "shard", Index: 1, Shard: c.plan[1], File: "zzz"})
+	c.mu.Unlock()
+	c.Close()
+	c2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen with torn manifest: %v", err)
+	}
+	defer c2.Close()
+	if st := c2.Status(); st.Done != 0 || st.Pending != st.Shards {
+		t.Fatalf("torn tail was trusted: %+v", st)
+	}
+	// The torn bytes must be gone from the manifest file.
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("zzz")) {
+		t.Fatalf("torn tail survived recovery: %q", data)
+	}
+}

@@ -1,0 +1,364 @@
+// Package coord is the fault-tolerant campaign service: a lease-based
+// coordinator that decomposes a resolved campaign into (sampler, variant,
+// instance-range) shards, leases them to worker processes over plain
+// HTTP+JSON, re-leases expired shards, and merges the completed shard
+// files into the one canonical deterministic record stream — the exact
+// bytes a single-process campaign.Run would have written. Robustness is
+// the design center: every shard is idempotent (records are keyed by
+// (sampler, variant, instance), never by scheduling, so a re-executed
+// lease produces byte-identical JSONL), every durable write is atomic or
+// append-fsync with truncated-tail recovery, and the whole protocol is
+// exercised under seeded fault injection (internal/faultinject) that
+// proves the merged stream survives crashes, torn writes, dropped
+// heartbeats, stalls and duplicate leases.
+package coord
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ncg/internal/campaign"
+	"ncg/internal/faultinject"
+	"ncg/internal/jsonl"
+)
+
+// Config shapes a coordinator.
+type Config struct {
+	// Campaign is the hunt to serve. Open resolves it (campaign.Resolve
+	// with zero options), so pass the same campaign value workers are
+	// started with; the fingerprint handshake rejects any drift.
+	Campaign campaign.Campaign
+	// Dir is the coordinator's state directory: manifest.jsonl (the
+	// write-ahead log of shard completions), shards/ (one atomic file per
+	// completed shard) and records.jsonl (the merged canonical stream).
+	// A coordinator restarted on the same directory resumes exactly
+	// where the manifest says it was.
+	Dir string
+	// ShardSize is the instance count per shard (0: 64). A resume must
+	// use the original size; the manifest header pins it.
+	ShardSize int
+	// LeaseTTL is the heartbeat-renewed lease expiry (0: 30s).
+	LeaseTTL time.Duration
+	// Now is the coordinator clock (nil: time.Now), injectable in tests.
+	Now func() time.Time
+	// Injector fires the seeded fault schedule of chaos runs (nil: no
+	// faults).
+	Injector *faultinject.Injector
+	// Logf, if non-nil, receives one line per lease-protocol event.
+	Logf func(format string, args ...any)
+}
+
+// shardStatus is the lifecycle of one planned shard.
+type shardStatus int
+
+const (
+	shardPending shardStatus = iota
+	shardLeased
+	shardDone
+)
+
+// lease is one live grant of a shard to a worker.
+type lease struct {
+	id     string
+	index  int
+	worker string
+	expiry time.Time
+}
+
+// shardState is the coordinator's view of one planned shard.
+type shardState struct {
+	status  shardStatus
+	bytes   int64
+	sum     string
+	records int
+	hits    int
+}
+
+// Status is the coordinator's public progress snapshot, served at
+// /v1/status.
+type Status struct {
+	Campaign    string `json:"campaign"`
+	Fingerprint string `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+	Pending     int    `json:"pending"`
+	Leased      int    `json:"leased"`
+	Done        int    `json:"done"`
+	Records     int    `json:"records"`
+	Hits        int    `json:"hits"`
+	Merged      bool   `json:"merged"`
+}
+
+// Coordinator serves one campaign's shard lease protocol and owns the
+// durable run state under Config.Dir.
+type Coordinator struct {
+	cfg  Config
+	camp campaign.Campaign
+	fp   string
+	plan []campaign.ShardRef
+
+	mu      sync.Mutex
+	man     *manifest
+	states  []shardState
+	leases  map[string]*lease
+	nextID  int64
+	merged  bool
+	crashed bool
+
+	crashCh chan struct{}
+	doneCh  chan struct{}
+}
+
+// Open creates or resumes a coordinator on cfg.Dir: it replays the
+// manifest (truncating a torn tail), verifies every recorded shard file
+// against its length and checksum — a shard whose file was lost or
+// damaged simply becomes pending again — and, if the plan is already
+// complete, merges. Crash-safety contract: the manifest commits a shard
+// only after its file is durable, so recovery never trusts a file the
+// log does not vouch for, and vice versa a logged-but-damaged file is
+// re-run, never merged.
+func Open(cfg Config) (*Coordinator, error) {
+	camp, err := campaign.Resolve(cfg.Campaign, campaign.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = 64
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	plan, err := campaign.Plan(camp, cfg.ShardSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "shards"), 0o755); err != nil {
+		return nil, err
+	}
+	man, entries, err := openManifest(filepath.Join(cfg.Dir, "manifest.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		camp:    camp,
+		fp:      campaign.Fingerprint(camp),
+		plan:    plan,
+		man:     man,
+		states:  make([]shardState, len(plan)),
+		leases:  make(map[string]*lease),
+		crashCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	if err := c.recover(entries); err != nil {
+		man.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// recover replays the manifest entries into run state.
+func (c *Coordinator) recover(entries []manifestEntry) error {
+	seenHeader := false
+	mergedLogged := false
+	for _, e := range entries {
+		switch e.Type {
+		case "campaign":
+			if e.Fingerprint != c.fp {
+				return fmt.Errorf("coord: %s holds a different campaign:\n  dir: %s\n  run: %s", c.cfg.Dir, e.Fingerprint, c.fp)
+			}
+			if e.ShardSize != c.cfg.ShardSize || e.Shards != len(c.plan) {
+				return fmt.Errorf("coord: %s was planned with shard size %d (%d shards), not %d (%d); resume with the original plan",
+					c.cfg.Dir, e.ShardSize, e.Shards, c.cfg.ShardSize, len(c.plan))
+			}
+			seenHeader = true
+		case "shard":
+			if !seenHeader {
+				return fmt.Errorf("coord: %s manifest has a shard entry before the campaign header", c.cfg.Dir)
+			}
+			if e.Index < 0 || e.Index >= len(c.plan) || c.plan[e.Index] != e.Shard {
+				return fmt.Errorf("coord: manifest shard entry %d (%s) does not match the plan", e.Index, e.Shard)
+			}
+			// Trust the entry only if the file still matches; a lost or
+			// damaged file re-runs its shard (idempotent, so harmless).
+			data, err := os.ReadFile(filepath.Join(c.cfg.Dir, e.File))
+			if err != nil || int64(len(data)) != e.Bytes || checksum(data) != e.Sum {
+				c.cfg.Logf("coord: shard %d file %s missing or damaged; re-running", e.Index, e.File)
+				c.states[e.Index] = shardState{status: shardPending}
+				continue
+			}
+			c.states[e.Index] = shardState{
+				status: shardDone, bytes: e.Bytes, sum: e.Sum,
+				records: e.Records, hits: e.Hits,
+			}
+		case "merged":
+			mergedLogged = true
+		}
+	}
+	if !seenHeader {
+		if err := c.man.append(manifestEntry{
+			Type: "campaign", Fingerprint: c.fp,
+			ShardSize: c.cfg.ShardSize, Shards: len(c.plan),
+		}); err != nil {
+			return err
+		}
+	}
+	// A merged entry is only honored if every shard is still verified
+	// done and the result file matches the concatenation; otherwise the
+	// merge (atomic, idempotent) simply runs again when the last shard
+	// lands.
+	if mergedLogged && c.doneCount() == len(c.plan) {
+		c.merged = true
+		close(c.doneCh)
+		return nil
+	}
+	if c.doneCount() == len(c.plan) {
+		return c.mergeLocked()
+	}
+	return nil
+}
+
+// doneCount counts completed shards. Callers hold mu or are in Open.
+func (c *Coordinator) doneCount() int {
+	done := 0
+	for _, st := range c.states {
+		if st.status == shardDone {
+			done++
+		}
+	}
+	return done
+}
+
+// ResultPath is the merged canonical record stream's location.
+func (c *Coordinator) ResultPath() string {
+	return filepath.Join(c.cfg.Dir, "records.jsonl")
+}
+
+// Done is closed once the campaign is complete and merged.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Crashed is closed when an injected fault killed the coordinator; the
+// chaos harness restarts it with Open on the same directory.
+func (c *Coordinator) Crashed() <-chan struct{} { return c.crashCh }
+
+// Close releases the manifest handle. The directory remains resumable.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.man.close()
+}
+
+// crash simulates process death: all subsequent requests fail with 503
+// and Crashed fires. Callers hold mu.
+func (c *Coordinator) crash(site string) {
+	if !c.crashed {
+		c.cfg.Logf("coord: injected crash at %s", site)
+		c.crashed = true
+		c.man.close()
+		close(c.crashCh)
+	}
+}
+
+// reap expires overdue leases; a leased shard with no live lease left
+// returns to pending. Callers hold mu.
+func (c *Coordinator) reap(now time.Time) {
+	for id, l := range c.leases {
+		if now.After(l.expiry) {
+			c.cfg.Logf("coord: lease %s (%s, worker %s) expired", id, c.plan[l.index], l.worker)
+			delete(c.leases, id)
+		}
+	}
+	live := make(map[int]bool, len(c.leases))
+	for _, l := range c.leases {
+		live[l.index] = true
+	}
+	for i := range c.states {
+		if c.states[i].status == shardLeased && !live[i] {
+			c.states[i].status = shardPending
+		}
+	}
+}
+
+// grant creates a lease on shard index for worker. Callers hold mu.
+func (c *Coordinator) grant(index int, worker string, now time.Time) *lease {
+	c.nextID++
+	l := &lease{
+		id:     fmt.Sprintf("lease-%d", c.nextID),
+		index:  index,
+		worker: worker,
+		expiry: now.Add(c.cfg.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	c.states[index].status = shardLeased
+	c.cfg.Logf("coord: leased %s to %s as %s", c.plan[index], worker, l.id)
+	return l
+}
+
+// mergeLocked concatenates the shard files in plan order into the
+// canonical result stream, atomically, and logs the merge. Callers hold
+// mu (or are in Open's single-threaded recovery).
+func (c *Coordinator) mergeLocked() error {
+	var out []byte
+	for i := range c.plan {
+		data, err := os.ReadFile(filepath.Join(c.cfg.Dir, shardFileName(i)))
+		if err != nil {
+			return fmt.Errorf("coord: merge: %v", err)
+		}
+		if checksum(data) != c.states[i].sum {
+			return fmt.Errorf("coord: merge: shard %d file no longer matches its manifest checksum", i)
+		}
+		out = append(out, data...)
+	}
+	if err := jsonl.AtomicWriteFile(c.ResultPath(), out, 0o644); err != nil {
+		return err
+	}
+	if err := c.man.append(manifestEntry{
+		Type: "merged", File: filepath.Base(c.ResultPath()),
+		Bytes: int64(len(out)), Sum: checksum(out),
+	}); err != nil {
+		return err
+	}
+	c.merged = true
+	c.cfg.Logf("coord: merged %d shards into %s (%d bytes)", len(c.plan), c.ResultPath(), len(out))
+	close(c.doneCh)
+	return nil
+}
+
+// status snapshots progress. Callers hold mu.
+func (c *Coordinator) statusLocked() Status {
+	st := Status{
+		Campaign:    c.camp.Name,
+		Fingerprint: c.fp,
+		Shards:      len(c.plan),
+		Merged:      c.merged,
+	}
+	for _, s := range c.states {
+		switch s.status {
+		case shardPending:
+			st.Pending++
+		case shardLeased:
+			st.Leased++
+		case shardDone:
+			st.Done++
+			st.Records += s.records
+			st.Hits += s.hits
+		}
+	}
+	return st
+}
+
+// Status snapshots the coordinator's progress.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap(c.cfg.Now())
+	return c.statusLocked()
+}

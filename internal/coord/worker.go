@@ -1,0 +1,354 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ncg/internal/campaign"
+	"ncg/internal/faultinject"
+	"ncg/internal/rng"
+)
+
+// WorkerConfig shapes one worker process's campaign loop.
+type WorkerConfig struct {
+	// URL is the coordinator's base URL (e.g. http://127.0.0.1:8080).
+	URL string
+	// Campaign must resolve to the same campaign the coordinator serves;
+	// the fingerprint handshake enforces it.
+	Campaign campaign.Campaign
+	// Name identifies the worker in leases and logs (default: "worker").
+	Name string
+	// Client is the HTTP client (nil: a client with a 30s timeout).
+	Client *http.Client
+	// Poll is the idle wait when the coordinator has nothing grantable
+	// (0: the coordinator's suggested wait, capped by 1s).
+	Poll time.Duration
+	// RetryBase and RetryMax bound the jittered exponential backoff on
+	// coordinator errors (0: 100ms / 5s).
+	RetryBase, RetryMax time.Duration
+	// MaxRetries is the consecutive-failure budget before the worker
+	// gives up — graceful degradation: one worker dying never takes the
+	// campaign down (0: 30).
+	MaxRetries int
+	// Injector fires the seeded fault schedule of chaos runs (nil: no
+	// faults).
+	Injector *faultinject.Injector
+	// StallFor is the injected-stall duration (0: 3x the lease TTL).
+	StallFor time.Duration
+	// Logf, if non-nil, receives one line per worker event.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats summarizes a worker's contribution.
+type WorkerStats struct {
+	// Shards and Records count completed uploads.
+	Shards, Records int
+	// Retries counts coordinator calls that needed a backoff retry.
+	Retries int
+	// Drained reports a graceful shutdown: the worker finished its
+	// current instance, released its lease and exited on cancellation.
+	Drained bool
+}
+
+// ErrInjectedCrash is returned by RunWorker when the fault schedule kills
+// the worker mid-shard: the lease is deliberately not released, so the
+// coordinator must recover it by expiry.
+var ErrInjectedCrash = errors.New("coord: injected worker crash")
+
+// errPermanent wraps coordinator rejections that retrying cannot fix
+// (fingerprint mismatch, malformed request).
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// RunWorker leases shards from the coordinator until the campaign
+// completes, the context is cancelled (graceful drain: the current
+// instance finishes, the lease is released) or the retry budget is
+// exhausted. Every coordinator interaction retries with jittered
+// exponential backoff; shard execution is campaign.RunShard, so an
+// upload is byte-identical no matter which worker runs it or how often.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 30
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	camp, err := campaign.Resolve(cfg.Campaign, campaign.Options{})
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	w := &workerLoop{
+		cfg:  cfg,
+		camp: camp,
+		fp:   campaign.Fingerprint(camp),
+	}
+	// The jitter stream is seeded from the worker's name so backoff
+	// schedules are reproducible per worker yet decorrelated across a
+	// fleet.
+	h := fnv.New64a()
+	io.WriteString(h, cfg.Name)
+	w.jitter = rng.NewStream(h.Sum64())
+	return w.run(ctx)
+}
+
+// workerLoop is the running state of one RunWorker call.
+type workerLoop struct {
+	cfg    WorkerConfig
+	camp   campaign.Campaign
+	fp     string
+	jitter rng.Stream
+	stats  WorkerStats
+}
+
+// backoff sleeps the jittered exponential delay of the attempt-th
+// consecutive failure, honoring cancellation.
+func (w *workerLoop) backoff(ctx context.Context, attempt int) error {
+	d := w.cfg.RetryBase << uint(attempt)
+	if d > w.cfg.RetryMax || d <= 0 {
+		d = w.cfg.RetryMax
+	}
+	// Full jitter in [d/2, d): desynchronizes a fleet hammering a
+	// restarting coordinator.
+	d = d/2 + time.Duration(w.jitter.Next()%uint64(d/2+1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// call POSTs a JSON request and decodes the JSON response. 4xx responses
+// are permanent; transport failures and 5xx are retryable.
+func (w *workerLoop) call(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return errPermanent{err}
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return errPermanent{err}
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	res, err := w.cfg.Client.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
+		err := fmt.Errorf("coord: %s: %s: %s", path, res.Status, strings.TrimSpace(string(msg)))
+		if res.StatusCode >= 400 && res.StatusCode < 500 {
+			return errPermanent{err}
+		}
+		return err
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+// callRetry wraps call with the backoff/retry budget.
+func (w *workerLoop) callRetry(ctx context.Context, path string, req, resp any) error {
+	for attempt := 0; ; attempt++ {
+		err := w.call(ctx, path, req, resp)
+		if err == nil {
+			return nil
+		}
+		var perm errPermanent
+		if errors.As(err, &perm) || ctx.Err() != nil {
+			return err
+		}
+		if attempt+1 >= w.cfg.MaxRetries {
+			return fmt.Errorf("coord: giving up on %s after %d attempts: %w", path, attempt+1, err)
+		}
+		w.stats.Retries++
+		w.cfg.Logf("%s: %s failed (attempt %d): %v; backing off", w.cfg.Name, path, attempt+1, err)
+		if err := w.backoff(ctx, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+func (w *workerLoop) run(ctx context.Context) (WorkerStats, error) {
+	for {
+		if ctx.Err() != nil {
+			w.stats.Drained = true
+			return w.stats, ctx.Err()
+		}
+		var lease LeaseResponse
+		err := w.callRetry(ctx, "/v1/lease", LeaseRequest{Worker: w.cfg.Name, Fingerprint: w.fp}, &lease)
+		if err != nil {
+			if ctx.Err() != nil {
+				w.stats.Drained = true
+			}
+			return w.stats, err
+		}
+		switch {
+		case lease.Done:
+			w.cfg.Logf("%s: campaign complete", w.cfg.Name)
+			return w.stats, nil
+		case lease.Wait:
+			wait := w.cfg.Poll
+			if wait <= 0 {
+				wait = time.Duration(lease.WaitMs) * time.Millisecond
+				if wait <= 0 || wait > time.Second {
+					wait = time.Second
+				}
+			}
+			select {
+			case <-ctx.Done():
+				w.stats.Drained = true
+				return w.stats, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		done, err := w.runLease(ctx, lease)
+		if err != nil {
+			if errors.Is(err, ErrInjectedCrash) {
+				return w.stats, err
+			}
+			if ctx.Err() != nil {
+				// Graceful drain: the shard stopped at an instance
+				// boundary; give the lease back so the shard re-leases
+				// immediately instead of waiting out the TTL.
+				w.release(lease)
+				w.stats.Drained = true
+				return w.stats, ctx.Err()
+			}
+			w.cfg.Logf("%s: shard %s failed: %v", w.cfg.Name, lease.Shard, err)
+			w.release(lease)
+			return w.stats, err
+		}
+		if done {
+			// This completion was the campaign's last shard: exit on the
+			// complete reply instead of polling /v1/lease again — the
+			// coordinator may already have merged and shut down.
+			w.cfg.Logf("%s: campaign complete", w.cfg.Name)
+			return w.stats, nil
+		}
+	}
+}
+
+// release gives a lease back, best-effort: the parent context may already
+// be cancelled, so it uses a short background deadline. An unreachable
+// coordinator is fine — the lease expires on its own.
+func (w *workerLoop) release(lease LeaseResponse) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var resp struct{}
+	if err := w.call(ctx, "/v1/release", ReleaseRequest{Lease: lease.Lease}, &resp); err != nil {
+		w.cfg.Logf("%s: release %s failed (lease will expire): %v", w.cfg.Name, lease.Lease, err)
+	}
+}
+
+// runLease executes one granted shard under a heartbeat loop and uploads
+// the records. done reports whether the completion was the campaign's
+// last shard (CompleteResponse.Done).
+func (w *workerLoop) runLease(ctx context.Context, lease LeaseResponse) (done bool, _ error) {
+	ttl := time.Duration(lease.TTLMs) * time.Millisecond
+	hbCtx, hbStop := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeats(hbCtx, lease, ttl)
+	}()
+	recs, err := campaign.RunShard(ctx, w.camp, lease.Shard, func(inst int) error {
+		switch w.cfg.Injector.Fire(faultinject.WorkerInstance) {
+		case faultinject.Crash:
+			// A dead worker: the shard is abandoned with its lease
+			// unreleased; only expiry can free it.
+			w.cfg.Logf("%s: injected crash at %s instance %d", w.cfg.Name, lease.Shard, inst)
+			return ErrInjectedCrash
+		case faultinject.Stall:
+			stall := w.cfg.StallFor
+			if stall <= 0 {
+				stall = 3 * ttl
+			}
+			w.cfg.Logf("%s: injected %v stall at %s instance %d", w.cfg.Name, stall, lease.Shard, inst)
+			select {
+			case <-time.After(stall):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	})
+	hbStop()
+	<-hbDone
+	if err != nil {
+		return false, err
+	}
+	data, err := campaign.MarshalRecords(recs)
+	if err != nil {
+		return false, err
+	}
+	var resp CompleteResponse
+	if err := w.callRetry(ctx, "/v1/complete", CompleteRequest{
+		Lease: lease.Lease, Worker: w.cfg.Name, Index: lease.Index, Records: string(data),
+	}, &resp); err != nil {
+		return false, err
+	}
+	w.stats.Shards++
+	w.stats.Records += len(recs)
+	w.cfg.Logf("%s: completed %s (%d records)", w.cfg.Name, lease.Shard, len(recs))
+	return resp.Done, nil
+}
+
+// heartbeats renews the lease every TTL/3 until stopped. A dropped
+// heartbeat skips one renewal; an injected heartbeat crash silences the
+// loop entirely, so the lease expires under a live worker — whose
+// eventual completion must still be accepted idempotently.
+func (w *workerLoop) heartbeats(ctx context.Context, lease LeaseResponse, ttl time.Duration) {
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		switch w.cfg.Injector.Fire(faultinject.Heartbeat) {
+		case faultinject.Drop:
+			w.cfg.Logf("%s: injected heartbeat drop for %s", w.cfg.Name, lease.Lease)
+			continue
+		case faultinject.Crash:
+			w.cfg.Logf("%s: injected heartbeat silence for %s", w.cfg.Name, lease.Lease)
+			return
+		}
+		var resp HeartbeatResponse
+		if err := w.call(ctx, "/v1/heartbeat", HeartbeatRequest{Lease: lease.Lease}, &resp); err != nil {
+			w.cfg.Logf("%s: heartbeat for %s failed: %v", w.cfg.Name, lease.Lease, err)
+			continue
+		}
+		if !resp.OK {
+			w.cfg.Logf("%s: lease %s expired under us; finishing anyway (completion is idempotent)", w.cfg.Name, lease.Lease)
+			return
+		}
+	}
+}

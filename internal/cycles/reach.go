@@ -1,6 +1,7 @@
 package cycles
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -49,7 +50,14 @@ type ExploreOptions struct {
 	// Progress, if non-nil, runs after every completed depth level (on the
 	// calling goroutine), for long explorations that want to report.
 	Progress func(ExploreProgress)
+	// Cancel, if non-nil, aborts the exploration at the next level barrier
+	// once closed, returning ErrCancelled — the graceful-shutdown seam of
+	// long explorations (wired to the interrupt context by cmd/ncgcycle).
+	Cancel <-chan struct{}
 }
+
+// ErrCancelled reports an exploration stopped by its Cancel channel.
+var ErrCancelled = errors.New("cycles: exploration cancelled")
 
 // ExploreProgress is the per-level report of an exploration.
 type ExploreProgress struct {
@@ -221,6 +229,11 @@ func Explore(start *graph.Graph, gm game.Game, opt ExploreOptions) (ReachResult,
 	frontier := []state.Ref{rootRef}
 	level := 0
 	for len(frontier) > 0 {
+		select {
+		case <-opt.Cancel:
+			return ReachResult{States: res.States, BestResponseClosed: true}, ErrCancelled
+		default:
+		}
 		if workers == 1 {
 			for _, ref := range frontier {
 				expand(w0, ref)

@@ -74,6 +74,22 @@ type Config struct {
 	// OnStep, if non-nil, is invoked after each applied move. It must not
 	// mutate g; the move is a private copy the callback may retain.
 	OnStep func(step int, mover int, mv game.Move, g *graph.Graph)
+	// Cancel, if non-nil, stops the process at the next step boundary
+	// (round boundary under a Rounds schedule) once closed — the
+	// graceful-shutdown seam of interactive traces. A cancelled run
+	// reports like one that hit its step bound: the reached network is a
+	// valid intermediate state, never a torn one.
+	Cancel <-chan struct{}
+}
+
+// cancelled is the non-blocking poll of Config.Cancel (nil: never fires).
+func cancelled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // Result summarizes a finished process.

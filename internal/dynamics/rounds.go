@@ -146,7 +146,7 @@ func (r *Runner) runRounds(g *graph.Graph, cfg Config, rd Rounds) Result {
 	// MaxSteps bounds committed moves; it also bounds rounds, so that a
 	// deterministic reject-round stall (every round colliding, nothing
 	// committing) terminates.
-	for res.Steps < cfg.MaxSteps && res.Rounds < cfg.MaxSteps {
+	for res.Steps < cfg.MaxSteps && res.Rounds < cfg.MaxSteps && !cancelled(cfg.Cancel) {
 		// Activation. All draws here are serial on the run's RNG.
 		rs.active = rs.active[:0]
 		if rd.Active == ActivePolicy {

@@ -177,7 +177,7 @@ func (r *Runner) Run(g *graph.Graph, cfg Config) Result {
 		seenStep()
 		r.steps = append(r.steps, 0)
 	}
-	for res.Steps < cfg.MaxSteps {
+	for res.Steps < cfg.MaxSteps && !cancelled(cfg.Cancel) {
 		var mover int
 		if hasEngine {
 			mover = ep.pickEngine(e, rng)

@@ -1,6 +1,7 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,6 +35,13 @@ type Options struct {
 	// checkpoint); they are folded into the summary from their recorded
 	// results and not re-run or re-emitted to sinks.
 	Done *Checkpoint
+	// Context, if non-nil, cancels the run between trials: in-flight
+	// shards stop at their next trial boundary, everything already
+	// ordered is flushed to the sinks, and Execute returns the context's
+	// error — the JSONL file left behind is a maximal resumable
+	// checkpoint. The graceful-shutdown seam of the cmds routes
+	// SIGINT/SIGTERM here.
+	Context context.Context
 }
 
 // Aggregate summarizes the trials of one agent count.
@@ -234,6 +242,20 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 	// out of order and replays them to the sinks strictly in shard (hence
 	// (n, trial)) order.
 	var abort atomic.Bool
+	if ctx := opt.Context; ctx != nil {
+		// Cancellation flips the same abort latch a shard failure uses:
+		// workers stop at their next trial boundary and the emit loop
+		// flushes the ordered prefix, leaving a maximal resumable file.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				abort.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
 	runShard := func(sh shard, ex *trialExec) shardOut {
 		out := shardOut{
 			recs:    make([]Record, 0, sh.hi-sh.lo),
@@ -355,6 +377,12 @@ func execute(sc Scenario, opt Options, sinks []Sink) (Summary, error) {
 		if sum.Aggregates[i].Trials == 0 {
 			sum.Aggregates[i].MinSteps = 0
 		}
+	}
+	if firstErr == nil && opt.Context != nil {
+		// Report cancellation even though the partial stream is valid, so
+		// callers distinguish "interrupted, resume later" from a
+		// completed run.
+		firstErr = opt.Context.Err()
 	}
 	if firstErr != nil {
 		return sum, firstErr

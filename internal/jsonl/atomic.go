@@ -1,0 +1,85 @@
+package jsonl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes data to path so that a crash at any point leaves
+// either the old content or the new content, never a torn mix: the data
+// goes to a temporary file in the same directory, is fsynced, and is
+// renamed over path; the directory is fsynced afterwards so the rename
+// itself survives a crash. The checkpoint and manifest writers of the
+// ensemble, campaign and coordinator layers all route whole-file state
+// through here — resume state can be stale after a crash, but never
+// corrupt.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// On any failure, remove the temp file; path is untouched.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, committing renames and creations inside it.
+// Filesystems that do not support directory fsync (it is a no-op on some)
+// report benign errors; those are swallowed — the rename itself already
+// happened, durability is best-effort there.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// EINVAL/ENOTSUP from filesystems without directory fsync.
+		return nil
+	}
+	return nil
+}
+
+// AppendSync opens path for appending (creating it if missing), writes
+// data, and fsyncs before closing, so a committed append survives a crash.
+// An append cut short by a crash leaves at most one torn tail, exactly the
+// shape ScanLines recovers from.
+func AppendSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("jsonl: append %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,229 @@
+package jsonl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteFileReplacesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("new"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new" {
+		t.Fatalf("content = %q, want %q", data, "new")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", fi.Mode().Perm())
+	}
+}
+
+func TestAtomicWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	for i := 0; i < 5; i++ {
+		if err := AtomicWriteFile(path, []byte(strings.Repeat("x", i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A failed write (missing target directory) must not disturb anything.
+	if err := AtomicWriteFile(filepath.Join(dir, "no-such-dir", "f"), []byte("x"), 0o644); err == nil {
+		t.Fatalf("write into missing directory succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "state.json" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only state.json", names)
+	}
+}
+
+func TestAppendSyncAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	if err := AppendSync(path, []byte("a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendSync(path, []byte("b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\nb\n" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+// testRecord is the record shape the damage sweep writes: a sequence
+// number makes replay, drops and duplicates detectable.
+type testRecord struct {
+	Seq  int    `json:"seq"`
+	Body string `json:"body"`
+}
+
+func canonicalRecord(i int) []byte {
+	data, _ := json.Marshal(testRecord{Seq: i, Body: fmt.Sprintf("payload-%d", i)})
+	return data
+}
+
+// buildStream renders n records exactly as the spines' sinks do (one
+// json.Encoder line each).
+func buildStream(n int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		buf.Write(canonicalRecord(i))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// checkResume runs one crash-damaged file through the full resume cycle —
+// scan with a strict loader, truncate the tail with OpenResume, append
+// the not-yet-committed records — and asserts the resume contract:
+//
+//   - every record wholly committed before the damage is trusted (no drop),
+//   - the strict scan yields sequence numbers 0..m-1 exactly once each
+//     (no replay, no duplicate),
+//   - after the resumed run completes, re-scanning the file yields every
+//     record exactly once and no trailing tail.
+//
+// The loader mirrors how the spines validate: a line must parse AND be
+// the expected next record; anything else starts the discarded tail.
+func checkResume(t *testing.T, tag string, n, intact int, damaged []byte) {
+	t.Helper()
+	scanStrict := func(path string) (int64, []int) {
+		var seqs []int
+		good, err := ScanFile(path, func(line []byte) bool {
+			var r testRecord
+			if err := json.Unmarshal(line, &r); err != nil {
+				return false
+			}
+			if r.Seq != len(seqs) || r.Seq >= n || !bytes.Equal(line, canonicalRecord(r.Seq)) {
+				return false
+			}
+			seqs = append(seqs, r.Seq)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: scan: %v", tag, err)
+		}
+		return good, seqs
+	}
+
+	path := filepath.Join(t.TempDir(), "rec.jsonl")
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good, seqs := scanStrict(path)
+	m := len(seqs)
+	if m < intact {
+		t.Fatalf("%s: only %d of %d committed records trusted — a committed record was dropped", tag, m, intact)
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("%s: trusted seqs %v — replayed or reordered", tag, seqs)
+		}
+	}
+
+	// Truncate the tail and run the "rest of the campaign": append the
+	// records the scan did not trust.
+	f, err := OpenResume(path, good)
+	if err != nil {
+		t.Fatalf("%s: OpenResume: %v", tag, err)
+	}
+	for i := m; i < n; i++ {
+		if _, err := f.Write(append(canonicalRecord(i), '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	finalGood, finalSeqs := scanStrict(path)
+	if len(finalSeqs) != n {
+		t.Fatalf("%s: resumed file holds %d records, want %d (seqs %v)", tag, len(finalSeqs), n, finalSeqs)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalGood != fi.Size() {
+		t.Fatalf("%s: resumed file has a %d-byte untrusted tail", tag, fi.Size()-finalGood)
+	}
+}
+
+// intactBelow counts records whose full line (newline included) survives
+// below the cut point.
+func intactBelow(n, cut int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(canonicalRecord(i)) + 1
+		if total > cut {
+			return i
+		}
+	}
+	return n
+}
+
+// TestResumeAfterRandomDamage sweeps the crash shapes a log file can take:
+// torn writes (cut mid-record), and a torn write followed by garbage — the
+// stale disk blocks a crashed append leaves behind.
+func TestResumeAfterRandomDamage(t *testing.T) {
+	const n = 40
+	full := buildStream(n)
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cut := rng.Intn(len(full) + 1)
+		damaged := append([]byte(nil), full[:cut]...)
+		if rng.Intn(2) == 1 {
+			junk := make([]byte, 1+rng.Intn(48))
+			rng.Read(junk)
+			damaged = append(damaged, junk...)
+		}
+		checkResume(t, fmt.Sprintf("seed=%d cut=%d", seed, cut), n, intactBelow(n, cut), damaged)
+	}
+}
+
+// FuzzResumeAfterDamage fuzzes the same contract with coverage-guided
+// damage: arbitrary cut point and arbitrary garbage tail, including
+// garbage that itself parses as JSON or mimics real records.
+func FuzzResumeAfterDamage(f *testing.F) {
+	const n = 12
+	full := buildStream(n)
+	f.Add(len(full), []byte{})
+	f.Add(17, []byte("garbage"))
+	f.Add(0, []byte("{\"seq\":0,\"body\":\"payload-0\"}\n"))
+	f.Add(5, []byte{0, 10, 123, 125, 10})
+	f.Fuzz(func(t *testing.T, cut int, junk []byte) {
+		if cut < 0 {
+			cut = -cut
+		}
+		cut %= len(full) + 1
+		damaged := append(append([]byte(nil), full[:cut]...), junk...)
+		checkResume(t, fmt.Sprintf("cut=%d junk=%q", cut, junk), n, intactBelow(n, cut), damaged)
+	})
+}

@@ -86,21 +86,27 @@ func (b *BufWriter) Close() error {
 }
 
 // OpenResume prepares a partial record file for resumption: it truncates
-// the file back to goodBytes (cutting the torn tail) and returns it
-// positioned for appending, so completing the run rewrites the file
-// exactly as an uninterrupted one would have.
+// the file back to goodBytes (cutting the torn tail), fsyncs the cut so a
+// crash cannot resurrect the discarded tail under fresh appends, and
+// returns the file positioned for appending, so completing the run
+// rewrites the file exactly as an uninterrupted one would have.
 func OpenResume(path string, goodBytes int64) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(goodBytes); err != nil {
+	fail := func(err error) (*os.File, error) {
 		f.Close()
 		return nil, err
 	}
+	if err := f.Truncate(goodBytes); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
 	if _, err := f.Seek(goodBytes, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
 	return f, nil
 }

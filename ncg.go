@@ -23,14 +23,17 @@ package ncg
 
 import (
 	"ncg/internal/campaign"
+	"ncg/internal/coord"
 	"ncg/internal/cycles"
 	"ncg/internal/dynamics"
 	"ncg/internal/ensemble"
 	"ncg/internal/experiments"
+	"ncg/internal/faultinject"
 	"ncg/internal/game"
 	"ncg/internal/gen"
 	"ncg/internal/graph"
 	"ncg/internal/hunt"
+	"ncg/internal/jsonl"
 	"ncg/internal/quality"
 	"ncg/internal/search"
 )
@@ -416,6 +419,81 @@ var (
 	// family for a best-response cycle, reporting how many instances were
 	// actually searched.
 	HuntUnitBudgetCycle = hunt.HuntUnitBudgetCycle
+)
+
+// Fault-tolerant campaign service: a lease-based coordinator decomposes a
+// campaign into (sampler, variant, instance-range) shards, leases them to
+// worker processes over plain HTTP+JSON, re-leases expired shards, and
+// merges the completed shard files into the exact byte stream a
+// single-process RunCampaign would have written. Shards are idempotent
+// (records are keyed by (sampler, variant, instance), never by
+// scheduling), every durable write is atomic or append-fsync with
+// truncated-tail recovery, and the coordinator resumes from its manifest
+// after a crash. See cmd/ncghunt serve/work for the CLI form.
+type (
+	// Coordinator owns one campaign's shard ledger and merge.
+	Coordinator = coord.Coordinator
+	// CoordinatorConfig parameterizes OpenCoordinator (dir, campaign,
+	// shard size, lease TTL, fault injector).
+	CoordinatorConfig = coord.Config
+	// CoordinatorStatus is a point-in-time progress snapshot.
+	CoordinatorStatus = coord.Status
+	// CampaignWorkerConfig parameterizes RunCampaignWorker (coordinator
+	// URL, campaign, retry/backoff, worker name).
+	CampaignWorkerConfig = coord.WorkerConfig
+	// CampaignWorkerStats summarizes one worker's run.
+	CampaignWorkerStats = coord.WorkerStats
+	// FaultInjector is the deterministic fault seam of the service; nil
+	// is the production no-op. Schedules are pure functions of a seed, so
+	// chaos runs are exactly reproducible.
+	FaultInjector = faultinject.Injector
+	// FaultSchedule maps injection points to scheduled fault kinds.
+	FaultSchedule = faultinject.Schedule
+	// FaultPoint names one fault site of the service.
+	FaultPoint = faultinject.Point
+	// FaultKind is the fault fired at a point (FaultNone proceeds).
+	FaultKind = faultinject.Kind
+)
+
+// Fault sites of the campaign service.
+const (
+	FaultPointShardWrite     = faultinject.ShardWrite
+	FaultPointManifestAppend = faultinject.ManifestAppend
+	FaultPointLeaseGrant     = faultinject.LeaseGrant
+	FaultPointHeartbeat      = faultinject.Heartbeat
+	FaultPointWorkerInstance = faultinject.WorkerInstance
+)
+
+// Fault kinds.
+const (
+	FaultNone      = faultinject.None
+	FaultCrash     = faultinject.Crash
+	FaultTorn      = faultinject.Torn
+	FaultDrop      = faultinject.Drop
+	FaultStall     = faultinject.Stall
+	FaultDuplicate = faultinject.Duplicate
+)
+
+// ErrInjectedCrash is the error a worker returns when its fault schedule
+// fires a crash point; chaos harnesses match it to tell injected deaths
+// from real failures.
+var ErrInjectedCrash = coord.ErrInjectedCrash
+
+var (
+	// OpenCoordinator creates or resumes a coordinator in a state
+	// directory; serve its Handler() over HTTP and watch Done().
+	OpenCoordinator = coord.Open
+	// RunCampaignWorker leases, executes and completes shards until the
+	// campaign is done or the context is cancelled.
+	RunCampaignWorker = coord.RunWorker
+	// NewFaultInjector builds an injector from a schedule.
+	NewFaultInjector = faultinject.New
+	// SeededFaultSchedule derives a reproducible chaos schedule from a
+	// seed (horizon bounds occurrences so runs converge).
+	SeededFaultSchedule = faultinject.Seeded
+	// AtomicWriteFile writes a file via temp+fsync+rename so crashes
+	// leave either the old or the new content, never a torn mix.
+	AtomicWriteFile = jsonl.AtomicWriteFile
 )
 
 // Experiment harness (the paper's empirical figures, running on the
