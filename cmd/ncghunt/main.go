@@ -15,6 +15,7 @@
 //	ncghunt resume -jsonl path [same flags as run]
 //	ncghunt serve -dir path [-addr host:port] [campaign flags]
 //	ncghunt work -url http://host:port [campaign flags]
+//	ncghunt watch -url http://host:port [-cursor tok]
 package main
 
 import (
@@ -78,20 +79,41 @@ Usage:
       shards re-lease on expiry, and the merged record stream in
       <dir>/records.jsonl is byte-identical to a single-process run.
       The directory is resumable: restarting serve on it continues from
-      the manifest. Campaign flags as in run, plus:
-        -addr host:port  listen address (default 127.0.0.1:8777)
-        -shard s         instances per shard (default 64)
-        -lease-ttl d     heartbeat-renewed lease expiry (default 30s)
+      the manifest. The process also serves /healthz, /readyz and the
+      live result stream at /v1/stream (cursor-resumable long-poll or
+      SSE with slow-client eviction and admission control); the campaign
+      is additionally routed at /c/<name>/v1/... for multi-campaign
+      tooling. Campaign flags as in run, plus:
+        -addr host:port   listen address (default 127.0.0.1:8777)
+        -shard s          instances per shard (default 64)
+        -lease-ttl d      heartbeat-renewed lease expiry (default 30s)
+        -name id          hosted campaign name (default hunt)
+        -stream-clients n max concurrent /v1/stream clients (default 64;
+                          extra clients get 503 + Retry-After)
+        -log-every d      period of status lines on stderr with queue
+                          depth and worker-count autoscaling hints
+                          (default 30s; 0 disables)
 
   ncghunt work -url http://host:port [flags]
       Run a worker against a coordinator. Give the same campaign flags
       as the serve side (the fingerprint handshake rejects drift), plus:
         -name id  worker name in leases and logs
 
+  ncghunt watch -url http://host:port [flags]
+      Follow a coordinator's live result stream, writing records to
+      stdout as they commit. The stream is always a byte-prefix of the
+      campaign's final records.jsonl; reconnects and coordinator
+      restarts are survived by resuming from the last acked cursor.
+        -cursor tok  resume a previous watch exactly after its last
+                     acked byte (printed on interrupt)
+        -wait d      long-poll window per request (default 5s)
+        -max n       chunk byte cap per poll (0 = server default)
+
 All subcommands stop gracefully on SIGINT/SIGTERM: run and resume
 checkpoint to -jsonl and exit 130 (resume continues them), work finishes
 its current instance and releases its lease, serve shuts the listener
-down with the manifest intact.
+down with the manifest intact, watch prints the resume cursor for the
+next watch to continue from.
 
 Run "ncghunt grid" to see the available samplers and variants.
 `
@@ -125,6 +147,8 @@ func (a *app) main(args []string) {
 		a.cmdServe(args[1:])
 	case "work":
 		a.cmdWork(args[1:])
+	case "watch":
+		a.cmdWatch(args[1:])
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(a.Stdout, usage)
 	default:
@@ -321,7 +345,10 @@ func (a *app) cmdRun(args []string, resume bool) {
 
 // cmdServe runs the lease-based campaign coordinator: the fault-tolerant
 // service form of run, for campaigns spanning many worker processes or
-// machines.
+// machines. The campaign is hosted in a Registry so the process carries
+// the full service surface — /healthz, /readyz, /v1/campaigns and the
+// campaign-scoped /c/<name>/v1/... routes — while the flat /v1/...
+// routes keep pointing at the (single) hosted campaign.
 func (a *app) cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(a.Stderr)
@@ -332,6 +359,9 @@ func (a *app) cmdServe(args []string) {
 	addr := fs.String("addr", "127.0.0.1:8777", "listen address")
 	shard := fs.Int("shard", 0, "instances per shard (0 = 64)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "heartbeat-renewed lease expiry (0 = 30s)")
+	name := fs.String("name", "hunt", "hosted campaign name (routes under /c/<name>/)")
+	streamClients := fs.Int("stream-clients", 0, "max concurrent /v1/stream clients (0 = 64)")
+	logEvery := fs.Duration("log-every", 30*time.Second, "period of status lines with autoscaling hints (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		cli.Exit(2)
 	}
@@ -344,36 +374,56 @@ func (a *app) cmdServe(args []string) {
 	if *shard < 0 {
 		a.Fail("-shard must be >= 0, got %d", *shard)
 	}
+	if *streamClients < 0 {
+		a.Fail("-stream-clients must be >= 0, got %d", *streamClients)
+	}
+	if *logEvery < 0 {
+		a.Fail("-log-every must be >= 0, got %v", *logEvery)
+	}
 	// Install the signal seam before anything is announced on stdout so a
 	// SIGINT arriving the instant the service is observable is already a
 	// graceful stop, never a mid-write kill.
 	ctx, stop := cli.SignalContext(a.Stderr, "ncghunt")
 	defer stop()
 
-	c, err := coord.Open(coord.Config{
-		Campaign:  cf.build(a),
-		Dir:       *dir,
-		ShardSize: *shard,
-		LeaseTTL:  *leaseTTL,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(a.Stderr, format+"\n", args...)
-		},
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(a.Stderr, format+"\n", args...)
+	}
+	reg := coord.NewRegistry(coord.RegistryConfig{Logf: logf})
+	defer reg.Close()
+	c, err := reg.Add(*name, coord.Config{
+		Campaign:         cf.build(a),
+		Dir:              *dir,
+		ShardSize:        *shard,
+		LeaseTTL:         *leaseTTL,
+		MaxStreamClients: *streamClients,
+		Logf:             logf,
 	})
 	if err != nil {
 		a.Errorf("%v", err)
 	}
-	defer c.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		a.Errorf("%v", err)
 	}
 	st := c.Status()
-	fmt.Fprintf(a.Stdout, "ncghunt: serving campaign %s on %s (%d shards, %d done)\n",
-		st.Fingerprint, ln.Addr(), st.Shards, st.Done)
-	srv := &http.Server{Handler: c.Handler()}
+	fmt.Fprintf(a.Stdout, "ncghunt: serving campaign %s as %q on %s (%d shards, %d done)\n",
+		st.Fingerprint, *name, ln.Addr(), st.Shards, st.Done)
+	srv := &http.Server{Handler: reg.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Periodic status lines double as autoscaling hints: queue depth and
+	// want-workers tell an operator (or a wrapper script) how many ncghunt
+	// work processes the backlog currently justifies.
+	cli.Periodically(ctx, *logEvery, func() {
+		st := c.Status()
+		fmt.Fprintf(a.Stderr,
+			"ncghunt: status queue=%d done=%d/%d workers=%d want=%d stream: %d clients, %d bytes, %d evicted, %d refused\n",
+			st.QueueDepth, st.Done, st.Shards, st.ActiveWorkers, st.WantWorkers,
+			st.StreamClients, st.StreamBytes, st.StreamEvicted, st.StreamRefused)
+	})
 
 	interrupted := false
 	select {
@@ -446,6 +496,64 @@ func (a *app) cmdWork(args []string) {
 	if err != nil {
 		a.Errorf("%v", err)
 	}
+}
+
+// cmdWatch follows a coordinator's live result stream, writing record
+// lines to stdout exactly as they commit. The output is always a
+// byte-prefix of the campaign's final records.jsonl, so piping it into a
+// file yields a valid partial JSONL at any interruption point.
+func (a *app) cmdWatch(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	fs.SetOutput(a.Stderr)
+	fs.Usage = func() { fmt.Fprint(a.Stderr, usage) }
+	url := fs.String("url", "", "coordinator base URL (http://host:port)")
+	cursor := fs.String("cursor", "", "resume a previous watch after its last acked byte")
+	wait := fs.Duration("wait", 5*time.Second, "long-poll window per request")
+	max := fs.Int("max", 0, "chunk byte cap per poll (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		cli.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		a.Fail("unexpected arguments %v", fs.Args())
+	}
+	if *url == "" {
+		a.Fail("watch needs -url")
+	}
+	if *wait <= 0 {
+		a.Fail("-wait must be positive, got %v", *wait)
+	}
+	if *max < 0 {
+		a.Fail("-max must be >= 0, got %d", *max)
+	}
+	ctx, stop := cli.SignalContext(a.Stderr, "ncghunt")
+	defer stop()
+	stats, err := coord.RunWatch(ctx, coord.WatchConfig{
+		URL:        *url,
+		Cursor:     *cursor,
+		Wait:       *wait,
+		ChunkBytes: *max,
+		OnChunk: func(chunk []byte, _ string, _ bool) error {
+			_, werr := a.Stdout.Write(chunk)
+			return werr
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(a.Stderr, format+"\n", args...)
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		// Interrupted between chunks: everything written to stdout is
+		// acked, so the printed cursor resumes exactly after it.
+		if stats.Cursor != "" {
+			fmt.Fprintf(a.Stderr, "ncghunt: watch interrupted; continue with: ncghunt watch -url %s -cursor %s\n",
+				*url, stats.Cursor)
+		}
+		cli.Exit(cli.SignalExitCode)
+	}
+	if err != nil {
+		a.Errorf("%v", err)
+	}
+	fmt.Fprintf(a.Stderr, "ncghunt: watch complete: %d bytes in %d polls (%d retries, %d reconnects)\n",
+		stats.Bytes, stats.Polls, stats.Retries, stats.Reconnects)
 }
 
 // pickSamplers resolves the -samplers list (empty: all built-ins) and

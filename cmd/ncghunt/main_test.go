@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runCmd invokes the CLI in-process and returns (exit code, stdout,
@@ -32,10 +35,87 @@ func TestFlagValidation(t *testing.T) {
 		{"resume without jsonl", []string{"resume"}},
 		{"trailing args", []string{"run", "stray"}},
 		{"unknown schedule", []string{"run", "-schedule", "simultaneous"}},
+		{"serve without dir", []string{"serve"}},
+		{"serve bad stream-clients", []string{"serve", "-dir", "x", "-stream-clients", "-1"}},
+		{"serve bad log-every", []string{"serve", "-dir", "x", "-log-every", "-1s"}},
+		{"work without url", []string{"work"}},
+		{"watch without url", []string{"watch"}},
+		{"watch bad wait", []string{"watch", "-url", "http://x", "-wait", "0s"}},
+		{"watch bad max", []string{"watch", "-url", "http://x", "-max", "-1"}},
 	} {
 		if code, _, _ := runCmd(tc.args...); code != 2 {
 			t.Errorf("%s: exit %d, want 2", tc.name, code)
 		}
+	}
+}
+
+// TestServeWorkWatchSmoke drives the full service surface through the
+// CLI: serve hosts the campaign in a registry, work drains it over the
+// lease protocol, watch streams the committed records, and the watched
+// bytes are exactly the merged records.jsonl.
+func TestServeWorkWatchSmoke(t *testing.T) {
+	dir := t.TempDir()
+	camp := []string{
+		"-samplers", "cycle-pendant", "-variants", "sum-asg",
+		"-instances", "2", "-max-states", "100",
+	}
+	serveArgs := append([]string{"serve", "-dir", dir, "-addr", "127.0.0.1:0", "-shard", "1", "-log-every", "0"}, camp...)
+	var sout, serr syncBuffer
+	serveCode := make(chan int, 1)
+	go func() { serveCode <- run(serveArgs, &sout, &serr) }()
+
+	// The listen address is announced on stdout once the service is up.
+	addrRe := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+	var url string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if m := addrRe.FindStringSubmatch(sout.String()); m != nil {
+			url = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never announced its address\nstdout: %s\nstderr: %s", sout.String(), serr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Registry surface: liveness and readiness answer on the same port.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		res, err := http.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, res.StatusCode)
+		}
+	}
+
+	if code, _, errOut := runCmd(append([]string{"work", "-url", url, "-name", "w1"}, camp...)...); code != 0 {
+		t.Fatalf("work exit %d, stderr: %s", code, errOut)
+	}
+	code, watched, errOut := runCmd("watch", "-url", url, "-wait", "1s")
+	if code != 0 {
+		t.Fatalf("watch exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "watch complete") {
+		t.Fatalf("watch did not report completion, stderr: %s", errOut)
+	}
+	merged, err := os.ReadFile(filepath.Join(dir, "records.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(watched), merged) {
+		t.Fatalf("watched stream differs from merged records:\nwatched: %q\nmerged:  %q", watched, merged)
+	}
+
+	// serve exits on its own once the campaign completes.
+	select {
+	case code := <-serveCode:
+		if code != 0 {
+			t.Fatalf("serve exit %d, stderr: %s", code, serr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve never exited after completion\nstderr: %s", serr.String())
 	}
 }
 

@@ -1,0 +1,29 @@
+package cli
+
+import (
+	"context"
+	"time"
+)
+
+// Periodically runs fn every interval on a background goroutine until ctx
+// is cancelled. A non-positive interval disables it entirely — the
+// convention long-running commands use for their "-log-every 0" flags.
+// The first call happens one full interval in, not immediately: the
+// command's own startup line already covers time zero.
+func Periodically(ctx context.Context, every time.Duration, fn func()) {
+	if every <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}

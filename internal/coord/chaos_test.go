@@ -5,7 +5,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"strconv"
@@ -18,82 +17,48 @@ import (
 )
 
 // chaosCluster is the in-process chaos harness: a stable HTTP endpoint
-// fronting the current coordinator instance. When an injected fault
-// crashes the coordinator, the supervisor drops it (every request fails
-// with 503, exactly as a dead process would), then reopens a fresh
-// coordinator from the same directory — the restart path real deployments
-// take.
+// fronting a Registry that hosts the campaign with AutoRestart. When an
+// injected fault crashes the coordinator, the registry's supervisor
+// serves 503 + Retry-After (exactly as a dead process behind a load
+// balancer would look), then reopens a fresh coordinator from the same
+// directory — the restart path real deployments take.
 type chaosCluster struct {
 	t   *testing.T
-	cfg Config
-	cur atomic.Pointer[Coordinator]
+	reg *Registry
 	srv *httptest.Server
-
-	mu       sync.Mutex
-	restarts int
-	stopped  bool
 }
 
+const chaosCampaignName = "hunt"
+
 func startChaosCluster(t *testing.T, cfg Config) *chaosCluster {
-	cl := &chaosCluster{t: t, cfg: cfg}
-	cl.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		c := cl.cur.Load()
-		if c == nil {
-			http.Error(w, "coordinator down", http.StatusServiceUnavailable)
-			return
-		}
-		c.Handler().ServeHTTP(w, r)
-	}))
-	cl.open()
+	cl := &chaosCluster{t: t}
+	cl.reg = NewRegistry(RegistryConfig{
+		AutoRestart: 20 * time.Millisecond,
+		RetryAfter:  time.Second,
+		Logf:        t.Logf,
+	})
+	if _, err := cl.reg.Add(chaosCampaignName, cfg); err != nil {
+		t.Fatalf("chaos: host campaign: %v", err)
+	}
+	cl.srv = httptest.NewServer(cl.reg.Handler())
 	return cl
 }
 
-// open starts a coordinator instance and its crash watcher.
-func (cl *chaosCluster) open() {
-	c, err := Open(cl.cfg)
-	if err != nil {
-		cl.t.Errorf("chaos: reopen failed: %v", err)
-		cl.srv.CloseClientConnections()
-		return
-	}
-	cl.cur.Store(c)
-	go func() {
-		select {
-		case <-c.Crashed():
-			cl.cur.Store(nil)
-			cl.mu.Lock()
-			stopped := cl.stopped
-			if !stopped {
-				cl.restarts++
-			}
-			cl.mu.Unlock()
-			if stopped {
-				return
-			}
-			// A beat of downtime: workers must ride it out with retries.
-			time.Sleep(20 * time.Millisecond)
-			cl.open()
-		case <-c.Done():
-		}
-	}()
-}
-
 func (cl *chaosCluster) stop() {
-	cl.mu.Lock()
-	cl.stopped = true
-	cl.mu.Unlock()
-	if c := cl.cur.Load(); c != nil {
-		c.Close()
-	}
+	cl.reg.Close()
 	cl.srv.Close()
 }
+
+func (cl *chaosCluster) cur() *Coordinator { return cl.reg.Get(chaosCampaignName) }
+
+func (cl *chaosCluster) restarts() int { return cl.reg.Restarts(chaosCampaignName) }
 
 // waitMerged polls until the current coordinator reports the campaign
 // merged.
 func (cl *chaosCluster) waitMerged(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if c := cl.cur.Load(); c != nil {
+		if c := cl.cur(); c != nil {
 			if st := c.Status(); st.Merged {
 				return true
 			}
@@ -121,14 +86,58 @@ func chaosSeeds(t *testing.T) []int64 {
 	return seeds
 }
 
+// chaosWatcher follows the live stream through every injected fault —
+// its own disconnects and stalls, reconnect storms, and coordinator
+// crash/restart cycles — accumulating the bytes it was handed. The
+// stream-integrity invariant it certifies: at every moment the
+// accumulated bytes are a byte-prefix of the canonical single-process
+// stream, and after completion they equal it exactly.
+type chaosWatcher struct {
+	name  string
+	want  []byte
+	buf   bytes.Buffer
+	stats WatchStats
+	err   error
+}
+
+func (cw *chaosWatcher) run(ctx context.Context, t *testing.T, url string, inj *faultinject.Injector) {
+	cw.stats, cw.err = RunWatch(ctx, WatchConfig{
+		URL:  url,
+		Name: cw.name,
+		OnChunk: func(chunk []byte, cursor string, complete bool) error {
+			cw.buf.Write(chunk)
+			// The prefix property must hold at every single delivery, not
+			// just at the end — a transient reorder would be invisible to
+			// a final-bytes-only check if a later chunk overwrote it.
+			if got := cw.buf.Bytes(); !bytes.HasPrefix(cw.want, got) {
+				return fmt.Errorf("watcher %s: delivered bytes stopped being a canonical prefix at %d bytes (cursor %s)",
+					cw.name, len(got), cursor)
+			}
+			return nil
+		},
+		Wait:          200 * time.Millisecond,
+		ChunkBytes:    700, // small chunks: many boundaries for faults to land on
+		RetryBase:     20 * time.Millisecond,
+		RetryMax:      250 * time.Millisecond,
+		AttemptBudget: 4000,
+		Injector:      inj,
+		StallFor:      250 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+}
+
 // TestChaosParity is the campaign service's central robustness claim:
 // under every seeded fault-injection schedule — worker crashes mid-shard,
 // silenced heartbeats forcing lease expiry and re-lease, stalled workers
 // completing after their lease was re-granted, duplicate lease grants,
 // coordinator crashes before the shard write, before the manifest append,
-// and mid-append (torn manifest tail), each followed by a restart from
+// mid-append (torn manifest tail) and mid-stream, stream clients
+// disconnected mid-chunk, stalled past the eviction deadline and
+// reconnect-storming, each crash followed by a supervised restart from
 // the manifest — the merged record stream is byte-identical to the
-// single-process campaign.Run output.
+// single-process campaign.Run output, and every cursor-resuming stream
+// client observes exactly that stream: no record dropped, duplicated or
+// reordered.
 func TestChaosParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos sweep is not -short")
@@ -141,12 +150,13 @@ func TestChaosParity(t *testing.T) {
 			sched := faultinject.Seeded(seed, 8, 1, 4)
 			inj := faultinject.New(sched)
 			cfg := Config{
-				Campaign:  testCampaign(),
-				Dir:       t.TempDir(),
-				ShardSize: 3,
-				LeaseTTL:  150 * time.Millisecond,
-				Injector:  inj,
-				Logf:      t.Logf,
+				Campaign:           testCampaign(),
+				Dir:                t.TempDir(),
+				ShardSize:          3,
+				LeaseTTL:           150 * time.Millisecond,
+				StreamWriteTimeout: 150 * time.Millisecond,
+				Injector:           inj,
+				Logf:               t.Logf,
 			}
 			cl := startChaosCluster(t, cfg)
 			defer cl.stop()
@@ -190,10 +200,28 @@ func TestChaosParity(t *testing.T) {
 				spawn(slot, 0)
 			}
 
+			// Two live stream clients watch the hunt while it runs, eating
+			// the stream-side fault schedule (disconnects, stalls,
+			// reconnect pulses) plus every coordinator crash.
+			watchers := []*chaosWatcher{
+				{name: "watch-a", want: want},
+				{name: "watch-b", want: want},
+			}
+			var wwg sync.WaitGroup
+			for _, cw := range watchers {
+				cw := cw
+				wwg.Add(1)
+				go func() {
+					defer wwg.Done()
+					cw.run(ctx, t, cl.srv.URL, inj)
+				}()
+			}
+
 			if !cl.waitMerged(60 * time.Second) {
 				cancel()
 				wg.Wait()
-				c := cl.cur.Load()
+				wwg.Wait()
+				c := cl.cur()
 				var st Status
 				if c != nil {
 					st = c.Status()
@@ -201,13 +229,15 @@ func TestChaosParity(t *testing.T) {
 				t.Fatalf("campaign never merged under schedule seed %d; status %+v, fired %v",
 					seed, st, inj.Fired())
 			}
+			// Watchers must drain to the merged end on their own.
+			wwg.Wait()
 			cancel()
 			wg.Wait()
 			if err, _ := workerErr.Load().(error); err != nil {
 				t.Fatalf("unexpected worker failure: %v", err)
 			}
 
-			got, err := os.ReadFile(cl.cur.Load().ResultPath())
+			got, err := os.ReadFile(cl.cur().ResultPath())
 			if err != nil {
 				t.Fatalf("read merged stream: %v", err)
 			}
@@ -215,15 +245,30 @@ func TestChaosParity(t *testing.T) {
 				t.Fatalf("seed %d: merged stream differs from single-process run (%d vs %d bytes); faults fired: %v",
 					seed, len(got), len(want), inj.Fired())
 			}
-			t.Logf("seed %d: parity held through %d coordinator restarts, %d worker crashes, faults %v",
-				seed, cl.restarts, crashes.Load(), inj.Fired())
+			for _, cw := range watchers {
+				if cw.err != nil {
+					t.Fatalf("seed %d: watcher %s failed: %v (faults %v)", seed, cw.name, cw.err, inj.Fired())
+				}
+				if !cw.stats.Complete {
+					t.Fatalf("seed %d: watcher %s never saw the stream complete (%d bytes)", seed, cw.name, cw.buf.Len())
+				}
+				if !bytes.Equal(cw.buf.Bytes(), want) {
+					t.Fatalf("seed %d: watcher %s observed %d bytes, want the canonical %d — stream integrity broken; faults %v",
+						seed, cw.name, cw.buf.Len(), len(want), inj.Fired())
+				}
+			}
+			t.Logf("seed %d: parity held through %d coordinator restarts, %d worker crashes; watchers resumed %d/%d times; faults %v",
+				seed, cl.restarts(), crashes.Load(),
+				watchers[0].stats.Reconnects+watchers[0].stats.Retries,
+				watchers[1].stats.Reconnects+watchers[1].stats.Retries, inj.Fired())
 		})
 	}
 }
 
 // TestChaosInjectorActuallyFires pins that the seeded schedules used by
 // the parity sweep are not vacuous: across the default seeds, every fault
-// site fires at least once.
+// site — the lease-protocol ones and the stream-side ones — fires at
+// least once.
 func TestChaosInjectorActuallyFires(t *testing.T) {
 	fired := map[faultinject.Point]bool{}
 	for seed := int64(1); seed <= 16; seed++ {
@@ -236,6 +281,7 @@ func TestChaosInjectorActuallyFires(t *testing.T) {
 	for _, p := range []faultinject.Point{
 		faultinject.ShardWrite, faultinject.ManifestAppend, faultinject.LeaseGrant,
 		faultinject.Heartbeat, faultinject.WorkerInstance,
+		faultinject.StreamChunk, faultinject.StreamClient,
 	} {
 		if !fired[p] {
 			t.Fatalf("no seeded schedule ever fires %s", p)

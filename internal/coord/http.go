@@ -80,9 +80,15 @@ type ReleaseRequest struct {
 //	POST /v1/complete   CompleteRequest -> CompleteResponse
 //	POST /v1/release    ReleaseRequest -> {}
 //	GET  /v1/status     -> Status
-//	GET  /v1/records    -> JSONL stream of the longest completed shard
-//	                       prefix (the merged stream once complete), so
-//	                       any number of clients can watch a hunt live.
+//	GET  /v1/records    -> JSONL dump of the committed record prefix
+//	                       (the merged stream once complete), one shot
+//	GET  /v1/stream     -> the live result stream: cursor-resumable
+//	                       long-poll or SSE over the committed prefix,
+//	                       with bounded chunks, slow-client eviction and
+//	                       admission control (see stream.go)
+//
+// Multi-campaign deployments mount these under /c/{name}/ via Registry;
+// the flat routes serve the single-campaign form.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
@@ -91,6 +97,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/release", c.handleRelease)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	mux.HandleFunc("GET /v1/records", c.handleRecords)
+	mux.HandleFunc("GET /v1/stream", c.handleStream)
 	return mux
 }
 
@@ -114,9 +121,11 @@ func reply(w http.ResponseWriter, v any) {
 }
 
 // gone reports a simulated-crash coordinator: every request fails until
-// the process is restarted on the same directory.
+// the process is restarted on the same directory. The Retry-After hint
+// paces worker and watch retry loops through the restart window.
 func (c *Coordinator) gone(w http.ResponseWriter) bool {
 	if c.crashed {
+		w.Header().Set("Retry-After", retryAfterSeconds(c.cfg.RetryAfter))
 		http.Error(w, "coordinator crashed", http.StatusServiceUnavailable)
 		return true
 	}
@@ -293,6 +302,10 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		status: shardDone, bytes: int64(len(data)), sum: entry.Sum,
 		records: len(recs), hits: hits,
 	}
+	// Wake stream waiters: if this shard extended the committed prefix,
+	// long-polls past the old prefix can now be served. (Spurious wakes —
+	// a shard landing behind an earlier gap — just re-check and re-wait.)
+	c.notifyCommit()
 	for id, l := range c.leases {
 		if l.index == req.Index {
 			delete(c.leases, id)

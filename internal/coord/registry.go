@@ -1,0 +1,380 @@
+package coord
+
+// Multi-campaign hosting: a Registry runs any number of campaigns in one
+// process, each with its own state directory, manifest, lease table and
+// coordinator instance, under campaign-scoped routes. Crash isolation is
+// the contract: one campaign's injected crash, manifest damage or failed
+// open never touches a sibling — its routes answer 503 + Retry-After
+// while the others keep serving, and (with AutoRestart) a supervisor
+// goroutine reopens the crashed campaign from its own directory exactly
+// as `ncghunt serve` restarted by hand would.
+//
+//	GET /healthz             process liveness (always 200 while serving)
+//	GET /readyz              200 when every hosted campaign is live;
+//	                         503 + JSON {"down":[names]} otherwise
+//	GET /v1/campaigns        the hosted campaigns and their states
+//	ANY /c/{name}/v1/...     the named campaign's coordinator API
+//	ANY /v1/...              the mounted default campaign (single-
+//	                         campaign deployments keep their flat routes)
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"time"
+)
+
+// RegistryConfig shapes a multi-campaign registry.
+type RegistryConfig struct {
+	// Dir is the root state directory: campaign "name" lives in Dir/name
+	// unless its Config.Dir says otherwise.
+	Dir string
+	// AutoRestart, when positive, reopens a crashed campaign from its
+	// directory after this delay, retrying until it succeeds or the
+	// registry closes (0: crashed campaigns stay down until Restart).
+	AutoRestart time.Duration
+	// RetryAfter is the hint sent with 503s for a down campaign (0: the
+	// AutoRestart delay, else 1s).
+	RetryAfter time.Duration
+	// Logf, if non-nil, receives one line per registry event.
+	Logf func(format string, args ...any)
+}
+
+// campaignNameRe bounds hosted campaign names to path-safe tokens.
+var campaignNameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+// hosted is one campaign slot: its (re)open configuration and the live
+// coordinator, nil while crashed or permanently failed.
+type hosted struct {
+	name     string
+	cfg      Config
+	cur      *Coordinator
+	handler  http.Handler
+	err      error // last open/crash cause while cur == nil
+	restarts int
+}
+
+// Registry hosts many campaigns in one process.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu     sync.Mutex
+	camps  map[string]*hosted
+	order  []string
+	def    string // campaign served on the flat /v1/... routes
+	closed bool
+	stop   chan struct{} // closed by Close; releases supervisors
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.RetryAfter <= 0 {
+		if cfg.AutoRestart > 0 {
+			cfg.RetryAfter = cfg.AutoRestart
+		} else {
+			cfg.RetryAfter = time.Second
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Registry{cfg: cfg, camps: make(map[string]*hosted), stop: make(chan struct{})}
+}
+
+// Add opens a campaign under the given name and hosts it at
+// /c/<name>/v1/.... An open failure (damaged manifest, foreign
+// fingerprint) is returned to the caller and hosts nothing — it cannot
+// affect sibling campaigns. The first added campaign becomes the default
+// for the flat /v1/... routes; Mount changes that.
+func (r *Registry) Add(name string, cfg Config) (*Coordinator, error) {
+	if !campaignNameRe.MatchString(name) {
+		return nil, fmt.Errorf("coord: bad campaign name %q", name)
+	}
+	if cfg.Dir == "" {
+		if r.cfg.Dir == "" {
+			return nil, fmt.Errorf("coord: campaign %s needs a state directory (Config.Dir or RegistryConfig.Dir)", name)
+		}
+		cfg.Dir = filepath.Join(r.cfg.Dir, name)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("coord: registry closed")
+	}
+	if _, dup := r.camps[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("coord: campaign %s already hosted", name)
+	}
+	r.mu.Unlock()
+	c, err := Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("coord: campaign %s: %w", name, err)
+	}
+	h := &hosted{name: name, cfg: cfg, cur: c, handler: c.Handler()}
+	r.mu.Lock()
+	r.camps[name] = h
+	r.order = append(r.order, name)
+	if r.def == "" {
+		r.def = name
+	}
+	r.mu.Unlock()
+	go r.supervise(h, c)
+	return c, nil
+}
+
+// supervise watches one coordinator instance for injected crashes and —
+// with AutoRestart — brings it back from its own directory. A sibling
+// campaign's coordinator is a different instance with a different
+// supervisor; nothing here is shared but the registry map. Supervision
+// outlives the merge: a merged campaign keeps serving status and stream
+// reads, and a crash while doing so still needs the restart path.
+func (r *Registry) supervise(h *hosted, c *Coordinator) {
+	select {
+	case <-r.stop:
+		return
+	case <-c.Crashed():
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	h.cur, h.handler = nil, nil
+	h.err = fmt.Errorf("campaign %s crashed", h.name)
+	auto := r.cfg.AutoRestart
+	r.mu.Unlock()
+	r.cfg.Logf("registry: campaign %s crashed", h.name)
+	if auto <= 0 {
+		return
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(auto):
+		}
+		c2, err := Open(h.cfg)
+		if err != nil {
+			r.cfg.Logf("registry: campaign %s reopen failed: %v", h.name, err)
+			r.mu.Lock()
+			h.err = err
+			r.mu.Unlock()
+			continue
+		}
+		r.mu.Lock()
+		h.cur, h.handler, h.err = c2, c2.Handler(), nil
+		h.restarts++
+		r.mu.Unlock()
+		r.cfg.Logf("registry: campaign %s restarted (%d restarts)", h.name, h.restarts)
+		go r.supervise(h, c2)
+		return
+	}
+}
+
+// Restart manually reopens a crashed campaign from its directory.
+func (r *Registry) Restart(name string) (*Coordinator, error) {
+	r.mu.Lock()
+	h, ok := r.camps[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("coord: campaign %s not hosted", name)
+	}
+	if h.cur != nil {
+		c := h.cur
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+	c, err := Open(h.cfg)
+	if err != nil {
+		r.mu.Lock()
+		h.err = err
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Lock()
+	h.cur, h.handler, h.err = c, c.Handler(), nil
+	h.restarts++
+	r.mu.Unlock()
+	go r.supervise(h, c)
+	return c, nil
+}
+
+// Mount selects the campaign served on the flat /v1/... routes.
+func (r *Registry) Mount(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.camps[name]; !ok {
+		return fmt.Errorf("coord: campaign %s not hosted", name)
+	}
+	r.def = name
+	return nil
+}
+
+// Get returns the named campaign's live coordinator, or nil while it is
+// down (or was never hosted).
+func (r *Registry) Get(name string) *Coordinator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.camps[name]; ok {
+		return h.cur
+	}
+	return nil
+}
+
+// Names lists the hosted campaigns in Add order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Restarts reports how many times the named campaign was reopened.
+func (r *Registry) Restarts(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.camps[name]; ok {
+		return h.restarts
+	}
+	return 0
+}
+
+// Close stops supervision and closes every live coordinator. State
+// directories remain resumable.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.stop)
+	}
+	var coords []*Coordinator
+	for _, h := range r.camps {
+		if h.cur != nil {
+			coords = append(coords, h.cur)
+		}
+	}
+	r.mu.Unlock()
+	var first error
+	for _, c := range coords {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CampaignInfo is one row of GET /v1/campaigns.
+type CampaignInfo struct {
+	Name     string  `json:"name"`
+	Live     bool    `json:"live"`
+	Restarts int     `json:"restarts"`
+	Error    string  `json:"error,omitempty"`
+	Status   *Status `json:"status,omitempty"`
+}
+
+// Handler serves the registry's multi-campaign API.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", r.handleReadyz)
+	mux.HandleFunc("GET /v1/campaigns", r.handleCampaigns)
+	mux.HandleFunc("/c/{name}/{rest...}", func(w http.ResponseWriter, req *http.Request) {
+		r.forward(w, req, req.PathValue("name"), "/"+req.PathValue("rest"))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		def := r.def
+		r.mu.Unlock()
+		if def == "" {
+			http.Error(w, "no campaigns hosted", http.StatusNotFound)
+			return
+		}
+		r.forward(w, req, def, req.URL.Path)
+	})
+	return mux
+}
+
+// forward routes one request into a hosted campaign's coordinator; a
+// campaign that is down (crashed, mid-restart) answers 503 with a
+// Retry-After hint, exactly what the worker and watch retry loops pace
+// themselves by.
+func (r *Registry) forward(w http.ResponseWriter, req *http.Request, name, path string) {
+	r.mu.Lock()
+	h, ok := r.camps[name]
+	var handler http.Handler
+	var openErr error
+	if ok {
+		handler, openErr = h.handler, h.err
+	}
+	r.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("campaign %s not hosted", name), http.StatusNotFound)
+		return
+	}
+	if handler == nil {
+		w.Header().Set("Retry-After", retryAfterSeconds(r.cfg.RetryAfter))
+		http.Error(w, fmt.Sprintf("campaign %s unavailable: %v", name, openErr), http.StatusServiceUnavailable)
+		return
+	}
+	req2 := req.Clone(req.Context())
+	req2.URL.Path = path
+	req2.URL.RawPath = ""
+	handler.ServeHTTP(w, req2)
+}
+
+// handleReadyz: ready means every hosted campaign is live. A process
+// whose campaigns are all serving is safe to route to; one with a
+// campaign down keeps /healthz green (the process is fine) but drops out
+// of readiness so load balancers drain politely.
+func (r *Registry) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	var down []string
+	for _, name := range r.order {
+		if r.camps[name].cur == nil {
+			down = append(down, name)
+		}
+	}
+	n := len(r.order)
+	r.mu.Unlock()
+	if len(down) > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(r.cfg.RetryAfter))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "down": down})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ready": true, "campaigns": n})
+}
+
+func (r *Registry) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	infos := make([]CampaignInfo, 0, len(r.order))
+	var live []*Coordinator
+	for _, name := range r.order {
+		h := r.camps[name]
+		info := CampaignInfo{Name: name, Live: h.cur != nil, Restarts: h.restarts}
+		if h.err != nil {
+			info.Error = h.err.Error()
+		}
+		infos = append(infos, info)
+		live = append(live, h.cur)
+	}
+	r.mu.Unlock()
+	// Status snapshots happen outside the registry lock: a campaign's own
+	// mutex is never held under r.mu, so a slow sibling cannot stall the
+	// listing (and a crashed one contributes no snapshot at all).
+	for i, c := range live {
+		if c != nil {
+			st := c.Status()
+			infos[i].Status = &st
+		}
+	}
+	reply(w, infos)
+}

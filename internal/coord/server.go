@@ -42,6 +42,25 @@ type Config struct {
 	ShardSize int
 	// LeaseTTL is the heartbeat-renewed lease expiry (0: 30s).
 	LeaseTTL time.Duration
+	// MaxStreamClients is the admission-control cap on concurrent
+	// /v1/stream clients (0: 64). Requests past the cap are refused with
+	// 503 + Retry-After instead of degrading every connected client.
+	MaxStreamClients int
+	// StreamChunkBytes bounds the bytes a single stream response (or SSE
+	// burst) carries (0: 256 KiB). Streaming serves the committed prefix
+	// directly from the durable shard files in chunks of at most this
+	// size, so a client costs the coordinator O(chunk) memory no matter
+	// how far behind it is.
+	StreamChunkBytes int
+	// StreamWriteTimeout is the slow-client eviction deadline: a stream
+	// client that cannot absorb one chunk within it is disconnected
+	// (0: 5s). A stalled reader therefore costs O(1) memory for at most
+	// this long and never delays shard completion or the merge.
+	StreamWriteTimeout time.Duration
+	// StreamPollMax caps a long-poll request's ?wait parameter (0: 30s).
+	StreamPollMax time.Duration
+	// RetryAfter is the hint sent with admission-control 503s (0: 1s).
+	RetryAfter time.Duration
 	// Now is the coordinator clock (nil: time.Now), injectable in tests.
 	Now func() time.Time
 	// Injector fires the seeded fault schedule of chaos runs (nil: no
@@ -89,15 +108,30 @@ type Status struct {
 	Records     int    `json:"records"`
 	Hits        int    `json:"hits"`
 	Merged      bool   `json:"merged"`
+	// Autoscaling hints: QueueDepth is the ungranted shard backlog,
+	// ActiveWorkers counts distinct workers holding live leases, and
+	// WantWorkers is the shards runnable right now (pending + leased) —
+	// the worker count at which the queue drains without idle pollers.
+	QueueDepth    int `json:"queueDepth"`
+	ActiveWorkers int `json:"activeWorkers"`
+	WantWorkers   int `json:"wantWorkers"`
+	// Stream observability: connected /v1/stream clients, the byte
+	// length of the committed record prefix they can read, and slow
+	// clients evicted so far.
+	StreamClients int   `json:"streamClients"`
+	StreamBytes   int64 `json:"streamBytes"`
+	StreamEvicted int   `json:"streamEvicted"`
+	StreamRefused int   `json:"streamRefused"`
 }
 
 // Coordinator serves one campaign's shard lease protocol and owns the
 // durable run state under Config.Dir.
 type Coordinator struct {
-	cfg  Config
-	camp campaign.Campaign
-	fp   string
-	plan []campaign.ShardRef
+	cfg   Config
+	camp  campaign.Campaign
+	fp    string
+	fpSum string // short fingerprint hash; the campaign id inside resume cursors
+	plan  []campaign.ShardRef
 
 	mu      sync.Mutex
 	man     *manifest
@@ -106,6 +140,16 @@ type Coordinator struct {
 	nextID  int64
 	merged  bool
 	crashed bool
+
+	// Streaming state: the connected-client gauge (admission control),
+	// eviction/refusal counters, and the commit broadcast channel —
+	// closed and replaced whenever the committed prefix grows, so
+	// long-poll waiters wake without the coordinator ever buffering
+	// per-client data.
+	streams       int
+	streamEvicted int
+	streamRefused int
+	commitCh      chan struct{}
 
 	crashCh chan struct{}
 	doneCh  chan struct{}
@@ -136,6 +180,21 @@ func Open(cfg Config) (*Coordinator, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.MaxStreamClients <= 0 {
+		cfg.MaxStreamClients = 64
+	}
+	if cfg.StreamChunkBytes <= 0 {
+		cfg.StreamChunkBytes = 256 << 10
+	}
+	if cfg.StreamWriteTimeout <= 0 {
+		cfg.StreamWriteTimeout = 5 * time.Second
+	}
+	if cfg.StreamPollMax <= 0 {
+		cfg.StreamPollMax = 30 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	plan, err := campaign.Plan(camp, cfg.ShardSize)
 	if err != nil {
 		return nil, err
@@ -147,16 +206,19 @@ func Open(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	fp := campaign.Fingerprint(camp)
 	c := &Coordinator{
-		cfg:     cfg,
-		camp:    camp,
-		fp:      campaign.Fingerprint(camp),
-		plan:    plan,
-		man:     man,
-		states:  make([]shardState, len(plan)),
-		leases:  make(map[string]*lease),
-		crashCh: make(chan struct{}),
-		doneCh:  make(chan struct{}),
+		cfg:      cfg,
+		camp:     camp,
+		fp:       fp,
+		fpSum:    checksum([]byte(fp)),
+		plan:     plan,
+		man:      man,
+		states:   make([]shardState, len(plan)),
+		leases:   make(map[string]*lease),
+		commitCh: make(chan struct{}),
+		crashCh:  make(chan struct{}),
+		doneCh:   make(chan struct{}),
 	}
 	if err := c.recover(entries); err != nil {
 		man.close()
@@ -264,6 +326,9 @@ func (c *Coordinator) crash(site string) {
 		c.crashed = true
 		c.man.close()
 		close(c.crashCh)
+		// Wake long-poll stream waiters so they observe the crash (503)
+		// now instead of sleeping out their poll window against a corpse.
+		c.notifyCommit()
 	}
 }
 
@@ -329,17 +394,54 @@ func (c *Coordinator) mergeLocked() error {
 	c.merged = true
 	c.cfg.Logf("coord: merged %d shards into %s (%d bytes)", len(c.plan), c.ResultPath(), len(out))
 	close(c.doneCh)
+	c.notifyCommit()
 	return nil
+}
+
+// notifyCommit wakes every long-poll stream waiter: the committed record
+// prefix just grew (a shard in the prefix landed, or the merge finished).
+// The channel swap is the whole broadcast — waiters hold only the old
+// channel, so a stalled or dead client costs nothing here. Callers hold
+// mu.
+func (c *Coordinator) notifyCommit() {
+	close(c.commitCh)
+	c.commitCh = make(chan struct{})
+}
+
+// prefixLocked returns the byte length of the committed record prefix:
+// the concatenation of done-shard files in plan order up to the first
+// incomplete shard. Within one coordinator incarnation this only grows
+// (shards in the prefix never revert), and its bytes are deterministic,
+// so it is always a byte-prefix of the final canonical records.jsonl.
+// Callers hold mu.
+func (c *Coordinator) prefixLocked() int64 {
+	var n int64
+	for i := range c.states {
+		if c.states[i].status != shardDone {
+			return n
+		}
+		n += c.states[i].bytes
+	}
+	return n
 }
 
 // status snapshots progress. Callers hold mu.
 func (c *Coordinator) statusLocked() Status {
 	st := Status{
-		Campaign:    c.camp.Name,
-		Fingerprint: c.fp,
-		Shards:      len(c.plan),
-		Merged:      c.merged,
+		Campaign:      c.camp.Name,
+		Fingerprint:   c.fp,
+		Shards:        len(c.plan),
+		Merged:        c.merged,
+		StreamClients: c.streams,
+		StreamBytes:   c.prefixLocked(),
+		StreamEvicted: c.streamEvicted,
+		StreamRefused: c.streamRefused,
 	}
+	workers := make(map[string]bool, len(c.leases))
+	for _, l := range c.leases {
+		workers[l.worker] = true
+	}
+	st.ActiveWorkers = len(workers)
 	for _, s := range c.states {
 		switch s.status {
 		case shardPending:
@@ -352,6 +454,8 @@ func (c *Coordinator) statusLocked() Status {
 			st.Hits += s.hits
 		}
 	}
+	st.QueueDepth = st.Pending
+	st.WantWorkers = st.Pending + st.Leased
 	return st
 }
 

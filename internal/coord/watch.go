@@ -1,0 +1,261 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"ncg/internal/faultinject"
+	"ncg/internal/rng"
+)
+
+// errReconnect signals a connection severed mid-chunk: nothing was acked,
+// so the loop re-dials immediately and resumes from the same cursor.
+var errReconnect = errors.New("coord: stream connection severed mid-chunk")
+
+// WatchConfig shapes one live stream client (RunWatch): a long-poll loop
+// over GET /v1/stream that survives coordinator crashes and its own
+// disconnects by resuming from the last acked cursor. The bytes it hands
+// OnChunk, concatenated, are always a byte-prefix of the campaign's
+// canonical records.jsonl.
+type WatchConfig struct {
+	// URL is the coordinator's base URL (e.g. http://127.0.0.1:8777).
+	URL string
+	// Cursor resumes a previous watch ("" = the stream's start). Cursors
+	// are minted by the coordinator and carry the campaign identity; a
+	// cursor from a different campaign is rejected with 409.
+	Cursor string
+	// OnChunk receives each fully-read chunk with the cursor that acks it
+	// and whether the stream is complete. Returning an error stops the
+	// watch. Chunks arrive in order with no gaps, overlaps or rewrites.
+	OnChunk func(chunk []byte, cursor string, complete bool) error
+	// Name identifies the client in logs and seeds its retry jitter
+	// (default: "watch").
+	Name string
+	// Client is the HTTP client (nil: a fresh client; long-poll requests
+	// get per-request deadlines, so no global timeout is set).
+	Client *http.Client
+	// Wait is the long-poll window requested per poll (0: 5s; the server
+	// caps it at its StreamPollMax).
+	Wait time.Duration
+	// ChunkBytes asks the server to cap chunks below its default (0: the
+	// server's StreamChunkBytes).
+	ChunkBytes int
+	// RetryBase and RetryMax bound the jittered exponential backoff on
+	// transport errors and 5xx (0: 100ms / 5s). A Retry-After header —
+	// admission control or a supervised restart in progress — overrides
+	// the backoff with the server's own hint.
+	RetryBase, RetryMax time.Duration
+	// AttemptBudget caps total failed polls over the watch's lifetime
+	// (0: 100). Success resets nothing: the budget is cumulative, so a
+	// flapping coordinator eventually surfaces as an error instead of
+	// retrying forever.
+	AttemptBudget int
+	// Injector fires the seeded fault schedule of chaos runs (nil: no
+	// faults).
+	Injector *faultinject.Injector
+	// StallFor is the injected stalled-reader duration (0: 2x the server
+	// write deadline is a good chaos choice; default 1s).
+	StallFor time.Duration
+	// Logf, if non-nil, receives one line per watch event.
+	Logf func(format string, args ...any)
+}
+
+// WatchStats summarizes a watch.
+type WatchStats struct {
+	// Bytes is the total acked stream bytes delivered to OnChunk.
+	Bytes int64
+	// Polls counts successful stream responses (200 or 204); Retries
+	// counts failed attempts that consumed retry budget; Reconnects
+	// counts connections deliberately or accidentally severed mid-chunk
+	// and resumed from the acked cursor.
+	Polls, Retries, Reconnects int
+	// Cursor is the final resume cursor — hand it to a future watch to
+	// continue exactly after the last acked byte.
+	Cursor string
+	// Complete reports that the stream reached the merged end.
+	Complete bool
+}
+
+// RunWatch follows a campaign's live result stream until it completes,
+// the context is cancelled, OnChunk fails, the attempt budget runs out,
+// or the coordinator rejects the cursor (4xx — permanent). Transient
+// failures — transport errors, 5xx, admission-control 503s — retry with
+// jittered exponential backoff, honoring Retry-After when the server
+// sends one. A chunk counts as delivered only after its body was read in
+// full; a truncated body (disconnect mid-chunk) is discarded and re-read
+// from the same cursor, so the delivered stream never skips or repeats.
+func RunWatch(ctx context.Context, cfg WatchConfig) (WatchStats, error) {
+	if cfg.Name == "" {
+		cfg.Name = "watch"
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Wait <= 0 {
+		cfg.Wait = 5 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	if cfg.AttemptBudget <= 0 {
+		cfg.AttemptBudget = 100
+	}
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	h := fnv.New64a()
+	io.WriteString(h, cfg.Name)
+	w := &watchLoop{cfg: cfg, jitter: rng.NewStream(h.Sum64())}
+	w.stats.Cursor = cfg.Cursor
+	return w.run(ctx)
+}
+
+// watchLoop is the running state of one RunWatch call.
+type watchLoop struct {
+	cfg      WatchConfig
+	jitter   rng.Stream
+	stats    WatchStats
+	failures int
+}
+
+// run is the poll loop.
+func (w *watchLoop) run(ctx context.Context) (WatchStats, error) {
+	cursor := w.cfg.Cursor
+	for {
+		if err := ctx.Err(); err != nil {
+			return w.stats, err
+		}
+		chunk, next, complete, err := w.poll(ctx, cursor)
+		switch {
+		case err == nil:
+			w.stats.Polls++
+			if len(chunk) > 0 {
+				if cbErr := w.cfg.OnChunk(chunk, next, complete); cbErr != nil {
+					w.stats.Cursor = cursor
+					return w.stats, cbErr
+				}
+				w.stats.Bytes += int64(len(chunk))
+				cursor = next
+				w.stats.Cursor = next
+			}
+			if complete {
+				w.stats.Complete = true
+				return w.stats, nil
+			}
+		case errors.Is(err, errReconnect):
+			// A severed or deliberately dropped connection: resume from
+			// the unacked cursor, immediately — reconnects are not
+			// failures, the cursor makes them exact.
+			w.stats.Reconnects++
+		default:
+			var perm errPermanent
+			if errors.As(err, &perm) || ctx.Err() != nil {
+				w.stats.Cursor = cursor
+				return w.stats, err
+			}
+			w.failures++
+			w.stats.Retries++
+			if w.failures >= w.cfg.AttemptBudget {
+				w.stats.Cursor = cursor
+				return w.stats, fmt.Errorf("coord: watch giving up after %d failed polls: %w", w.failures, err)
+			}
+			delay, hinted := retryAfter(err)
+			if !hinted {
+				delay = backoffDelay(&w.jitter, w.cfg.RetryBase, w.cfg.RetryMax, w.failures-1)
+			}
+			w.cfg.Logf("%s: poll failed (%d/%d): %v; retrying in %v", w.cfg.Name, w.failures, w.cfg.AttemptBudget, err, delay)
+			select {
+			case <-ctx.Done():
+				w.stats.Cursor = cursor
+				return w.stats, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+	}
+}
+
+// poll performs one long-poll request. It returns the fully-read chunk
+// (nil on an empty poll), the cursor acking it, and completeness.
+// errReconnect signals a mid-chunk disconnect to resume immediately;
+// errPermanent wraps 4xx rejections retrying cannot fix.
+func (w *watchLoop) poll(ctx context.Context, cursor string) (chunk []byte, next string, complete bool, _ error) {
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	q.Set("wait", w.cfg.Wait.String())
+	if w.cfg.ChunkBytes > 0 {
+		q.Set("max", strconv.Itoa(w.cfg.ChunkBytes))
+	}
+	// The request deadline leaves the server's poll window plus slack for
+	// the chunk transfer; a hung coordinator cannot hang the watch.
+	rctx, cancel := context.WithTimeout(ctx, w.cfg.Wait+15*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, w.cfg.URL+"/v1/stream?"+q.Encode(), nil)
+	if err != nil {
+		return nil, "", false, errPermanent{err}
+	}
+	res, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return nil, "", false, err
+	}
+	defer res.Body.Close()
+	switch {
+	case res.StatusCode == http.StatusOK, res.StatusCode == http.StatusNoContent:
+	case res.StatusCode == http.StatusTooManyRequests || res.StatusCode >= 500:
+		return nil, "", false, httpError(res)
+	default:
+		return nil, "", false, errPermanent{httpError(res)}
+	}
+	next = res.Header.Get(HeaderCursor)
+	complete = res.Header.Get(HeaderComplete) == "true"
+	if res.StatusCode == http.StatusNoContent {
+		return nil, next, complete, nil
+	}
+	switch w.cfg.Injector.Fire(faultinject.StreamClient) {
+	case faultinject.Crash:
+		// Disconnect mid-chunk: sever the connection without reading the
+		// body; the chunk is never acked, the reconnect re-reads it.
+		w.cfg.Logf("%s: injected disconnect mid-chunk", w.cfg.Name)
+		res.Body.Close()
+		return nil, "", false, errReconnect
+	case faultinject.Stall:
+		// A stalled reader: stop consuming the response. The coordinator's
+		// write deadline evicts us; the read below then fails and the
+		// reconnect resumes from the unacked cursor.
+		w.cfg.Logf("%s: injected %v reader stall", w.cfg.Name, w.cfg.StallFor)
+		select {
+		case <-time.After(w.cfg.StallFor):
+		case <-ctx.Done():
+			return nil, "", false, ctx.Err()
+		}
+	case faultinject.Duplicate:
+		// One pulse of a reconnect storm: drop and re-dial immediately.
+		w.cfg.Logf("%s: injected reconnect-storm pulse", w.cfg.Name)
+		res.Body.Close()
+		return nil, "", false, errReconnect
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		// Truncated mid-chunk (the server dropped us, evicted us, or
+		// crashed). Nothing was acked; resume from the same cursor.
+		return nil, "", false, errReconnect
+	}
+	if cl := res.ContentLength; cl >= 0 && int64(len(body)) != cl {
+		return nil, "", false, errReconnect
+	}
+	return body, next, complete, nil
+}

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,12 +33,21 @@ type WorkerConfig struct {
 	// (0: the coordinator's suggested wait, capped by 1s).
 	Poll time.Duration
 	// RetryBase and RetryMax bound the jittered exponential backoff on
-	// coordinator errors (0: 100ms / 5s).
+	// coordinator errors (0: 100ms / 5s). When the coordinator sends a
+	// Retry-After hint (admission control, supervised restart in
+	// progress), the hint replaces the backoff.
 	RetryBase, RetryMax time.Duration
-	// MaxRetries is the consecutive-failure budget before the worker
-	// gives up — graceful degradation: one worker dying never takes the
-	// campaign down (0: 30).
+	// MaxRetries is the consecutive-failure budget of one call before the
+	// worker gives up — graceful degradation: one worker dying never
+	// takes the campaign down (0: 30).
 	MaxRetries int
+	// AttemptBudget caps total failed coordinator calls over the worker's
+	// lifetime (0: 1000). Unlike MaxRetries it never resets, so a worker
+	// bouncing against a flapping coordinator eventually exits instead of
+	// retrying forever. Permanent rejections (fingerprint mismatch,
+	// malformed requests — any non-429 4xx) fail fast without consuming
+	// it.
+	AttemptBudget int
 	// Injector fires the seeded fault schedule of chaos runs (nil: no
 	// faults).
 	Injector *faultinject.Injector
@@ -70,6 +80,55 @@ type errPermanent struct{ err error }
 func (e errPermanent) Error() string { return e.err.Error() }
 func (e errPermanent) Unwrap() error { return e.err }
 
+// errHTTP is a non-2xx coordinator reply, keeping the status and any
+// Retry-After hint so retry loops can classify and pace themselves.
+type errHTTP struct {
+	status int
+	after  time.Duration
+	msg    string
+}
+
+func (e errHTTP) Error() string { return e.msg }
+
+// httpError drains a non-2xx response into an errHTTP.
+func httpError(res *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
+	e := errHTTP{
+		status: res.StatusCode,
+		msg:    fmt.Sprintf("coord: %s: %s: %s", res.Request.URL.Path, res.Status, strings.TrimSpace(string(msg))),
+	}
+	if s := res.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			e.after = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// retryAfter extracts a server-sent Retry-After hint from err. The hint
+// is capped at 30s — a confused server must not park a client forever.
+func retryAfter(err error) (time.Duration, bool) {
+	var he errHTTP
+	if !errors.As(err, &he) || he.after <= 0 {
+		return 0, false
+	}
+	if he.after > 30*time.Second {
+		return 30 * time.Second, true
+	}
+	return he.after, true
+}
+
+// backoffDelay is the jittered exponential delay of the attempt-th
+// consecutive failure: full jitter in [d/2, d) desynchronizes a fleet
+// hammering a restarting coordinator.
+func backoffDelay(jitter *rng.Stream, base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(jitter.Next()%uint64(d/2+1))
+}
+
 // RunWorker leases shards from the coordinator until the campaign
 // completes, the context is cancelled (graceful drain: the current
 // instance finishes, the lease is released) or the retry budget is
@@ -91,6 +150,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 30
+	}
+	if cfg.AttemptBudget <= 0 {
+		cfg.AttemptBudget = 1000
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -115,33 +177,17 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 
 // workerLoop is the running state of one RunWorker call.
 type workerLoop struct {
-	cfg    WorkerConfig
-	camp   campaign.Campaign
-	fp     string
-	jitter rng.Stream
-	stats  WorkerStats
+	cfg      WorkerConfig
+	camp     campaign.Campaign
+	fp       string
+	jitter   rng.Stream
+	stats    WorkerStats
+	attempts int // lifetime failed calls, charged against AttemptBudget
 }
 
-// backoff sleeps the jittered exponential delay of the attempt-th
-// consecutive failure, honoring cancellation.
-func (w *workerLoop) backoff(ctx context.Context, attempt int) error {
-	d := w.cfg.RetryBase << uint(attempt)
-	if d > w.cfg.RetryMax || d <= 0 {
-		d = w.cfg.RetryMax
-	}
-	// Full jitter in [d/2, d): desynchronizes a fleet hammering a
-	// restarting coordinator.
-	d = d/2 + time.Duration(w.jitter.Next()%uint64(d/2+1))
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-time.After(d):
-		return nil
-	}
-}
-
-// call POSTs a JSON request and decodes the JSON response. 4xx responses
-// are permanent; transport failures and 5xx are retryable.
+// call POSTs a JSON request and decodes the JSON response. Non-429 4xx
+// responses are permanent (a fingerprint mismatch must fail fast, not
+// back off); transport failures, 5xx and 429 are transient.
 func (w *workerLoop) call(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -158,9 +204,8 @@ func (w *workerLoop) call(ctx context.Context, path string, req, resp any) error
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
-		err := fmt.Errorf("coord: %s: %s: %s", path, res.Status, strings.TrimSpace(string(msg)))
-		if res.StatusCode >= 400 && res.StatusCode < 500 {
+		err := httpError(res)
+		if res.StatusCode >= 400 && res.StatusCode < 500 && res.StatusCode != http.StatusTooManyRequests {
 			return errPermanent{err}
 		}
 		return err
@@ -168,7 +213,10 @@ func (w *workerLoop) call(ctx context.Context, path string, req, resp any) error
 	return json.NewDecoder(res.Body).Decode(resp)
 }
 
-// callRetry wraps call with the backoff/retry budget.
+// callRetry wraps call with the backoff/retry budgets: MaxRetries bounds
+// consecutive failures of this call, AttemptBudget bounds failures over
+// the worker's lifetime, and a Retry-After hint from admission control
+// replaces the computed backoff.
 func (w *workerLoop) callRetry(ctx context.Context, path string, req, resp any) error {
 	for attempt := 0; ; attempt++ {
 		err := w.call(ctx, path, req, resp)
@@ -182,10 +230,22 @@ func (w *workerLoop) callRetry(ctx context.Context, path string, req, resp any) 
 		if attempt+1 >= w.cfg.MaxRetries {
 			return fmt.Errorf("coord: giving up on %s after %d attempts: %w", path, attempt+1, err)
 		}
+		w.attempts++
+		if w.attempts >= w.cfg.AttemptBudget {
+			return fmt.Errorf("coord: worker attempt budget (%d) exhausted at %s: %w", w.cfg.AttemptBudget, path, err)
+		}
 		w.stats.Retries++
-		w.cfg.Logf("%s: %s failed (attempt %d): %v; backing off", w.cfg.Name, path, attempt+1, err)
-		if err := w.backoff(ctx, attempt); err != nil {
-			return err
+		d, hinted := retryAfter(err)
+		if !hinted {
+			d = backoffDelay(&w.jitter, w.cfg.RetryBase, w.cfg.RetryMax, attempt)
+			w.cfg.Logf("%s: %s failed (attempt %d): %v; backing off %v", w.cfg.Name, path, attempt+1, err, d)
+		} else {
+			w.cfg.Logf("%s: %s refused (attempt %d): %v; honoring Retry-After %v", w.cfg.Name, path, attempt+1, err, d)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
 		}
 	}
 }

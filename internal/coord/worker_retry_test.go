@@ -1,0 +1,207 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ncg/internal/rng"
+)
+
+// scriptedServer runs a handler script: each incoming call is answered by
+// script[min(call, len-1)], under a mutex so call counts and timestamps
+// are race-free.
+type scriptedServer struct {
+	mu     sync.Mutex
+	calls  int
+	times  []time.Time
+	script []func(w http.ResponseWriter)
+	srv    *httptest.Server
+}
+
+func newScriptedServer(t *testing.T, script ...func(w http.ResponseWriter)) *scriptedServer {
+	s := &scriptedServer{script: script}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		step := s.calls
+		if step >= len(s.script) {
+			step = len(s.script) - 1
+		}
+		s.calls++
+		s.times = append(s.times, time.Now())
+		s.script[step](w)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *scriptedServer) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *scriptedServer) gap(i, j int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.times[j].Sub(s.times[i])
+}
+
+func refuse(status int, retryAfter string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		http.Error(w, "scripted refusal", status)
+	}
+}
+
+func okEmpty(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{}")
+}
+
+func testWorkerLoop(srv *scriptedServer, maxRetries, budget int) *workerLoop {
+	return &workerLoop{
+		cfg: WorkerConfig{
+			URL: srv.srv.URL, Client: srv.srv.Client(),
+			RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+			MaxRetries: maxRetries, AttemptBudget: budget,
+			Logf: func(string, ...any) {},
+		},
+		jitter: rng.NewStream(1),
+	}
+}
+
+// TestWorkerHonorsRetryAfter pins the pacing contract: a 503 carrying
+// Retry-After delays the next attempt by the server's hint, not by the
+// (much smaller) computed backoff.
+func TestWorkerHonorsRetryAfter(t *testing.T) {
+	srv := newScriptedServer(t,
+		refuse(http.StatusServiceUnavailable, "1"),
+		func(w http.ResponseWriter) { okEmpty(w) },
+	)
+	w := testWorkerLoop(srv, 5, 100)
+	var resp struct{}
+	if err := w.callRetry(context.Background(), "/v1/lease", struct{}{}, &resp); err != nil {
+		t.Fatalf("callRetry: %v", err)
+	}
+	if n := srv.callCount(); n != 2 {
+		t.Fatalf("calls = %d, want 2", n)
+	}
+	if gap := srv.gap(0, 1); gap < 900*time.Millisecond {
+		t.Fatalf("retry came %v after the 503; Retry-After: 1 was not honored", gap)
+	}
+	if w.stats.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", w.stats.Retries)
+	}
+}
+
+// TestWorkerAttemptBudgetExhausted pins the lifetime cap: against a
+// permanently unavailable coordinator the worker stops after AttemptBudget
+// failed calls even though MaxRetries alone would keep it going.
+func TestWorkerAttemptBudgetExhausted(t *testing.T) {
+	srv := newScriptedServer(t, refuse(http.StatusServiceUnavailable, ""))
+	w := testWorkerLoop(srv, 100, 3)
+	var resp struct{}
+	err := w.callRetry(context.Background(), "/v1/lease", struct{}{}, &resp)
+	if err == nil || !strings.Contains(err.Error(), "attempt budget") {
+		t.Fatalf("err = %v, want attempt-budget exhaustion", err)
+	}
+	if n := srv.callCount(); n != 3 {
+		t.Fatalf("calls = %d, want exactly the budget of 3", n)
+	}
+}
+
+// TestWorkerBudgetSpansCalls pins that AttemptBudget is cumulative across
+// callRetry invocations — a flapping coordinator that fails a little on
+// every call eventually exhausts the worker, where per-call MaxRetries
+// never would.
+func TestWorkerBudgetSpansCalls(t *testing.T) {
+	srv := newScriptedServer(t,
+		refuse(http.StatusServiceUnavailable, ""),
+		func(w http.ResponseWriter) { okEmpty(w) },
+		refuse(http.StatusServiceUnavailable, ""),
+		func(w http.ResponseWriter) { okEmpty(w) },
+		refuse(http.StatusServiceUnavailable, ""),
+	)
+	w := testWorkerLoop(srv, 100, 3)
+	var resp struct{}
+	for i := 0; i < 2; i++ {
+		if err := w.callRetry(context.Background(), "/v1/lease", struct{}{}, &resp); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// Two failures consumed; the third flap trips the lifetime budget.
+	err := w.callRetry(context.Background(), "/v1/lease", struct{}{}, &resp)
+	if err == nil || !strings.Contains(err.Error(), "attempt budget") {
+		t.Fatalf("err = %v, want attempt-budget exhaustion on the third flap", err)
+	}
+}
+
+// TestWorker429IsTransient pins classification: 429 (admission control)
+// retries like a 5xx instead of failing fast like other 4xx.
+func TestWorker429IsTransient(t *testing.T) {
+	srv := newScriptedServer(t,
+		refuse(http.StatusTooManyRequests, ""),
+		refuse(http.StatusTooManyRequests, ""),
+		func(w http.ResponseWriter) { okEmpty(w) },
+	)
+	w := testWorkerLoop(srv, 10, 100)
+	var resp struct{}
+	if err := w.callRetry(context.Background(), "/v1/lease", struct{}{}, &resp); err != nil {
+		t.Fatalf("callRetry: %v", err)
+	}
+	if n := srv.callCount(); n != 3 {
+		t.Fatalf("calls = %d, want 3", n)
+	}
+}
+
+// TestWorker4xxIsPermanent pins the fail-fast side: a non-429 4xx (the
+// fingerprint-mismatch class) returns immediately as permanent — one
+// call, no backoff, no budget consumed.
+func TestWorker4xxIsPermanent(t *testing.T) {
+	srv := newScriptedServer(t, refuse(http.StatusConflict, ""))
+	w := testWorkerLoop(srv, 100, 100)
+	var resp struct{}
+	start := time.Now()
+	err := w.callRetry(context.Background(), "/v1/lease", struct{}{}, &resp)
+	var perm errPermanent
+	if err == nil || !errors.As(err, &perm) {
+		t.Fatalf("err = %v, want errPermanent", err)
+	}
+	if n := srv.callCount(); n != 1 {
+		t.Fatalf("calls = %d, want 1 (permanent rejections never retry)", n)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("permanent rejection took %v; must fail fast", time.Since(start))
+	}
+	if w.attempts != 0 {
+		t.Fatalf("attempts = %d; permanent rejections must not consume the budget", w.attempts)
+	}
+}
+
+// TestBackoffDelayBounds pins the jittered exponential schedule: each
+// delay lies in [d/2, d) for the capped exponential d, so a fleet never
+// synchronizes on a restarting coordinator.
+func TestBackoffDelayBounds(t *testing.T) {
+	jitter := rng.NewStream(42)
+	base, max := 100*time.Millisecond, 5*time.Second
+	for attempt := 0; attempt < 20; attempt++ {
+		d := base << uint(attempt)
+		if d > max || d <= 0 {
+			d = max
+		}
+		got := backoffDelay(&jitter, base, max, attempt)
+		if got < d/2 || got > d {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, d/2, d)
+		}
+	}
+}

@@ -40,6 +40,19 @@ const (
 	// Crash abandons the shard without releasing the lease (a dead
 	// worker); Stall pauses past the lease TTL and then continues.
 	WorkerInstance Point = "worker-instance"
+	// StreamChunk guards the coordinator writing one chunk of the
+	// committed record prefix to a stream client. Crash kills the
+	// coordinator mid-stream (clients must resume against the restarted
+	// process); Drop severs the connection mid-chunk, so the client sees
+	// a truncated body and must discard the partial chunk — its cursor
+	// only ever advances past fully-read chunks.
+	StreamChunk Point = "stream-chunk"
+	// StreamClient guards the watch client between stream reads. Crash
+	// drops the connection mid-read and reconnects with the last acked
+	// cursor; Stall stops reading past the server's write deadline, so
+	// the coordinator evicts the client; Duplicate reconnects immediately
+	// without backoff (one pulse of a reconnect storm).
+	StreamClient Point = "stream-client"
 )
 
 // Kind is the fault fired at a point: None means the operation proceeds.
@@ -142,6 +155,12 @@ var pointKinds = []struct {
 	{LeaseGrant, []Kind{Duplicate}},
 	{Heartbeat, []Kind{Drop, Crash}},
 	{WorkerInstance, []Kind{Crash, Stall}},
+	// The stream points are appended, never inserted: each point's
+	// schedule stream is seeded by its index here, so appending extends
+	// seeded schedules to the new sites without changing what any
+	// existing seed fires at the old ones.
+	{StreamChunk, []Kind{Crash, Drop}},
+	{StreamClient, []Kind{Crash, Stall, Duplicate}},
 }
 
 // Seeded derives a deterministic schedule from a seed: for each fault

@@ -443,6 +443,21 @@ type (
 	CampaignWorkerConfig = coord.WorkerConfig
 	// CampaignWorkerStats summarizes one worker's run.
 	CampaignWorkerStats = coord.WorkerStats
+	// CampaignRegistry hosts many campaigns in one process under
+	// campaign-scoped routes (/c/<name>/v1/...) with crash isolation,
+	// /healthz and /readyz, and optional supervised auto-restart.
+	CampaignRegistry = coord.Registry
+	// CampaignRegistryConfig parameterizes NewCampaignRegistry (root state
+	// directory, auto-restart delay, Retry-After hint).
+	CampaignRegistryConfig = coord.RegistryConfig
+	// CampaignInfo is one row of the registry's GET /v1/campaigns.
+	CampaignInfo = coord.CampaignInfo
+	// CampaignWatchConfig parameterizes RunCampaignWatch (coordinator URL,
+	// resume cursor, chunk handler, retry/backoff budgets).
+	CampaignWatchConfig = coord.WatchConfig
+	// CampaignWatchStats summarizes one watch: acked bytes, polls,
+	// reconnects and the final resume cursor.
+	CampaignWatchStats = coord.WatchStats
 	// FaultInjector is the deterministic fault seam of the service; nil
 	// is the production no-op. Schedules are pure functions of a seed, so
 	// chaos runs are exactly reproducible.
@@ -462,6 +477,8 @@ const (
 	FaultPointLeaseGrant     = faultinject.LeaseGrant
 	FaultPointHeartbeat      = faultinject.Heartbeat
 	FaultPointWorkerInstance = faultinject.WorkerInstance
+	FaultPointStreamChunk    = faultinject.StreamChunk
+	FaultPointStreamClient   = faultinject.StreamClient
 )
 
 // Fault kinds.
@@ -486,6 +503,14 @@ var (
 	// RunCampaignWorker leases, executes and completes shards until the
 	// campaign is done or the context is cancelled.
 	RunCampaignWorker = coord.RunWorker
+	// RunCampaignWatch follows a coordinator's live result stream
+	// (GET /v1/stream) with cursor-exact resume across disconnects and
+	// coordinator restarts; the chunks it delivers, concatenated, are
+	// always a byte-prefix of the campaign's canonical records.jsonl.
+	RunCampaignWatch = coord.RunWatch
+	// NewCampaignRegistry builds an empty multi-campaign registry; Add
+	// campaigns and serve its Handler() over HTTP.
+	NewCampaignRegistry = coord.NewRegistry
 	// NewFaultInjector builds an injector from a schedule.
 	NewFaultInjector = faultinject.New
 	// SeededFaultSchedule derives a reproducible chaos schedule from a
