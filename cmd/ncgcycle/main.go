@@ -45,6 +45,8 @@ Usage:
       -oracle o      distance oracle of the -schedule trajectories (auto,
                      exact, landmark, landmark:k; landmark is
                      bit-identical to exact)
+      -backend b     adjacency backend of the -schedule trajectories
+                     (auto, dense, sparse; bit-identical either way)
 `
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -70,6 +72,7 @@ func (a *app) main(args []string) {
 	progress := fs.Duration("progress", 0, "")
 	scheduleName := fs.String("schedule", "", "")
 	oracleName := fs.String("oracle", "auto", "")
+	backendName := fs.String("backend", "auto", "")
 	if err := fs.Parse(args); err != nil {
 		cli.Exit(2)
 	}
@@ -94,6 +97,10 @@ func (a *app) main(args []string) {
 		sched = s
 	}
 	oracle, err := dynamics.ParseOracleSpec(*oracleName)
+	if err != nil {
+		a.Fail("%v", err)
+	}
+	backend, err := dynamics.ParseBackendSpec(*backendName)
 	if err != nil {
 		a.Fail("%v", err)
 	}
@@ -213,7 +220,7 @@ func (a *app) main(args []string) {
 			if ctx.Err() != nil {
 				interrupted()
 			}
-			res := dynamics.Run(g.Clone(), dynamics.Config{
+			res := dynamics.Run(backend.Materialize(g.Clone(), oracle), dynamics.Config{
 				Game: gm, Tie: dynamics.TieFirst, Seed: 1,
 				MaxSteps: cap, Schedule: sched, DetectCycles: true,
 				Oracle: oracle, Cancel: ctx.Done(),

@@ -53,6 +53,8 @@ Usage:
         -schedule s    override every selected variant's search schedule
                        (sequential, rounds, rounds-shuffled, rounds-skip,
                        rounds-reject)
+        -backend b     adjacency backend of round-trajectory variants
+                       (auto, dense, sparse; bit-identical either way)
         -oracle o      distance oracle of round-trajectory variants (auto,
                        exact, landmark, landmark:k; landmark records are
                        bit-identical to exact)
@@ -188,6 +190,7 @@ func (a *app) cmdGrid(args []string) {
 // its fingerprint), as opposed to how it is executed.
 type campaignFlags struct {
 	samplers, variants, schedule, oracle string
+	backend                              string
 	n, instances, maxStates              int
 	seed                                 int64
 }
@@ -197,6 +200,7 @@ func (cf *campaignFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&cf.variants, "variants", "", "comma-separated variant names (default: all built-ins)")
 	fs.StringVar(&cf.schedule, "schedule", "", "override every selected variant's search schedule")
 	fs.StringVar(&cf.oracle, "oracle", "auto", "distance oracle of round-trajectory variants")
+	fs.StringVar(&cf.backend, "backend", "auto", "adjacency backend of round-trajectory variants")
 	fs.IntVar(&cf.n, "n", 10, "agent count for sized samplers")
 	fs.IntVar(&cf.instances, "instances", 100, "instances per grid cell")
 	fs.Int64Var(&cf.seed, "seed", 1, "base seed")
@@ -218,10 +222,14 @@ func (cf *campaignFlags) build(a *app) campaign.Campaign {
 	if err != nil {
 		a.Fail("%v", err)
 	}
+	backend, err := dynamics.ParseBackendSpec(cf.backend)
+	if err != nil {
+		a.Fail("%v", err)
+	}
 	return campaign.Campaign{
 		Name:      "ncghunt",
 		Samplers:  a.pickSamplers(cf.samplers, cf.n),
-		Variants:  a.pickVariants(cf.variants, cf.schedule, oracle),
+		Variants:  a.pickVariants(cf.variants, cf.schedule, oracle, backend),
 		N:         cf.n,
 		Instances: cf.instances,
 		Seed:      cf.seed,
@@ -584,9 +592,10 @@ func (a *app) pickSamplers(list string, n int) []campaign.Sampler {
 // pickVariants resolves the -variants list (empty: all built-ins) and
 // applies the -schedule override: "sequential" forces the exhaustive
 // state-graph search, a rounds name hunts each variant's played round
-// trajectory instead. The oracle spec applies to every round-trajectory
-// variant (the exhaustive explorer always runs exact).
-func (a *app) pickVariants(list, schedule string, oracle dynamics.OracleSpec) []campaign.Variant {
+// trajectory instead. The oracle and backend specs apply to every
+// round-trajectory variant (the exhaustive explorer always runs exact on
+// the dense backend).
+func (a *app) pickVariants(list, schedule string, oracle dynamics.OracleSpec, backend dynamics.BackendSpec) []campaign.Variant {
 	var out []campaign.Variant
 	if list == "" {
 		out = campaign.BuiltinVariants()
@@ -615,6 +624,7 @@ func (a *app) pickVariants(list, schedule string, oracle dynamics.OracleSpec) []
 	}
 	for i := range out {
 		out[i].Oracle = oracle
+		out[i].Backend = backend
 	}
 	return out
 }

@@ -63,6 +63,9 @@ Usage:
         -oracle o   distance oracle (auto, exact, landmark, landmark:k;
                     landmark records are bit-identical to exact, so this
                     trades memory for wall-clock only)
+        -backend b  adjacency backend (auto, dense, sparse; auto pairs
+                    sparse with landmark runs, records are bit-identical
+                    either way)
         -jsonl path stream per-trial records as JSON lines
         -csv path   stream per-trial records as CSV
         -resume     continue an interrupted run from the -jsonl file
@@ -136,6 +139,7 @@ type gridFlags struct {
 	seed                      int64
 	workers, shard, probeWrk  int
 	schedule, oracle          string
+	backend                   string
 }
 
 func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
@@ -150,6 +154,7 @@ func (gf *gridFlags) register(fs *flag.FlagSet, withShard bool) {
 		fs.IntVar(&gf.probeWrk, "probe-workers", 0, "per-run happiness-probe workers")
 		fs.StringVar(&gf.schedule, "schedule", "", "override the scenario's activation schedule (empty: scenario default)")
 		fs.StringVar(&gf.oracle, "oracle", "", "distance oracle: auto, exact, landmark, landmark:k (empty: scenario default)")
+		fs.StringVar(&gf.backend, "backend", "", "adjacency backend: auto, dense, sparse (empty: scenario default)")
 	}
 }
 
@@ -160,6 +165,19 @@ func (gf *gridFlags) oracleOverride(a *app) (dynamics.OracleSpec, bool) {
 		return dynamics.OracleSpec{}, false
 	}
 	spec, err := dynamics.ParseOracleSpec(gf.oracle)
+	if err != nil {
+		a.Fail("%v", err)
+	}
+	return spec, true
+}
+
+// backendOverride resolves -backend; ok is false if the scenario default
+// applies.
+func (gf *gridFlags) backendOverride(a *app) (dynamics.BackendSpec, bool) {
+	if gf.backend == "" {
+		return dynamics.BackendAuto, false
+	}
+	spec, err := dynamics.ParseBackendSpec(gf.backend)
 	if err != nil {
 		a.Fail("%v", err)
 	}
@@ -246,6 +264,9 @@ func (a *app) cmdRun(args []string, gridRequired bool) {
 	}
 	if spec, ok := gf.oracleOverride(a); ok {
 		sc.Oracle = spec
+	}
+	if spec, ok := gf.backendOverride(a); ok {
+		sc.Backend = spec
 	}
 	if *resume && *jsonlPath == "" {
 		a.Fail("-resume needs -jsonl")

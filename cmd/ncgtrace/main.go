@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ncgtrace [-n 9] [-game max-sg] [-alpha-num 1 -alpha-den 1]
-//	         [-policy maxcost] [-init path] [-seed 1]
+//	         [-policy maxcost] [-init path] [-seed 1] [-backend auto]
 package main
 
 import (
@@ -36,6 +36,9 @@ Schedules: sequential, rounds, rounds-shuffled, rounds-skip, rounds-reject
            (round schedules trace simultaneous moves and detect cycles).
 Oracles:   auto, exact, landmark, landmark:k — the distance oracle of the
            swap-game scans; landmark traces are bit-identical to exact.
+Backends:  auto, dense, sparse — the adjacency representation (bitset
+           matrix or CSR lists); traces are bit-identical either way, and
+           auto pairs sparse with landmark-mode runs.
 Initial networks: path, cycle, random-tree, budget-k (budget via -k).
 `
 
@@ -66,6 +69,7 @@ func (a *app) main(args []string) {
 	seed := fs.Int64("seed", 1, "seed for random choices")
 	scheduleName := fs.String("schedule", "sequential", "activation schedule: sequential or a rounds variant")
 	oracleName := fs.String("oracle", "auto", "distance oracle: auto, exact, landmark, landmark:k")
+	backendName := fs.String("backend", "auto", "adjacency backend: auto, dense, sparse")
 	if err := fs.Parse(args); err != nil {
 		cli.Exit(2)
 	}
@@ -83,6 +87,10 @@ func (a *app) main(args []string) {
 		a.Fail("unknown schedule %q (schedules: %s)", *scheduleName, strings.Join(dynamics.ScheduleNames(), ", "))
 	}
 	oracle, err := dynamics.ParseOracleSpec(*oracleName)
+	if err != nil {
+		a.Fail("%v", err)
+	}
+	backend, err := dynamics.ParseBackendSpec(*backendName)
 	if err != nil {
 		a.Fail("%v", err)
 	}
@@ -147,8 +155,11 @@ func (a *app) main(args []string) {
 	defer stop()
 
 	_, rounds := sched.(dynamics.Rounds)
-	fmt.Fprintf(a.Stdout, "initial: %v\n", g)
-	res := dynamics.Run(g, dynamics.Config{
+	// The backend choice changes the mutated representation, never the
+	// trace: both backends enumerate neighbours in the same order.
+	work := backend.Materialize(g, oracle)
+	fmt.Fprintf(a.Stdout, "initial: %v\n", work)
+	res := dynamics.Run(work, dynamics.Config{
 		Game:     gm,
 		Policy:   pol,
 		Tie:      tie,
@@ -159,19 +170,20 @@ func (a *app) main(args []string) {
 		// Round schedules can oscillate even in sequentially convergent
 		// games; detect the repeat instead of tracing to the step bound.
 		DetectCycles: rounds,
-		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+		OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 			// Mid-round states of a simultaneous schedule can be transiently
 			// disconnected; print "inf" instead of the sentinel distance.
-			diam := fmt.Sprint(g.Diameter())
-			if g.Diameter() >= graph.Unreachable {
+			d := graph.DiameterOf(g)
+			diam := fmt.Sprint(d)
+			if d >= graph.Unreachable {
 				diam = "inf"
 			}
 			fmt.Fprintf(a.Stdout, "step %3d: %v   -> diameter %s\n", step, mv, diam)
 		},
 	})
-	fmt.Fprintf(a.Stdout, "final:   %v\n", g)
+	fmt.Fprintf(a.Stdout, "final:   %v\n", work)
 	fmt.Fprintf(a.Stdout, "steps=%d converged=%v star=%v double-star=%v\n",
-		res.Steps, res.Converged, g.IsStar(), g.IsDoubleStar())
+		res.Steps, res.Converged, graph.IsStarOf(work), graph.IsDoubleStarOf(work))
 	if rounds {
 		fmt.Fprintf(a.Stdout, "rounds=%d skipped=%d cycled=%v cycle-len=%d\n",
 			res.Rounds, res.Skipped, res.Cycled, res.CycleLen)

@@ -65,6 +65,12 @@ type Variant struct {
 	// records never depend on the choice; the exhaustive explorer ignores
 	// it (state-graph search always runs exact).
 	Oracle dynamics.OracleSpec
+	// Backend selects the adjacency representation of round-variant
+	// trajectories (zero value: auto — sparse iff the oracle resolves to
+	// landmark mode). Both backends play bit-identical trajectories, so
+	// records never depend on the choice; the exhaustive explorer ignores
+	// it like Oracle.
+	Backend dynamics.BackendSpec
 }
 
 // Campaign is one named counterexample hunt: the sampler x variant grid,

@@ -507,6 +507,7 @@ func runInstance(c *Campaign, smp *Sampler, v *Variant, si, vi, inst int, w *wor
 			MaxSteps: c.MaxStates,
 			Schedule: v.Schedule,
 			Oracle:   v.Oracle,
+			Backend:  v.Backend,
 		})
 	} else {
 		fc, states = cycles.SearchBestResponseCycle(g, v.New(g.N()), c.MaxStates)

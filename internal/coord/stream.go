@@ -28,6 +28,7 @@ package coord
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
@@ -62,9 +63,18 @@ type cursorErr struct {
 
 func (e cursorErr) Error() string { return e.msg }
 
-// parseCursor validates a resume cursor against this campaign. The empty
-// cursor is the stream's start.
-func (c *Coordinator) parseCursor(s string) (int64, error) {
+// filteredNS is the cursor-namespace tag of the hit-filtered stream. A
+// filtered cursor is "<campaign-sum>:hits:<offset>": the offset still
+// indexes the underlying committed byte stream (it is the scan position,
+// advanced past misses and hits alike), but the tag keeps the two cursor
+// families apart — a plain cursor handed to ?hits=1 (or vice versa) is a
+// client bug and is rejected instead of silently changing semantics.
+const filteredNS = "hits"
+
+// parseCursor validates a resume cursor against this campaign and the
+// request's filter mode. The empty cursor is the stream's start in either
+// namespace.
+func (c *Coordinator) parseCursor(s string, hits bool) (int64, error) {
 	if s == "" {
 		return 0, nil
 	}
@@ -75,6 +85,17 @@ func (c *Coordinator) parseCursor(s string) (int64, error) {
 	if sum != c.fpSum {
 		return 0, cursorErr{http.StatusConflict, fmt.Sprintf("stale cursor: minted for campaign %s, this coordinator serves %s", sum, c.fpSum)}
 	}
+	filtered := false
+	if rest, ok := strings.CutPrefix(off, filteredNS+":"); ok {
+		filtered = true
+		off = rest
+	}
+	if filtered != hits {
+		if filtered {
+			return 0, cursorErr{http.StatusBadRequest, fmt.Sprintf("cursor %q is from the hit-filtered stream; resume it with ?hits=1", s)}
+		}
+		return 0, cursorErr{http.StatusBadRequest, fmt.Sprintf("cursor %q is from the plain stream; a ?hits=1 stream needs a %s-namespace cursor", s, filteredNS)}
+	}
 	n, err := strconv.ParseInt(off, 10, 64)
 	if err != nil || n < 0 {
 		return 0, cursorErr{http.StatusBadRequest, fmt.Sprintf("malformed cursor offset %q", off)}
@@ -82,8 +103,12 @@ func (c *Coordinator) parseCursor(s string) (int64, error) {
 	return n, nil
 }
 
-// cursorToken formats the resume cursor for a byte offset.
-func (c *Coordinator) cursorToken(off int64) string {
+// cursorToken formats the resume cursor for a byte offset in the plain or
+// hit-filtered namespace.
+func (c *Coordinator) cursorToken(off int64, hits bool) string {
+	if hits {
+		return fmt.Sprintf("%s:%s:%d", c.fpSum, filteredNS, off)
+	}
 	return fmt.Sprintf("%s:%d", c.fpSum, off)
 }
 
@@ -199,16 +224,28 @@ func retryAfterSeconds(d time.Duration) string {
 //	?sse=1         server-sent events: one event per record line, id:
 //	               carrying the resume cursor, "complete" event at the
 //	               merged end
+//	?hits=1        server-side hit filter: only records with "hit":true
+//	               are served; cursors live in their own "hits"
+//	               namespace (the scan position over the underlying
+//	               stream), so a dashboard follows hits without draining
+//	               the full record stream. Plain cursors are unchanged
+//	               and the two namespaces never mix.
 //
 // A long-poll response is one bounded chunk (200, Content-Length set,
 // X-Ncg-Cursor = the cursor after it) or empty (204 with the cursor
-// echoed). X-Ncg-Complete: true marks the end of a merged campaign.
+// echoed). X-Ncg-Complete: true marks the end of a merged campaign. A
+// filtered 204 still advances the cursor past scanned misses, so polls
+// make progress even through hit-free stretches.
 func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
 	cur := r.URL.Query().Get("cursor")
 	if cur == "" {
 		cur = r.Header.Get("Last-Event-ID")
 	}
-	off, err := c.parseCursor(cur)
+	hits := false
+	if s := r.URL.Query().Get("hits"); s != "" && s != "0" {
+		hits = true
+	}
+	off, err := c.parseCursor(cur, hits)
 	if err != nil {
 		ce := err.(cursorErr)
 		http.Error(w, ce.msg, ce.code)
@@ -243,10 +280,36 @@ func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if r.URL.Query().Get("sse") != "" || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
-		c.streamSSE(w, r, off, maxChunk)
+		c.streamSSE(w, r, off, maxChunk, hits)
 		return
 	}
-	c.streamPoll(w, r, off, maxChunk)
+	c.streamPoll(w, r, off, maxChunk, hits)
+}
+
+// hitLine reports whether one record line satisfies the ?hits=1 filter.
+// Lines are whole records (readChunk truncates at record boundaries), so
+// a plain unmarshal of the one field is exact — no substring guessing.
+func hitLine(line []byte) bool {
+	var rec struct {
+		Hit bool `json:"hit"`
+	}
+	return json.Unmarshal(line, &rec) == nil && rec.Hit
+}
+
+// filterHits keeps only the hit lines of a record-aligned chunk.
+func filterHits(chunk []byte) []byte {
+	var out []byte
+	for len(chunk) > 0 {
+		line := chunk
+		if i := bytes.IndexByte(chunk, '\n'); i >= 0 {
+			line = chunk[:i+1]
+		}
+		chunk = chunk[len(line):]
+		if hitLine(line) {
+			out = append(out, line...)
+		}
+	}
+	return out
 }
 
 // nextChunk blocks until the committed prefix extends past off, the
@@ -296,7 +359,11 @@ func (c *Coordinator) nextChunk(r *http.Request, off int64, max int, deadline ti
 }
 
 // streamPoll is the long-poll transport: one bounded chunk per request.
-func (c *Coordinator) streamPoll(w http.ResponseWriter, r *http.Request, off int64, maxChunk int) {
+// In filtered mode (?hits=1) the scan keeps consuming hit-free windows
+// until something matches, the campaign completes at the scan position,
+// or the wait window closes; an empty response still carries the advanced
+// cursor, so misses are scanned at most once across polls.
+func (c *Coordinator) streamPoll(w http.ResponseWriter, r *http.Request, off int64, maxChunk int, hits bool) {
 	wait := time.Duration(0)
 	if s := r.URL.Query().Get("wait"); s != "" {
 		d, err := time.ParseDuration(s)
@@ -309,23 +376,50 @@ func (c *Coordinator) streamPoll(w http.ResponseWriter, r *http.Request, off int
 	if wait > c.cfg.StreamPollMax {
 		wait = c.cfg.StreamPollMax
 	}
-	chunk, complete, crashed := c.nextChunk(r, off, maxChunk, time.Now().Add(wait))
-	if crashed {
-		http.Error(w, "coordinator crashed", http.StatusServiceUnavailable)
-		return
-	}
-	if chunk == nil {
-		w.Header().Set(HeaderCursor, c.cursorToken(off))
+	deadline := time.Now().Add(wait)
+	for {
+		chunk, complete, crashed := c.nextChunk(r, off, maxChunk, deadline)
+		if crashed {
+			http.Error(w, "coordinator crashed", http.StatusServiceUnavailable)
+			return
+		}
+		body := chunk
+		if hits && chunk != nil {
+			// The window may end mid-record and hit filtering needs whole
+			// lines to parse. Trim to the last newline — the cursor is a raw
+			// scan offset, so the trimmed tail is re-read next window — and
+			// when not even one record fits, widen the window and retry.
+			if cut := bytes.LastIndexByte(chunk, '\n') + 1; cut == 0 && !complete {
+				maxChunk *= 2
+				continue
+			} else if cut < len(chunk) {
+				chunk = chunk[:cut]
+				complete = false
+			}
+			body = filterHits(chunk)
+			off += int64(len(chunk))
+			if len(body) == 0 && !complete && time.Now().Before(deadline) && r.Context().Err() == nil {
+				// A hit-free window: keep scanning inside the wait budget.
+				continue
+			}
+		}
+		if len(body) == 0 {
+			w.Header().Set(HeaderCursor, c.cursorToken(off, hits))
+			w.Header().Set(HeaderComplete, strconv.FormatBool(complete))
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		next := off
+		if !hits {
+			next = off + int64(len(chunk))
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.Header().Set(HeaderCursor, c.cursorToken(next, hits))
 		w.Header().Set(HeaderComplete, strconv.FormatBool(complete))
-		w.WriteHeader(http.StatusNoContent)
+		c.writeChunk(w, body)
 		return
 	}
-	next := off + int64(len(chunk))
-	w.Header().Set("Content-Type", "application/jsonl")
-	w.Header().Set("Content-Length", strconv.Itoa(len(chunk)))
-	w.Header().Set(HeaderCursor, c.cursorToken(next))
-	w.Header().Set(HeaderComplete, strconv.FormatBool(complete))
-	c.writeChunk(w, chunk)
 }
 
 // writeChunk writes one chunk under the slow-client deadline, firing the
@@ -373,7 +467,10 @@ func (c *Coordinator) writeChunk(w http.ResponseWriter, chunk []byte) {
 // exactly), closed with a "complete" event at the merged end. Chunks are
 // still bounded and file-backed; a slow consumer hits the per-write
 // deadline and is evicted.
-func (c *Coordinator) streamSSE(w http.ResponseWriter, r *http.Request, off int64, maxChunk int) {
+// In filtered mode (?hits=1) only hit records become events; the id of an
+// event is the scan position after its line, so a Last-Event-ID reconnect
+// resumes exactly past every record — hit or miss — the client has seen.
+func (c *Coordinator) streamSSE(w http.ResponseWriter, r *http.Request, off int64, maxChunk int, hits bool) {
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
@@ -396,15 +493,23 @@ func (c *Coordinator) streamSSE(w http.ResponseWriter, r *http.Request, off int6
 				}
 				chunk = chunk[len(line):]
 				at += int64(len(line))
-				sse = append(sse, "id: "+c.cursorToken(at)+"\ndata: "...)
+				if hits && !hitLine(line) {
+					continue
+				}
+				sse = append(sse, "id: "+c.cursorToken(at, hits)+"\ndata: "...)
 				sse = append(sse, bytes.TrimRight(line, "\n")...)
 				sse = append(sse, "\n\n"...)
 			}
-			c.writeChunk(w, sse)
 			off = at
+			if len(sse) > 0 {
+				// An all-miss filtered window writes nothing; the next
+				// event's id (or the complete event) carries the advanced
+				// scan position.
+				c.writeChunk(w, sse)
+			}
 		}
 		if complete {
-			fin := fmt.Sprintf("event: complete\nid: %s\ndata: %d\n\n", c.cursorToken(off), off)
+			fin := fmt.Sprintf("event: complete\nid: %s\ndata: %d\n\n", c.cursorToken(off, hits), off)
 			c.writeChunk(w, []byte(fin))
 			return
 		}

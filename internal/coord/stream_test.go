@@ -16,6 +16,10 @@ import (
 	"testing"
 	"time"
 
+	"ncg/internal/campaign"
+	"ncg/internal/game"
+	"ncg/internal/gen"
+	"ncg/internal/graph"
 	"ncg/internal/rng"
 )
 
@@ -176,7 +180,7 @@ func TestStreamSSE(t *testing.T) {
 	if !bytes.Equal(got.Bytes(), want) {
 		t.Fatalf("SSE delivered %d bytes, want %d", got.Len(), len(want))
 	}
-	if off, err := c.parseCursor(lastID); err != nil || off != int64(len(want)) {
+	if off, err := c.parseCursor(lastID, false); err != nil || off != int64(len(want)) {
 		t.Fatalf("final SSE id %q: offset %d err %v, want %d", lastID, off, err, len(want))
 	}
 }
@@ -193,7 +197,7 @@ func TestStreamSSEResumesFromLastEventID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set("Last-Event-ID", c.cursorToken(cut))
+	req.Header.Set("Last-Event-ID", c.cursorToken(cut, false))
 	res, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -560,4 +564,200 @@ func FuzzStreamCursor(f *testing.F) {
 			t.Fatalf("cursor %q skewed the stream: %d vs %d bytes", cursor, len(body), len(want))
 		}
 	})
+}
+
+// hitCampaign is a deterministic mix of hit and miss records: the check
+// accepts exactly the n == 6 paths, so hits land at instances 3, 8, 13, 18
+// of a 20-instance enumerated sweep.
+func hitCampaign() campaign.Campaign {
+	return campaign.Campaign{
+		Name: "coord-hits",
+		Samplers: []campaign.Sampler{{
+			Name: "paths", Total: 20,
+			Sample: func(n, i int, _ *gen.Rand) *graph.Graph { return graph.Path(3 + i%5) },
+		}},
+		Variants:  []campaign.Variant{{Name: "check", New: func(int) game.Game { return game.NewAsymSwap(game.Sum) }}},
+		Instances: 20,
+		Seed:      1,
+		NewCheck: func() func(g *graph.Graph) bool {
+			return func(g *graph.Graph) bool { return g.N() == 6 }
+		},
+		Moves: []game.Move{{Agent: 0, Drop: []int{1}, Add: []int{2}}},
+	}
+}
+
+// completedHitCoordinator merges hitCampaign and returns the coordinator
+// with its canonical full and hit-only byte streams.
+func completedHitCoordinator(t *testing.T) (*Coordinator, *httptest.Server, []byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := campaign.Run(hitCampaign(), campaign.Options{}, campaign.NewJSONLSink(&buf)); err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	want := buf.Bytes()
+	c, err := Open(Config{Campaign: hitCampaign(), Dir: t.TempDir(), ShardSize: 3, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("hw%d", i)
+		go func() {
+			_, err := RunWorker(context.Background(), WorkerConfig{URL: srv.URL, Campaign: hitCampaign(), Name: name})
+			errs <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("campaign did not complete")
+	}
+	return c, srv, want, filterHits(want)
+}
+
+// TestStreamHitsFilter drives GET /v1/stream?hits=1 with tiny random
+// chunk caps: the concatenated bodies must equal exactly the hit lines of
+// the canonical stream, every body line must be a hit record, and the
+// cursors must live in the filtered namespace while still advancing
+// through hit-free stretches (a 204 with a moved cursor).
+func TestStreamHitsFilter(t *testing.T) {
+	_, srv, _, wantHits := completedHitCoordinator(t)
+	s := rng.NewStream(999)
+	var got bytes.Buffer
+	cursor := ""
+	for i := 0; ; i++ {
+		if i > 100000 {
+			t.Fatalf("filtered stream never completed (%d/%d bytes)", got.Len(), len(wantHits))
+		}
+		max := int(s.Next()%256) + 1
+		u := fmt.Sprintf("%s/v1/stream?hits=1&wait=300ms&max=%d", srv.URL, max)
+		if cursor != "" {
+			u += "&cursor=" + url.QueryEscape(cursor)
+		}
+		res, err := http.Get(u)
+		if err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		body, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil {
+			t.Fatalf("poll %d: read: %v", i, err)
+		}
+		switch res.StatusCode {
+		case http.StatusOK:
+			for _, line := range bytes.SplitAfter(body, []byte("\n")) {
+				if len(line) > 0 && !hitLine(line) {
+					t.Fatalf("poll %d: non-hit line in filtered body: %s", i, line)
+				}
+			}
+			got.Write(body)
+		case http.StatusNoContent:
+		default:
+			t.Fatalf("poll %d: status %s: %s", i, res.Status, body)
+		}
+		cursor = res.Header.Get(HeaderCursor)
+		if !strings.Contains(cursor, ":"+filteredNS+":") {
+			t.Fatalf("poll %d: cursor %q is not in the filtered namespace", i, cursor)
+		}
+		if !bytes.HasPrefix(wantHits, got.Bytes()) {
+			t.Fatalf("poll %d: filtered bytes stopped being a prefix of the hit lines at %d bytes", i, got.Len())
+		}
+		if res.Header.Get(HeaderComplete) == "true" {
+			break
+		}
+	}
+	if !bytes.Equal(got.Bytes(), wantHits) {
+		t.Fatalf("filtered stream delivered %d bytes, want the %d hit-line bytes", got.Len(), len(wantHits))
+	}
+}
+
+// TestStreamHitsCursorNamespace pins the namespace separation: a plain
+// cursor on ?hits=1 and a filtered cursor on the plain stream are both
+// rejected with 400, and the plain stream itself is untouched by the
+// filtered endpoint's existence.
+func TestStreamHitsCursorNamespace(t *testing.T) {
+	c, srv, want, _ := completedHitCoordinator(t)
+	get := func(u string) *http.Response {
+		t.Helper()
+		res, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		io.Copy(io.Discard, res.Body)
+		return res
+	}
+	plain := c.cursorToken(0, false)
+	filtered := c.cursorToken(0, true)
+	if res := get(srv.URL + "/v1/stream?hits=1&cursor=" + url.QueryEscape(plain)); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain cursor on ?hits=1: status %s, want 400", res.Status)
+	}
+	if res := get(srv.URL + "/v1/stream?cursor=" + url.QueryEscape(filtered)); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("filtered cursor on plain stream: status %s, want 400", res.Status)
+	}
+	// The plain stream still serves the full canonical bytes.
+	res, err := http.Get(srv.URL + fmt.Sprintf("/v1/stream?max=%d", len(want)+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !bytes.Equal(body, want) {
+		t.Fatalf("plain stream served %d bytes, want the canonical %d", len(body), len(want))
+	}
+}
+
+// TestStreamHitsSSE: the SSE transport under ?hits=1 emits exactly the
+// hit records as events (ids in the filtered namespace) and closes with a
+// complete event.
+func TestStreamHitsSSE(t *testing.T) {
+	_, srv, _, wantHits := completedHitCoordinator(t)
+	res, err := http.Get(srv.URL + "/v1/stream?sse=1&hits=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var got bytes.Buffer
+	lastID := ""
+	complete := false
+	sc := bufio.NewScanner(res.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			lastID = strings.TrimPrefix(line, "id: ")
+			if !strings.Contains(lastID, ":"+filteredNS+":") {
+				t.Fatalf("SSE id %q is not in the filtered namespace", lastID)
+			}
+		case strings.HasPrefix(line, "data: "):
+			if event == "complete" {
+				complete = true
+			} else {
+				got.WriteString(strings.TrimPrefix(line, "data: "))
+				got.WriteByte('\n')
+			}
+		case line == "":
+			event = ""
+		}
+		if complete {
+			break
+		}
+	}
+	if !complete {
+		t.Fatalf("SSE stream ended without a complete event (read %d bytes)", got.Len())
+	}
+	if !bytes.Equal(got.Bytes(), wantHits) {
+		t.Fatalf("SSE hits stream delivered %d bytes, want %d", got.Len(), len(wantHits))
+	}
 }

@@ -31,14 +31,23 @@ func SearchRoundCycle(start *graph.Graph, cfg dynamics.Config) (*FoundCycle, int
 	cfg.DetectCycles = true
 	var moves []game.Move
 	prev := cfg.OnStep
-	cfg.OnStep = func(step, mover int, mv game.Move, g *graph.Graph) {
+	cfg.OnStep = func(step, mover int, mv game.Move, g graph.Store) {
 		// The move is a private copy the callback may retain.
 		moves = append(moves, mv)
 		if prev != nil {
 			prev(step, mover, mv, g)
 		}
 	}
-	res := dynamics.Run(start.Clone(), cfg)
+	// cfg.Backend picks the representation of the played copy; start stays
+	// dense either way (the replay below reconstructs states densely for
+	// the FoundCycle). Both backends play bit-identical trajectories.
+	var work graph.Store
+	if cfg.Backend.Resolve(start.N(), cfg.Oracle) == dynamics.BackendSparse {
+		work = graph.NewSparseFrom(start)
+	} else {
+		work = start.Clone()
+	}
+	res := dynamics.Run(work, cfg)
 	if !res.Cycled {
 		return nil, res.Steps
 	}

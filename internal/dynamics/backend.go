@@ -1,0 +1,80 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"ncg/internal/graph"
+)
+
+// BackendSpec selects the adjacency representation a run's working network
+// uses: the dense bitset matrix or the sparse CSR lists. The two backends
+// enumerate neighbours in the same deterministic order, so every trace,
+// fingerprint and record is bit-identical between them — the choice only
+// moves the memory/speed trade-off.
+type BackendSpec int
+
+const (
+	// BackendAuto matches the backend to the distance oracle: sparse when
+	// the resolved oracle is landmark mode (the large-n regime the CSR
+	// backend exists for), dense otherwise. The zero value, so configs
+	// that never mention backends keep their existing dense behaviour at
+	// grid sizes.
+	BackendAuto BackendSpec = iota
+	// BackendDense is the bitset adjacency matrix: O(n²/8) memory,
+	// word-parallel BFS. The right choice whenever the matrix fits.
+	BackendDense
+	// BackendSparse is the CSR adjacency-list backend: O(n+m) memory,
+	// queue BFS. The only choice at n where O(n²/8) does not fit.
+	BackendSparse
+)
+
+func (b BackendSpec) String() string {
+	switch b {
+	case BackendDense:
+		return "dense"
+	case BackendSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBackendSpec parses the -backend flag syntax: "auto" (or empty),
+// "dense", or "sparse".
+func ParseBackendSpec(s string) (BackendSpec, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "dense":
+		return BackendDense, nil
+	case "sparse":
+		return BackendSparse, nil
+	}
+	return 0, fmt.Errorf("dynamics: unknown backend %q (want auto, dense, or sparse)", s)
+}
+
+// Resolve pins the auto mode for an n-vertex run: sparse iff the oracle
+// spec resolves to landmark mode at that size. Dense runs keep the exact
+// matrix's searchless scoring; landmark runs pair naturally with the
+// O(n+m) representation, since both exist for the regime where O(n²)
+// anything is the wall.
+func (b BackendSpec) Resolve(n int, oracle OracleSpec) BackendSpec {
+	if b != BackendAuto {
+		return b
+	}
+	if oracle.resolve(n).Mode == OracleLandmark {
+		return BackendSparse
+	}
+	return BackendDense
+}
+
+// Materialize returns the working representation of g under the spec
+// resolved for g's size: g itself for dense, a CSR copy for sparse. In
+// sparse mode the caller's dense graph is left untouched — read the final
+// state from the returned Store, not from g.
+func (b BackendSpec) Materialize(g *graph.Graph, oracle OracleSpec) graph.Store {
+	if b.Resolve(g.N(), oracle) == BackendSparse {
+		return graph.NewSparseFrom(g)
+	}
+	return g
+}

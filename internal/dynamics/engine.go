@@ -24,7 +24,7 @@ import (
 // it, so back-to-back runs on same-sized networks reuse one set of arenas
 // instead of reallocating them every trial.
 type engine struct {
-	g       *graph.Graph
+	g       graph.Store
 	gm      game.Game
 	workers int
 	scr     []*game.Scratch
@@ -50,7 +50,7 @@ type engine struct {
 
 // reset prepares the runner-owned engine for a run, reusing every arena
 // whose size still fits.
-func (e *engine) reset(r *Runner, g *graph.Graph, gm game.Game, workers int, spec OracleSpec) {
+func (e *engine) reset(r *Runner, g graph.Store, gm game.Game, workers int, spec OracleSpec) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -105,7 +105,7 @@ func (e *engine) reset(r *Runner, g *graph.Graph, gm game.Game, workers int, spe
 
 // newEngine returns a free-standing engine with its own single-use arenas;
 // runs executed through a Runner share arenas across runs instead.
-func newEngine(g *graph.Graph, gm game.Game, workers int) *engine {
+func newEngine(g graph.Store, gm game.Game, workers int) *engine {
 	r := &Runner{}
 	r.eng.reset(r, g, gm, workers, OracleSpec{Mode: OracleExact})
 	return &r.eng
@@ -321,7 +321,7 @@ func newCostCacheShell(n int) *costCache {
 	}
 }
 
-func newCostCache(g *graph.Graph) *costCache {
+func newCostCache(g graph.Store) *costCache {
 	c := newCostCacheShell(g.N())
 	c.build(g, nil)
 	return c
@@ -332,7 +332,7 @@ func newCostCache(g *graph.Graph) *costCache {
 // groups into that many shards built concurrently; shards write disjoint
 // column blocks and aggregate ranges, so the result is bit-identical to
 // the serial build.
-func (c *costCache) build(g *graph.Graph, par []*graph.BatchBFSScratch) {
+func (c *costCache) build(g graph.Store, par []*graph.BatchBFSScratch) {
 	n := c.n
 	if len(par) > 1 {
 		graph.FillUnreachable(c.d)
@@ -370,7 +370,7 @@ func (c *costCache) row(u int) []int32 { return c.d[u*c.n : (u+1)*c.n] }
 func (c *costCache) Row(u int) []int32 { return c.row(u) }
 
 // refreshRow recomputes row u by BFS and its aggregates.
-func (c *costCache) refreshRow(g *graph.Graph, u int) {
+func (c *costCache) refreshRow(g graph.Store, u int) {
 	r := g.BFS(u, c.row(u), c.bfs)
 	c.sum[u] = r.Sum
 	c.ecc[u] = r.Ecc
@@ -380,7 +380,7 @@ func (c *costCache) refreshRow(g *graph.Graph, u int) {
 // flushRefresh re-searches every row queued in c.refresh with one batched
 // pass and rebuilds their aggregates. A single queued row falls back to a
 // plain BFS, which skips the kernel's per-call CSR snapshot.
-func (c *costCache) flushRefresh(g *graph.Graph) {
+func (c *costCache) flushRefresh(g graph.Store) {
 	switch len(c.refresh) {
 	case 0:
 		return
@@ -436,7 +436,7 @@ func (c *costCache) distCost(u int, kind game.DistKind) int64 {
 }
 
 // update folds an applied move into the matrix; g must be post-move.
-func (c *costCache) update(g *graph.Graph, mv game.Move) {
+func (c *costCache) update(g graph.Store, mv game.Move) {
 	u := mv.Agent
 	for _, y := range mv.Add {
 		c.addEdge(u, y)
@@ -475,7 +475,7 @@ func (c *costCache) update(g *graph.Graph, mv game.Move) {
 // survivors, costing O(n) plus local work instead of a full search. Rows
 // with more than n/2 damaged entries are cheaper to re-search outright;
 // they are queued and re-run together in one batched BFS pass.
-func (c *costCache) dropEdge(g *graph.Graph, u, x int) {
+func (c *costCache) dropEdge(g graph.Store, u, x int) {
 	n := c.n
 	copy(c.oldU, c.row(u))
 	copy(c.oldX, c.row(x))

@@ -16,7 +16,7 @@ type plainPolicy struct{ p Policy }
 
 func (pp plainPolicy) Name() string { return pp.p.Name() }
 
-func (pp plainPolicy) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+func (pp plainPolicy) Pick(g graph.Store, gm game.Game, s *game.Scratch, r *rand.Rand) int {
 	return pp.p.Pick(g, gm, s, r)
 }
 
@@ -24,8 +24,8 @@ func (pp plainPolicy) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *ran
 func traceOf(mk func() *graph.Graph, cfg Config) (Result, []string, *graph.Graph) {
 	var steps []string
 	g := mk()
-	cfg.OnStep = func(step, mover int, mv game.Move, sg *graph.Graph) {
-		steps = append(steps, fmt.Sprintf("%d:%d:%v:%x", step, mover, mv, sg.Hash()))
+	cfg.OnStep = func(step, mover int, mv game.Move, sg graph.Store) {
+		steps = append(steps, fmt.Sprintf("%d:%d:%v:%x", step, mover, mv, sg.(*graph.Graph).Hash()))
 	}
 	res := Run(g, cfg)
 	return res, steps, g

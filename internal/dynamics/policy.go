@@ -21,7 +21,7 @@ type Policy interface {
 	// Pick returns the moving agent for state g, or -1 if no agent is
 	// unhappy (the process has converged). Implementations must certify
 	// convergence before returning -1.
-	Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int
+	Pick(g graph.Store, gm game.Game, s *game.Scratch, r *rand.Rand) int
 }
 
 // enginePolicy is implemented by the built-in policies that can exploit a
@@ -89,7 +89,7 @@ func maxCostOrder(n int, cost func(u int) game.Cost, alpha game.Alpha, r *rand.R
 	return order
 }
 
-func (MaxCost) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+func (MaxCost) Pick(g graph.Store, gm game.Game, s *game.Scratch, r *rand.Rand) int {
 	order := maxCostOrder(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha(), r, nil, nil)
 	for _, u := range order {
 		if gm.HasImproving(g, u, s) {
@@ -147,7 +147,7 @@ func maxCostOrderDeterministic(n int, cost func(u int) game.Cost, alpha game.Alp
 	return order
 }
 
-func (MaxCostDeterministic) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+func (MaxCostDeterministic) Pick(g graph.Store, gm game.Game, s *game.Scratch, r *rand.Rand) int {
 	order := maxCostOrderDeterministic(g.N(), func(u int) game.Cost { return gm.Cost(g, u, s) }, gm.Alpha(), nil, nil)
 	for _, u := range order {
 		if gm.HasImproving(g, u, s) {
@@ -181,7 +181,7 @@ type Random struct{}
 
 func (Random) Name() string { return "random" }
 
-func (Random) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+func (Random) Pick(g graph.Store, gm game.Game, s *game.Scratch, r *rand.Rand) int {
 	n := g.N()
 	cands := make([]int, n)
 	for i := range cands {
@@ -208,7 +208,7 @@ type MinIndex struct{}
 
 func (MinIndex) Name() string { return "min index" }
 
-func (MinIndex) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+func (MinIndex) Pick(g graph.Store, gm game.Game, s *game.Scratch, r *rand.Rand) int {
 	for u := 0; u < g.N(); u++ {
 		if gm.HasImproving(g, u, s) {
 			return u
@@ -234,12 +234,12 @@ func (MinIndex) pickEngine(e *engine, r *rand.Rand) int {
 // adversary chooses the worst possible moving agent").
 type Adversarial struct {
 	// Choose returns the moving agent given the unhappy set (non-empty).
-	Choose func(g *graph.Graph, unhappy []int) int
+	Choose func(g graph.Store, unhappy []int) int
 }
 
 func (Adversarial) Name() string { return "adversarial" }
 
-func (a Adversarial) Pick(g *graph.Graph, gm game.Game, s *game.Scratch, r *rand.Rand) int {
+func (a Adversarial) Pick(g graph.Store, gm game.Game, s *game.Scratch, r *rand.Rand) int {
 	var unhappy []int
 	for u := 0; u < g.N(); u++ {
 		if gm.HasImproving(g, u, s) {
@@ -262,7 +262,7 @@ func (a Adversarial) pickEngine(e *engine, r *rand.Rand) int {
 
 // Unhappy returns the set of unhappy agents of g under gm (U_i of Section
 // 1.1).
-func Unhappy(g *graph.Graph, gm game.Game, s *game.Scratch) []int {
+func Unhappy(g graph.Store, gm game.Game, s *game.Scratch) []int {
 	var us []int
 	for u := 0; u < g.N(); u++ {
 		if gm.HasImproving(g, u, s) {

@@ -8,7 +8,7 @@ import (
 // SortedCostVector returns the agents' costs sorted in descending order —
 // the sorted cost vector of Definition 2.5. Its lexicographic order is a
 // generalized ordinal potential for the MAX-SG on trees (Lemma 2.6).
-func SortedCostVector(g *graph.Graph, gm game.Game) []game.Cost {
+func SortedCostVector(g graph.Store, gm game.Game) []game.Cost {
 	n := g.N()
 	s := game.NewScratch(n)
 	cs := game.AllCosts(g, gm, s, make([]game.Cost, 0, n))
@@ -40,7 +40,7 @@ func CompareLex(a, b []game.Cost, alpha game.Alpha) int {
 // SocialCost returns the sum of all agents' costs. For the SUM-SG on trees
 // it is an ordinal potential function (Lenzner, SAGT'11, used by
 // Corollary 3.1).
-func SocialCost(g *graph.Graph, gm game.Game) game.Cost {
+func SocialCost(g graph.Store, gm game.Game) game.Cost {
 	n := g.N()
 	s := game.NewScratch(n)
 	var total game.Cost
@@ -56,7 +56,7 @@ func SocialCost(g *graph.Graph, gm game.Game) game.Cost {
 
 // CenterVertices returns the agents of minimum cost — the center-vertices of
 // Definition 2.5.
-func CenterVertices(g *graph.Graph, gm game.Game) []int {
+func CenterVertices(g graph.Store, gm game.Game) []int {
 	n := g.N()
 	s := game.NewScratch(n)
 	alpha := gm.Alpha()

@@ -42,7 +42,7 @@ func TestLemma26PotentialDecreases(t *testing.T) {
 			Game:   gm,
 			Policy: Random{},
 			Seed:   int64(trial),
-			OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+			OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 				cur := SortedCostVector(g, gm)
 				if CompareLex(prev, cur, alpha) <= 0 {
 					t.Fatalf("potential did not decrease at step %d: %v -> %v", step, prev, cur)
@@ -71,7 +71,7 @@ func TestSumSGSocialCostPotential(t *testing.T) {
 			Game:   gm,
 			Policy: Random{},
 			Seed:   int64(trial) + 1000,
-			OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+			OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 				cur := SocialCost(g, gm)
 				if cur.Cmp(prev, alpha) >= 0 {
 					t.Fatalf("social cost did not decrease at step %d: %v -> %v", step, prev, cur)

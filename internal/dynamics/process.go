@@ -61,6 +61,13 @@ type Config struct {
 	// with sound bounds and re-scores survivors exactly, so its traces
 	// are bit-identical to exact mode at any size.
 	Oracle OracleSpec
+	// Backend selects the adjacency representation of runners that build
+	// their own working copy of the network (cycles.SearchRoundCycle, the
+	// ensemble and campaign spines, the cmds). Run and Runner.Run play
+	// whatever representation g already has and never consult it: the
+	// caller chose g's type when constructing it, typically through
+	// BackendSpec.Materialize.
+	Backend BackendSpec
 	// Schedule selects the activation regime: nil or Sequential{} runs the
 	// classical one-agent-per-step process, a Rounds value runs
 	// simultaneous-move rounds (see Scheduler). Sequential runs are
@@ -73,7 +80,7 @@ type Config struct {
 	DetectCycles bool
 	// OnStep, if non-nil, is invoked after each applied move. It must not
 	// mutate g; the move is a private copy the callback may retain.
-	OnStep func(step int, mover int, mv game.Move, g *graph.Graph)
+	OnStep func(step int, mover int, mv game.Move, g graph.Store)
 	// Cancel, if non-nil, stops the process at the next step boundary
 	// (round boundary under a Rounds schedule) once closed — the
 	// graceful-shutdown seam of interactive traces. A cancelled run
@@ -123,7 +130,7 @@ type Result struct {
 // summary. The final content of g is the reached network. Sweeps that run
 // many processes back to back should reuse a Runner instead, which holds
 // its allocations across runs; Run is exactly a single-use Runner.
-func Run(g *graph.Graph, cfg Config) Result {
+func Run(g graph.Store, cfg Config) Result {
 	return NewRunner().Run(g, cfg)
 }
 
@@ -143,7 +150,7 @@ func pickMove(moves []game.Move, tie TieBreak, r *rand.Rand) game.Move {
 // process engine: one batched all-pairs build serves every agent's probe
 // as a distance oracle, replacing the per-candidate searches of a bare
 // HasImproving sweep (see BenchmarkStable).
-func Stable(g *graph.Graph, gm game.Game) bool {
+func Stable(g graph.Store, gm game.Game) bool {
 	if game.PreferNaiveScan(gm, g) {
 		gm = game.Naive(gm)
 	}

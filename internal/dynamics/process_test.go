@@ -118,7 +118,7 @@ func TestAdversarialPolicy(t *testing.T) {
 	gm := game.NewSwap(game.Sum)
 	s := game.NewScratch(6)
 	var sawUnhappy []int
-	p := Adversarial{Choose: func(g *graph.Graph, unhappy []int) int {
+	p := Adversarial{Choose: func(g graph.Store, unhappy []int) int {
 		sawUnhappy = append([]int(nil), unhappy...)
 		return unhappy[len(unhappy)-1]
 	}}
@@ -151,7 +151,7 @@ func TestOnStepCallback(t *testing.T) {
 	res := Run(g, Config{
 		Game:   game.NewSwap(game.Max),
 		Policy: MaxCost{},
-		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+		OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 			steps++
 			if step != steps {
 				t.Fatalf("step numbering broken: %d vs %d", step, steps)

@@ -92,7 +92,7 @@ func (rs *roundState) moveAt(i int) game.Move {
 
 // runRounds executes the process under a Rounds schedule. Config defaults
 // and the naive-scan wrap were already applied by Run.
-func (r *Runner) runRounds(g *graph.Graph, cfg Config, rd Rounds) Result {
+func (r *Runner) runRounds(g graph.Store, cfg Config, rd Rounds) Result {
 	rng := r.seed(cfg.Seed)
 	e := &r.eng
 	e.reset(r, g, cfg.Game, cfg.Workers, cfg.Oracle)

@@ -236,7 +236,7 @@ func TestRoundsFirstWriterWins(t *testing.T) {
 		Tie:      TieFirst,
 		Schedule: Rounds{Active: ActiveAll, Collision: FirstWriterWins},
 		MaxSteps: 4, // exactly the four round-1 commits
-		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+		OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 			if step == 1 {
 				first = mv
 			}
@@ -274,7 +274,7 @@ func TestRoundsSkipOnConflict(t *testing.T) {
 		Tie:      TieFirst,
 		Schedule: Rounds{Active: ActiveAll, Collision: SkipOnConflict},
 		MaxSteps: 3, // exactly the three round-1 commits
-		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+		OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 			movers = append(movers, mover)
 		},
 	})

@@ -113,7 +113,7 @@ func (r *Runner) cloneInto(m game.Move) game.Move {
 // summary; it is the arena-reusing form of the package-level Run. The
 // returned Result.Kinds aliases a runner-owned buffer and is valid only
 // until the next Run on the same Runner; callers that retain it must copy.
-func (r *Runner) Run(g *graph.Graph, cfg Config) Result {
+func (r *Runner) Run(g graph.Store, cfg Config) Result {
 	if cfg.Game == nil {
 		panic("dynamics: Config.Game is required")
 	}

@@ -2,6 +2,7 @@ package dynamics
 
 import (
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -19,7 +20,17 @@ import (
 const scaleN = 100_000
 
 func scaleGraph() *graph.Graph {
-	return gen.SparseNetwork(scaleN, scaleN/10, gen.NewRand(1))
+	return mustSparse(scaleN, scaleN/10, 1)
+}
+
+// mustSparse unwraps the generators' typed error for fixed-feasible test
+// parameters.
+func mustSparse(n, extra int, seed int64) *graph.Graph {
+	g, err := gen.SparseNetwork(n, extra, gen.NewRand(seed))
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // TestScaleSmokeBestResponseStep: one full SUM-SG best-response step at
@@ -42,6 +53,107 @@ func TestScaleSmokeBestResponseStep(t *testing.T) {
 	}
 }
 
+// TestScaleSmokeMillionAgentStep: one SUM-SG best-response step at n=10^6
+// on the CSR backend, built by gen.SparseCSR with no dense intermediate.
+// The dense bitset matrix alone would need ~125 GB here; the whole sparse
+// run must keep the mapped heap under 4 GB. HeapSys is the high-water mark
+// of memory the runtime obtained for the heap, so the check sees the peak,
+// not the post-GC residue.
+func TestScaleSmokeMillionAgentStep(t *testing.T) {
+	if os.Getenv("NCG_SCALE_SMOKE") == "" {
+		t.Skip("set NCG_SCALE_SMOKE=1 to run the n=1e6 smoke test")
+	}
+	const n = 1_000_000
+	sp, err := gen.SparseCSR(n, n/10, gen.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(sp, Config{
+		Game:     game.NewSwap(game.Sum),
+		Policy:   MinIndex{},
+		MaxSteps: 1,
+		Oracle:   OracleSpec{Mode: OracleLandmark, K: 16},
+	})
+	if res.Steps != 1 && !res.Converged {
+		t.Fatalf("million-agent smoke made no progress: %+v", res)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapSys > 4<<30 {
+		t.Fatalf("peak heap %.2f GB exceeds the 4 GB ceiling", float64(ms.HeapSys)/(1<<30))
+	}
+	t.Logf("n=%d step on CSR backend: %d step(s), peak heap %.2f GB", n, res.Steps, float64(ms.HeapSys)/(1<<30))
+}
+
+// playTrace runs landmark-mode best-response dynamics on g and returns the
+// applied (mover, move) sequence plus the final canonical encoding.
+func playTrace(g graph.Store, k, maxSteps int) ([]traceStep, []uint64) {
+	var trace []traceStep
+	Run(g, Config{
+		Game:         game.NewSwap(game.Sum),
+		Policy:       MinIndex{},
+		MaxSteps:     maxSteps,
+		DetectCycles: true,
+		Oracle:       OracleSpec{Mode: OracleLandmark, K: k},
+		OnStep: func(step, mover int, mv game.Move, _ graph.Store) {
+			trace = append(trace, traceStep{mover, mv})
+		},
+	})
+	return trace, g.AppendOwnedRows(nil)
+}
+
+type traceStep struct {
+	mover int
+	mv    game.Move
+}
+
+func diffTraces(t *testing.T, dense, sparse []traceStep, de, se []uint64) {
+	t.Helper()
+	if len(dense) != len(sparse) {
+		t.Fatalf("trajectory lengths diverged: dense %d moves, sparse %d", len(dense), len(sparse))
+	}
+	for i := range dense {
+		if !reflect.DeepEqual(dense[i], sparse[i]) {
+			t.Fatalf("move %d diverged: dense %+v, sparse %+v", i, dense[i], sparse[i])
+		}
+	}
+	if !reflect.DeepEqual(de, se) {
+		t.Fatalf("final encodings diverged after identical moves")
+	}
+}
+
+// TestSparseBackendParity: the acceptance bit-identity check at small n —
+// landmark-mode best-response dynamics played on the dense and CSR
+// backends from the same start must apply the same move sequence and end
+// in the same canonical encoding.
+func TestSparseBackendParity(t *testing.T) {
+	for _, n := range []int{16, 48, 96} {
+		start := mustSparse(n, n/4, int64(n))
+		dt, de := playTrace(start.Clone(), 8, 400)
+		st, se := playTrace(graph.NewSparseFrom(start), 8, 400)
+		diffTraces(t, dt, st, de, se)
+		if len(dt) == 0 {
+			t.Fatalf("n=%d: start network was already stable; parity test exercised nothing", n)
+		}
+	}
+}
+
+// TestScaleSmokeSparseParity1e5 is the same move-for-move comparison at
+// n=10^5: a landmark run on the sparse backend must be bit-identical to
+// the dense run. Env-gated — the dense bitsets alone are ~2.5 GB.
+func TestScaleSmokeSparseParity1e5(t *testing.T) {
+	if os.Getenv("NCG_SCALE_SMOKE") == "" {
+		t.Skip("set NCG_SCALE_SMOKE=1 to run the n=1e5 parity test")
+	}
+	start := scaleGraph()
+	dt, de := playTrace(start.Clone(), 16, 2)
+	st, se := playTrace(graph.NewSparseFrom(start), 16, 2)
+	diffTraces(t, dt, st, de, se)
+	if len(dt) == 0 {
+		t.Fatal("n=1e5 start network was already stable; parity test exercised nothing")
+	}
+}
+
 // TestOracleMemoryBudget pins the oracle's O(kn) memory contract: building
 // the landmark oracle with a warm batch scratch must allocate on the order
 // of the k×n row matrix (4kn bytes), nowhere near the 4n² of an exact
@@ -49,7 +161,7 @@ func TestScaleSmokeBestResponseStep(t *testing.T) {
 // GC timing.
 func TestOracleMemoryBudget(t *testing.T) {
 	const n, k = 8192, 16
-	g := gen.SparseNetwork(n, n/8, gen.NewRand(2))
+	g := mustSparse(n, n/8, 2)
 	s := graph.NewBatchBFSScratch(n)
 	graph.BuildLandmarks(g, k, s) // warm the scratch arenas
 
@@ -74,7 +186,7 @@ func TestOracleMemoryBudget(t *testing.T) {
 // because of their multi-gigabyte footprint.
 func BenchmarkOracleBuild8192(b *testing.B) {
 	const n = 8192
-	g := gen.SparseNetwork(n, n/8, gen.NewRand(2))
+	g := mustSparse(n, n/8, 2)
 	s := graph.NewBatchBFSScratch(n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -87,7 +199,7 @@ func BenchmarkOracleBuild8192(b *testing.B) {
 
 func BenchmarkLandmarkScan8192(b *testing.B) {
 	const n = 8192
-	g := gen.SparseNetwork(n, n/8, gen.NewRand(2))
+	g := mustSparse(n, n/8, 2)
 	lm := graph.BuildLandmarks(g, 16, nil)
 	gm := game.NewSwap(game.Sum)
 	s := game.NewScratch(n)
@@ -96,6 +208,29 @@ func BenchmarkLandmarkScan8192(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		moves, _ = gm.BestMoves(g, 0, s, moves[:0])
+	}
+	runtime.KeepAlive(moves)
+}
+
+// BenchmarkSparseCachelessStep times one landmark-filtered best-response
+// scan on the CSR backend at n=8192 — the per-step cost of sparse
+// dynamics, which never build the all-pairs distance cache. Its dense
+// counterpart is BenchmarkLandmarkScan8192; the two should track each
+// other, since the scan cost is BFS-bound on both backends.
+func BenchmarkSparseCachelessStep(b *testing.B) {
+	const n = 8192
+	sp, err := gen.SparseCSR(n, n/8, gen.NewRand(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lm := graph.BuildLandmarks(sp, 16, nil)
+	gm := game.NewSwap(game.Sum)
+	s := game.NewScratch(n)
+	s.SetLandmarks(lm)
+	var moves []game.Move
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moves, _ = gm.BestMoves(sp, 0, s, moves[:0])
 	}
 	runtime.KeepAlive(moves)
 }

@@ -106,6 +106,14 @@ type Scenario struct {
 	// NewInitial draws a random initial network from the scenario's
 	// ensemble.
 	NewInitial func(n int, r *gen.Rand) *graph.Graph
+	// NewSparse, if non-nil, draws the same ensemble directly into the
+	// CSR backend — it must consume r exactly like NewInitial and yield
+	// the CSR image of the network NewInitial would build, so a trial is
+	// bit-identical whichever constructor runs. Trials whose resolved
+	// backend is sparse use it when present and otherwise convert the
+	// dense draw; at agent counts where the dense bitset cannot even be
+	// allocated, NewSparse is what makes the scenario runnable.
+	NewSparse func(n int, r *gen.Rand) *graph.Sparse
 	// CheckN, if non-nil, validates an agent count before any trial runs.
 	// Execute rejects a grid containing an invalid n up front, so an
 	// infeasible parameter combination (e.g. a budget-k ensemble with
@@ -139,6 +147,12 @@ type Scenario struct {
 	// threshold). Landmark trials are bit-identical to exact ones, so the
 	// choice never changes records, only memory and wall-clock at large n.
 	Oracle dynamics.OracleSpec
+	// Backend selects the adjacency representation of every trial (zero
+	// value: auto — dense at exact-oracle sizes, sparse CSR when the
+	// oracle resolves to landmark mode). Both backends enumerate
+	// neighbours in the same order, so records are bit-identical; the
+	// choice only moves memory, O(n²/8) versus O(n+m).
+	Backend dynamics.BackendSpec
 }
 
 // validate reports structural problems that would make the scenario

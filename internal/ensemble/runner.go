@@ -9,6 +9,7 @@ import (
 
 	"ncg/internal/dynamics"
 	"ncg/internal/gen"
+	"ncg/internal/graph"
 	"ncg/internal/rng"
 )
 
@@ -114,7 +115,19 @@ func newTrialExec() *trialExec {
 func runTrial(sc Scenario, n, trial int, base int64, probeWorkers int, ex *trialExec) Record {
 	seed := rng.Seed(base, uint64(n), uint64(trial))
 	ex.rng.Seed(seed)
-	g := sc.NewInitial(n, ex.rng)
+	// The backend choice never touches the seed stream: NewSparse consumes
+	// r exactly like NewInitial, and converting a dense draw reads no
+	// randomness, so records are bit-identical across backends.
+	var g graph.Store
+	if sc.Backend.Resolve(n, sc.Oracle) == dynamics.BackendSparse {
+		if sc.NewSparse != nil {
+			g = sc.NewSparse(n, ex.rng)
+		} else {
+			g = graph.NewSparseFrom(sc.NewInitial(n, ex.rng))
+		}
+	} else {
+		g = sc.NewInitial(n, ex.rng)
+	}
 	res := ex.dyn.Run(g, dynamics.Config{
 		Game:         sc.NewGame(n),
 		Policy:       sc.Policy.Policy(),
@@ -125,6 +138,7 @@ func runTrial(sc Scenario, n, trial int, base int64, probeWorkers int, ex *trial
 		Schedule:     sc.Schedule,
 		DetectCycles: sc.DetectCycles,
 		Oracle:       sc.Oracle,
+		Backend:      sc.Backend,
 	})
 	return Record{
 		Scenario:  sc.Name,

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"ncg/internal/dynamics"
 )
 
 // testScenario is a small, fast ASG workload exercising both the budget
@@ -294,5 +296,26 @@ func TestResumeRejectsMismatchedGrid(t *testing.T) {
 	}
 	if _, err := Execute(sc, Options{Ns: []int{8, 12}, Trials: 8, Seed: 5, Done: cp}); err != nil {
 		t.Fatalf("a larger trial count must extend the checkpointed run: %v", err)
+	}
+}
+
+// TestExecuteBackendBitIdentical: forcing the CSR backend changes the
+// trial's working representation but nothing observable — the record
+// stream and summary are byte-for-byte the dense run's, at any worker
+// count, because backend materialization never touches the seed stream.
+func TestExecuteBackendBitIdentical(t *testing.T) {
+	sc := testScenario()
+	opt := Options{Ns: []int{8, 12}, Trials: 8, Seed: 5, Workers: 1, ShardSize: 8}
+	ref, refSum := runJSONL(t, sc, opt)
+	sc.Backend = dynamics.BackendSparse
+	for _, workers := range []int{1, 4} {
+		opt.Workers = workers
+		got, gotSum := runJSONL(t, sc, opt)
+		if got != ref {
+			t.Fatalf("sparse backend (workers=%d) changed the record stream:\n%s\nvs dense:\n%s", workers, got, ref)
+		}
+		if !reflect.DeepEqual(gotSum, refSum) {
+			t.Fatalf("sparse backend (workers=%d) changed the summary: %+v vs %+v", workers, gotSum, refSum)
+		}
 	}
 }

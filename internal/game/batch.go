@@ -74,7 +74,7 @@ type AppliedSet struct {
 // ApplySet panics — like Apply — when a move drops a missing edge or adds
 // a present one. A fingerprint observing g absorbs the whole batch as
 // ordinary edge mutations.
-func ApplySet(g *graph.Graph, moves []Move) AppliedSet {
+func ApplySet(g graph.Store, moves []Move) AppliedSet {
 	as := AppliedSet{applied: make([]Applied, 0, len(moves))}
 	for _, m := range moves {
 		as.applied = append(as.applied, Apply(g, m))

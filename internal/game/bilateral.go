@@ -27,7 +27,7 @@ func NewBilateral(kind DistKind, alpha Alpha) *Bilateral {
 }
 
 // NewBilateralHost returns the bilateral game on a host graph.
-func NewBilateralHost(kind DistKind, alpha Alpha, host *graph.Graph) *Bilateral {
+func NewBilateralHost(kind DistKind, alpha Alpha, host graph.Store) *Bilateral {
 	return &Bilateral{base{kind: kind, alpha: alpha, host: host}}
 }
 
@@ -40,13 +40,13 @@ func (bl *Bilateral) Name() string {
 func (bl *Bilateral) OwnershipMatters() bool { return false }
 
 // Cost returns u's cost: alpha/2 per incident edge plus distance cost.
-func (bl *Bilateral) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+func (bl *Bilateral) Cost(g graph.Store, u int, s *Scratch) Cost {
 	return agentCost(g, u, bl.kind, modelBilateral, s)
 }
 
 // forEachFeasibleStrategy enumerates every feasible strategy change of u and
 // calls fn with the move and u's resulting cost. fn returns false to stop.
-func (bl *Bilateral) forEachFeasibleStrategy(g *graph.Graph, u int, s *Scratch, fn func(m Move, c Cost) bool) {
+func (bl *Bilateral) forEachFeasibleStrategy(g graph.Store, u int, s *Scratch, fn func(m Move, c Cost) bool) {
 	n := g.N()
 	var cands []int
 	for v := 0; v < n; v++ {
@@ -106,7 +106,7 @@ func (bl *Bilateral) forEachFeasibleStrategy(g *graph.Graph, u int, s *Scratch, 
 // Blocks reports whether agent u's strategy change m would be blocked, and
 // by whom: the returned list holds every new neighbour whose cost strictly
 // increases. An empty list means the move is feasible.
-func (bl *Bilateral) Blocks(g *graph.Graph, m Move, s *Scratch) []int {
+func (bl *Bilateral) Blocks(g graph.Store, m Move, s *Scratch) []int {
 	pre := make(map[int]Cost, len(m.Add))
 	for _, v := range m.Add {
 		pre[v] = agentCost(g, v, bl.kind, modelBilateral, s)
@@ -122,7 +122,7 @@ func (bl *Bilateral) Blocks(g *graph.Graph, m Move, s *Scratch) []int {
 	return blockers
 }
 
-func (bl *Bilateral) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (bl *Bilateral) HasImproving(g graph.Store, u int, s *Scratch) bool {
 	cur := agentCost(g, u, bl.kind, modelBilateral, s)
 	found := false
 	bl.forEachFeasibleStrategy(g, u, s, func(m Move, c Cost) bool {
@@ -135,7 +135,7 @@ func (bl *Bilateral) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 	return found
 }
 
-func (bl *Bilateral) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (bl *Bilateral) BestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	cur := agentCost(g, u, bl.kind, modelBilateral, s)
 	best := cur
 	start := len(dst)
@@ -158,7 +158,7 @@ func (bl *Bilateral) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([
 	return dst, best
 }
 
-func (bl *Bilateral) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (bl *Bilateral) ImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	cur := agentCost(g, u, bl.kind, modelBilateral, s)
 	bl.forEachFeasibleStrategy(g, u, s, func(m Move, c Cost) bool {
 		if c.Less(cur, bl.alpha) {

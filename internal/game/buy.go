@@ -34,7 +34,7 @@ func NewBuy(kind DistKind, alpha Alpha) *Buy {
 
 // NewBuyHost returns the Buy Game on a host graph; bought edges must be
 // host edges.
-func NewBuyHost(kind DistKind, alpha Alpha, host *graph.Graph) *Buy {
+func NewBuyHost(kind DistKind, alpha Alpha, host graph.Store) *Buy {
 	return &Buy{base{kind: kind, alpha: alpha, host: host}}
 }
 
@@ -46,13 +46,13 @@ func (bg *Buy) Name() string {
 func (bg *Buy) OwnershipMatters() bool { return true }
 
 // Cost returns u's cost: alpha per owned edge plus distance cost.
-func (bg *Buy) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+func (bg *Buy) Cost(g graph.Store, u int, s *Scratch) Cost {
 	return agentCost(g, u, bg.kind, modelUnilateral, s)
 }
 
 // strategyCandidates returns the vertices that may appear in a strategy of
 // u: not u, host-permitted, and not connected to u by a foreign-owned edge.
-func (bg *Buy) strategyCandidates(g *graph.Graph, u int, dst []int) []int {
+func (bg *Buy) strategyCandidates(g graph.Store, u int, dst []int) []int {
 	n := g.N()
 	for v := 0; v < n; v++ {
 		if v == u || !bg.allowed(u, v) {
@@ -69,7 +69,7 @@ func (bg *Buy) strategyCandidates(g *graph.Graph, u int, dst []int) []int {
 // forEachStrategy enumerates every strategy of u other than the current one
 // and calls fn with the move transforming the current strategy into it and
 // the resulting cost for u. fn returns false to stop.
-func (bg *Buy) forEachStrategy(g *graph.Graph, u int, s *Scratch, fn func(m Move, c Cost) bool) {
+func (bg *Buy) forEachStrategy(g graph.Store, u int, s *Scratch, fn func(m Move, c Cost) bool) {
 	cands := bg.strategyCandidates(g, u, nil)
 	if len(cands) > MaxStrategyBits {
 		panic(fmt.Sprintf("game: Buy Game strategy space 2^%d exceeds limit 2^%d", len(cands), MaxStrategyBits))
@@ -103,7 +103,7 @@ func (bg *Buy) forEachStrategy(g *graph.Graph, u int, s *Scratch, fn func(m Move
 	}
 }
 
-func (bg *Buy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (bg *Buy) HasImproving(g graph.Store, u int, s *Scratch) bool {
 	cur := agentCost(g, u, bg.kind, modelUnilateral, s)
 	// Delta-evaluated pre-pass over the single-added-edge and
 	// single-removed-edge strategies (see delta.go): when one of these
@@ -128,8 +128,8 @@ func (bg *Buy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 // the unconnected strategy candidates (swapTargets) and single-edge
 // deletions over the owned neighbours, so this scans a subset of the full
 // strategy space and can return false negatives only.
-func (bg *Buy) hasImprovingSingle(g *graph.Graph, u int, cur Cost, s *Scratch) bool {
-	s.buf = g.OwnedNeighbors(u).Elements(s.buf[:0])
+func (bg *Buy) hasImprovingSingle(g graph.Store, u int, cur Cost, s *Scratch) bool {
+	s.buf = g.OwnedList(u, s.buf[:0])
 	s.buf2 = bg.swapTargets(g, u, s.buf2[:0])
 	if len(s.buf) == 0 && len(s.buf2) == 0 {
 		return false
@@ -152,7 +152,7 @@ func (bg *Buy) hasImprovingSingle(g *graph.Graph, u int, cur Cost, s *Scratch) b
 	return false
 }
 
-func (bg *Buy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (bg *Buy) BestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	cur := agentCost(g, u, bg.kind, modelUnilateral, s)
 	best := cur
 	start := len(dst)
@@ -175,7 +175,7 @@ func (bg *Buy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move,
 	return dst, best
 }
 
-func (bg *Buy) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (bg *Buy) ImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	cur := agentCost(g, u, bg.kind, modelUnilateral, s)
 	bg.forEachStrategy(g, u, s, func(m Move, c Cost) bool {
 		if c.Less(cur, bg.alpha) {

@@ -129,7 +129,7 @@ func (d *deltaScratch) grow(n int) {
 // resets the per-scan lazy state. Every scan starts here; the heavy
 // neighbour-row preparation of deltaInit can then be deferred until a
 // candidate actually needs it.
-func (s *Scratch) deltaBegin(g *graph.Graph, u int) {
+func (s *Scratch) deltaBegin(g graph.Store, u int) {
 	d := &s.delta
 	d.grow(g.N())
 	d.dn = g.N()
@@ -169,7 +169,7 @@ func (d *deltaScratch) newRow(w int) []int32 {
 // aggregates. Target rows and aggregates are computed on demand. It is a
 // no-op if it already ran for the current scan (opened by deltaBegin).
 // The preparation reads the graph but never mutates it.
-func (s *Scratch) deltaInit(g *graph.Graph, u int) {
+func (s *Scratch) deltaInit(g graph.Store, u int) {
 	n := g.N()
 	d := &s.delta
 	if d.minsReady {
@@ -267,7 +267,7 @@ func (s *Scratch) deltaInit(g *graph.Graph, u int) {
 // repair: deleting u invalidates d(w,v) only when every shortest w-v path
 // crosses u, i.e. d(w,u) + d(u,v) = d(w,v); the surviving entries reseed a
 // PartialBFS over the damage. Without an oracle it is a fresh search.
-func (s *Scratch) deltaRow(g *graph.Graph, u, w int) []int32 {
+func (s *Scratch) deltaRow(g graph.Store, u, w int) []int32 {
 	d := &s.delta
 	if row := d.cachedRow(w); row != nil {
 		return row
@@ -300,7 +300,7 @@ func (s *Scratch) deltaRow(g *graph.Graph, u, w int) []int32 {
 // deltaTarget ensures the row and aggregates of target y and returns its
 // row. The aggregates are over f_y(v) = min(a(v), 1 + row_y(v)), v != u:
 // exactly the distance profile of u after adding the edge {u,y}.
-func (s *Scratch) deltaTarget(g *graph.Graph, u, y int) []int32 {
+func (s *Scratch) deltaTarget(g graph.Store, u, y int) []int32 {
 	d := &s.delta
 	// A pooled row implies the aggregates are filled: targets are
 	// non-neighbours, so only this function ever computes their rows.
@@ -517,7 +517,7 @@ func (s *Scratch) deltaPairBoundSum(u, x, y int, bound int64) int64 {
 // deltaAddDist returns u's distance cost after adding the edge {u,y}. With
 // an oracle installed the single-insertion rule scores it exactly without
 // a search; otherwise it falls back to the target's G-u row.
-func (s *Scratch) deltaAddDist(g *graph.Graph, u, y int, kind DistKind) int64 {
+func (s *Scratch) deltaAddDist(g graph.Store, u, y int, kind DistKind) int64 {
 	if b, ok := s.deltaTargetBound(u, y, kind, boundExact); ok {
 		return b
 	}
@@ -555,7 +555,7 @@ func (s *Scratch) deltaDropDist(x int, kind DistKind) int64 {
 
 // deltaSwapDist returns u's distance cost after swapping the edge {u,x}
 // for {u,y}.
-func (s *Scratch) deltaSwapDist(g *graph.Graph, u, x, y int, kind DistKind) int64 {
+func (s *Scratch) deltaSwapDist(g graph.Store, u, x, y int, kind DistKind) int64 {
 	return s.deltaSwapScore(x, y, s.deltaTarget(g, u, y), kind)
 }
 
@@ -599,7 +599,7 @@ func (s *Scratch) deltaSwapScore(x, y int, ry []int32, kind DistKind) int64 {
 // deltaSwapHalves returns the alpha/2-unit count of agent u after swapping
 // the edge {u,x} for {u,y} (the added edge is owned by u), matching
 // agentCost on the post-swap network.
-func deltaSwapHalves(g *graph.Graph, u, x int, model costModel) int64 {
+func deltaSwapHalves(g graph.Store, u, x int, model costModel) int64 {
 	switch model {
 	case modelUnilateral:
 		od := g.OutDegree(u) + 1
@@ -615,7 +615,7 @@ func deltaSwapHalves(g *graph.Graph, u, x int, model costModel) int64 {
 
 // curHalves returns the alpha/2-unit count of agent u in the current
 // network under the given cost model.
-func curHalves(g *graph.Graph, u int, model costModel) int64 {
+func curHalves(g graph.Store, u int, model costModel) int64 {
 	switch model {
 	case modelUnilateral:
 		return 2 * int64(g.OutDegree(u))

@@ -22,19 +22,19 @@ type Game interface {
 	// networks with the same edges are the same state.
 	OwnershipMatters() bool
 	// Cost returns the exact cost of agent u in g.
-	Cost(g *graph.Graph, u int, s *Scratch) Cost
+	Cost(g graph.Store, u int, s *Scratch) Cost
 	// HasImproving reports whether u has at least one feasible strictly
 	// improving strategy change; it exits early where possible.
-	HasImproving(g *graph.Graph, u int, s *Scratch) bool
+	HasImproving(g graph.Store, u int, s *Scratch) bool
 	// BestMoves appends to dst every feasible move realizing the best
 	// attainable cost for u, provided that cost strictly improves on u's
 	// current cost, and returns the moves with the attained cost. An
 	// empty result means u is happy; the returned cost is then u's
 	// current cost.
-	BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost)
+	BestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost)
 	// ImprovingMoves appends every feasible strictly improving move of u,
 	// for weak-acyclicity analyses.
-	ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move
+	ImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move
 }
 
 // PureProber is implemented by games whose HasImproving never mutates the
@@ -69,7 +69,7 @@ func UsesSwapScans(gm Game) bool {
 // under gm's cost model, and whether that model is known. It lets process
 // engines combine cached distance costs with the degree-derived edge-cost
 // term instead of re-running the game's full Cost computation.
-func EdgeCostHalves(gm Game, g *graph.Graph, u int) (int64, bool) {
+func EdgeCostHalves(gm Game, g graph.Store, u int) (int64, bool) {
 	if ng, ok := gm.(naiveGame); ok {
 		gm = ng.Game
 	}
@@ -89,7 +89,7 @@ func EdgeCostHalves(gm Game, g *graph.Graph, u int) (int64, bool) {
 // pass) instead of n single-source searches. The result is identical to
 // calling gm.Cost per agent; games whose edge-cost term is not derivable
 // from degrees fall back to per-agent evaluation.
-func AllCosts(g *graph.Graph, gm Game, s *Scratch, dst []Cost) []Cost {
+func AllCosts(g graph.Store, gm Game, s *Scratch, dst []Cost) []Cost {
 	n := g.N()
 	if n == 0 {
 		return dst
@@ -112,7 +112,7 @@ func AllCosts(g *graph.Graph, gm Game, s *Scratch, dst []Cost) []Cost {
 // allSourcesResults runs the batched all-sources BFS pass into the
 // scratch's reusable result buffer — the shared scaffolding of AllCosts
 // and TotalCost.
-func allSourcesResults(g *graph.Graph, s *Scratch) []graph.BFSResult {
+func allSourcesResults(g graph.Store, s *Scratch) []graph.BFSResult {
 	n := g.N()
 	if s.batch == nil {
 		s.batch = graph.NewBatchBFSScratch(n)
@@ -130,7 +130,7 @@ func allSourcesResults(g *graph.Graph, s *Scratch) []graph.BFSResult {
 // per-agent slice. It is the fold form of AllCosts for metrics-in-a-loop
 // callers (quality scoring of campaign hits, ensemble sinks): with a warm
 // Scratch the batched path allocates nothing.
-func TotalCost(g *graph.Graph, gm Game, s *Scratch) (halves, dist int64) {
+func TotalCost(g graph.Store, gm Game, s *Scratch) (halves, dist int64) {
 	n := g.N()
 	if n == 0 {
 		return 0, 0
@@ -225,7 +225,7 @@ func (s *Scratch) single(x int) []int {
 type base struct {
 	kind  DistKind
 	alpha Alpha
-	host  *graph.Graph // nil means the complete host graph
+	host  graph.Store // nil means the complete host graph
 }
 
 func (b base) DistKind() DistKind { return b.kind }
@@ -246,7 +246,7 @@ const (
 )
 
 // agentCost evaluates u's cost in g under the given model.
-func agentCost(g *graph.Graph, u int, kind DistKind, model costModel, s *Scratch) Cost {
+func agentCost(g graph.Store, u int, kind DistKind, model costModel, s *Scratch) Cost {
 	r := g.BFS(u, nil, s.bfs)
 	c := Cost{Dist: distCost(r, g.N(), kind)}
 	switch model {
@@ -259,7 +259,7 @@ func agentCost(g *graph.Graph, u int, kind DistKind, model costModel, s *Scratch
 }
 
 // evalMove applies m, computes the mover's cost, and undoes m.
-func evalMove(g *graph.Graph, m Move, kind DistKind, model costModel, s *Scratch) Cost {
+func evalMove(g graph.Store, m Move, kind DistKind, model costModel, s *Scratch) Cost {
 	ap := Apply(g, m)
 	c := agentCost(g, m.Agent, kind, model, s)
 	ap.Undo()
@@ -269,7 +269,7 @@ func evalMove(g *graph.Graph, m Move, kind DistKind, model costModel, s *Scratch
 // swapTargets returns the valid swap/buy targets of agent u in g appended
 // to dst: vertices that are not u, not already neighbours of u, and
 // host-permitted.
-func (b base) swapTargets(g *graph.Graph, u int, dst []int) []int {
+func (b base) swapTargets(g graph.Store, u int, dst []int) []int {
 	n := g.N()
 	for v := 0; v < n; v++ {
 		if v == u || g.HasEdge(u, v) || !b.allowed(u, v) {

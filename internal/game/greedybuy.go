@@ -19,7 +19,7 @@ func NewGreedyBuy(kind DistKind, alpha Alpha) *GreedyBuy {
 
 // NewGreedyBuyHost returns the GBG on a host graph: bought or swapped-in
 // edges must be host edges; deletions are unrestricted.
-func NewGreedyBuyHost(kind DistKind, alpha Alpha, host *graph.Graph) *GreedyBuy {
+func NewGreedyBuyHost(kind DistKind, alpha Alpha, host graph.Store) *GreedyBuy {
 	return &GreedyBuy{base{kind: kind, alpha: alpha, host: host}}
 }
 
@@ -31,7 +31,7 @@ func (gb *GreedyBuy) Name() string {
 func (gb *GreedyBuy) OwnershipMatters() bool { return true }
 
 // Cost returns u's cost: alpha per owned edge plus distance cost.
-func (gb *GreedyBuy) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+func (gb *GreedyBuy) Cost(g graph.Store, u int, s *Scratch) Cost {
 	return agentCost(g, u, gb.kind, modelUnilateral, s)
 }
 
@@ -48,8 +48,8 @@ func (gb *GreedyBuy) Cost(g *graph.Graph, u int, s *Scratch) Cost {
 // term) and returns true to skip that target's swaps; it is only consulted
 // when a distance oracle is installed, where it saves the target's search.
 // Skipped swaps must be ones the caller would ignore anyway.
-func (gb *GreedyBuy) forEachGreedyMove(g *graph.Graph, u int, s *Scratch, pruneSwap func(Cost) bool, fn func(x, y int, c Cost) bool) {
-	s.buf = g.OwnedNeighbors(u).Elements(s.buf[:0])
+func (gb *GreedyBuy) forEachGreedyMove(g graph.Store, u int, s *Scratch, pruneSwap func(Cost) bool, fn func(x, y int, c Cost) bool) {
+	s.buf = g.OwnedList(u, s.buf[:0])
 	s.buf2 = gb.swapTargets(g, u, s.buf2[:0])
 	s.deltaBegin(g, u)
 	s.deltaInit(g, u)
@@ -102,7 +102,7 @@ func greedyMove(s *Scratch, u, x, y int) Move {
 	return m
 }
 
-func (gb *GreedyBuy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (gb *GreedyBuy) HasImproving(g graph.Store, u int, s *Scratch) bool {
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	found := false
 	prune := func(c Cost) bool { return !c.Less(cur, gb.alpha) }
@@ -120,7 +120,7 @@ func (gb *GreedyBuy) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 // concurrent probes on a shared graph are safe with per-goroutine scratch.
 func (gb *GreedyBuy) ProbesPurely() bool { return true }
 
-func (gb *GreedyBuy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (gb *GreedyBuy) BestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	best := cur
@@ -145,7 +145,7 @@ func (gb *GreedyBuy) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([
 	return dst, best
 }
 
-func (gb *GreedyBuy) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (gb *GreedyBuy) ImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	prune := func(c Cost) bool { return !c.Less(cur, gb.alpha) }

@@ -115,7 +115,7 @@ func (s *Scratch) SetLandmarks(lm *graph.Landmarks) { s.lmk = lm }
 // current distances, checks connectivity, and builds the per-scan tables.
 // It reports whether the filter is armed; on false the caller must fall
 // back to an unfiltered scan.
-func (s *Scratch) lmProbe(g *graph.Graph, u int, kind DistKind) bool {
+func (s *Scratch) lmProbe(g graph.Store, u int, kind DistKind) bool {
 	if !s.lmk.Complete() || s.lmk.N() != g.N() {
 		return false
 	}
@@ -353,7 +353,7 @@ func (l *lmScratch) ensureRows(dn int) {
 // amortized 64-fold — and are not pooled, so scratch memory stays O(n)
 // however many targets survive. Reports whether the memo is armed;
 // deltaInit must have run.
-func (s *Scratch) lmBatchScores(g *graph.Graph, u int, kind DistKind, limit int64, strict bool) bool {
+func (s *Scratch) lmBatchScores(g graph.Store, u int, kind DistKind, limit int64, strict bool) bool {
 	d := &s.delta
 	deg, nt := len(s.buf), len(s.buf2)
 	if deg == 0 || nt == 0 || d.dn < deltaBatchMinN || deg*nt > lmMaxScoreEntries {
@@ -387,7 +387,7 @@ func (s *Scratch) lmBatchScores(g *graph.Graph, u int, kind DistKind, limit int6
 
 // lmFlushScores materializes the pending chunk's target rows and fills
 // their score-matrix columns, then clears the chunk.
-func (s *Scratch) lmFlushScores(g *graph.Graph, u int, kind DistKind, nt int) {
+func (s *Scratch) lmFlushScores(g graph.Store, u int, kind DistKind, nt int) {
 	l := &s.lm
 	if len(l.srcs) == 0 {
 		return
@@ -416,7 +416,7 @@ func (s *Scratch) lmFlushScores(g *graph.Graph, u int, kind DistKind, nt int) {
 // Like the lazy probe path it defers deltaInit until some target survives
 // its bound, so a happy agent whose bound dismisses everything is
 // certified without a neighbour row.
-func (s *Scratch) lmAnyImproving(g *graph.Graph, u int, kind DistKind, cur int64) bool {
+func (s *Scratch) lmAnyImproving(g graph.Store, u int, kind DistKind, cur int64) bool {
 	d := &s.delta
 	l := &s.lm
 	l.srcs = l.srcs[:0]

@@ -121,7 +121,7 @@ func sameIntSet(a, b []int) bool {
 
 // ApplyMove performs m on g without recording undo state; unlike Apply it
 // allocates nothing. It panics on the same malformed moves as Apply.
-func ApplyMove(g *graph.Graph, m Move) {
+func ApplyMove(g graph.Store, m Move) {
 	for _, v := range m.Drop {
 		g.RemoveEdge(m.Agent, v)
 	}
@@ -133,7 +133,7 @@ func ApplyMove(g *graph.Graph, m Move) {
 // Applied records the reversible effect of a move so it can be undone; it is
 // the mechanism behind candidate evaluation (apply, BFS, undo).
 type Applied struct {
-	g           *graph.Graph
+	g           graph.Store
 	agent       int
 	added       []int
 	dropped     []int
@@ -143,7 +143,7 @@ type Applied struct {
 
 // Apply performs m on g and returns the undo record. It panics on malformed
 // moves (dropping a missing edge, adding an existing one).
-func Apply(g *graph.Graph, m Move) Applied {
+func Apply(g graph.Store, m Move) Applied {
 	a := Applied{g: g, agent: m.Agent}
 	for _, v := range m.Drop {
 		a.dropOwners = append(a.dropOwners, g.Owner(m.Agent, v))

@@ -16,12 +16,12 @@ import (
 
 // multiSwapDrops returns the edges u may multi-swap under gm, which must be
 // a *Swap or *AsymSwap.
-func multiSwapDrops(gm Game, g *graph.Graph, u int) ([]int, *base) {
+func multiSwapDrops(gm Game, g graph.Store, u int) ([]int, *base) {
 	switch t := gm.(type) {
 	case *Swap:
-		return g.Neighbors(u).Elements(nil), &t.base
+		return g.NeighborList(u, nil), &t.base
 	case *AsymSwap:
-		return g.OwnedNeighbors(u).Elements(nil), &t.base
+		return g.OwnedList(u, nil), &t.base
 	}
 	panic(fmt.Sprintf("game: multi-swaps undefined for %T", gm))
 }
@@ -29,7 +29,7 @@ func multiSwapDrops(gm Game, g *graph.Graph, u int) ([]int, *base) {
 // MultiSwapImprovingMoves returns every strictly improving multi-swap of u
 // with 1 <= k <= maxK swapped edges (maxK <= 0 means no limit). Single
 // swaps (k = 1) are included.
-func MultiSwapImprovingMoves(gm Game, g *graph.Graph, u int, s *Scratch, maxK int) []Move {
+func MultiSwapImprovingMoves(gm Game, g graph.Store, u int, s *Scratch, maxK int) []Move {
 	moves, _ := multiSwapScan(gm, g, u, s, maxK, false)
 	return moves
 }
@@ -37,11 +37,11 @@ func MultiSwapImprovingMoves(gm Game, g *graph.Graph, u int, s *Scratch, maxK in
 // MultiSwapBest returns the multi-swaps of u achieving the minimum cost over
 // all multi-swaps with at most maxK edges, together with that cost, provided
 // it strictly improves; otherwise it returns (nil, current cost).
-func MultiSwapBest(gm Game, g *graph.Graph, u int, s *Scratch, maxK int) ([]Move, Cost) {
+func MultiSwapBest(gm Game, g graph.Store, u int, s *Scratch, maxK int) ([]Move, Cost) {
 	return multiSwapScan(gm, g, u, s, maxK, true)
 }
 
-func multiSwapScan(gm Game, g *graph.Graph, u int, s *Scratch, maxK int, bestOnly bool) ([]Move, Cost) {
+func multiSwapScan(gm Game, g graph.Store, u int, s *Scratch, maxK int, bestOnly bool) ([]Move, Cost) {
 	drops, b := multiSwapDrops(gm, g, u)
 	targets := b.swapTargets(g, u, nil)
 	cur := agentCost(g, u, b.kind, modelSwap, s)

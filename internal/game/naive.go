@@ -14,7 +14,7 @@ import (
 // evalSwap computes u's cost after swapping the edge {u,x} to {u,y},
 // mutating g in place and restoring it (including the original owner of
 // {u,x}) before returning. It allocates nothing.
-func evalSwap(b *base, g *graph.Graph, u, x, y int, model costModel, s *Scratch) Cost {
+func evalSwap(b *base, g graph.Store, u, x, y int, model costModel, s *Scratch) Cost {
 	owner := g.Owner(u, x)
 	g.RemoveEdge(u, x)
 	g.AddEdge(u, y)
@@ -29,7 +29,7 @@ func evalSwap(b *base, g *graph.Graph, u, x, y int, model costModel, s *Scratch)
 }
 
 // swapAnyNaive is the full-BFS form of swapAny.
-func swapAnyNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch) bool {
+func swapAnyNaive(b *base, g graph.Store, u int, drops dropFunc, model costModel, s *Scratch) bool {
 	cur := agentCost(g, u, b.kind, model, s)
 	s.buf = drops(g, u, s.buf[:0])
 	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
@@ -44,7 +44,7 @@ func swapAnyNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costMode
 }
 
 // swapScanNaive is the full-BFS form of swapScan.
-func swapScanNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) []Move {
+func swapScanNaive(b *base, g graph.Store, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) []Move {
 	s.pool = s.pool[:0]
 	cur := agentCost(g, u, b.kind, model, s)
 	s.buf = drops(g, u, s.buf[:0])
@@ -60,7 +60,7 @@ func swapScanNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costMod
 }
 
 // swapBestNaive is the full-BFS form of swapBest.
-func swapBestNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
+func swapBestNaive(b *base, g graph.Store, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
 	s.pool = s.pool[:0]
 	cur := agentCost(g, u, b.kind, model, s)
 	best := cur
@@ -90,8 +90,8 @@ func swapBestNaive(b *base, g *graph.Graph, u int, drops dropFunc, model costMod
 
 // forEachGreedyMoveNaive is the full-BFS form of GreedyBuy.forEachGreedyMove,
 // enumerating deletions, swaps and additions in the same order.
-func (gb *GreedyBuy) forEachGreedyMoveNaive(g *graph.Graph, u int, s *Scratch, fn func(x, y int, c Cost) bool) {
-	s.buf = g.OwnedNeighbors(u).Elements(s.buf[:0])
+func (gb *GreedyBuy) forEachGreedyMoveNaive(g graph.Store, u int, s *Scratch, fn func(x, y int, c Cost) bool) {
+	s.buf = g.OwnedList(u, s.buf[:0])
 	s.buf2 = gb.swapTargets(g, u, s.buf2[:0])
 	// Deletions.
 	for _, x := range s.buf {
@@ -126,36 +126,36 @@ func (gb *GreedyBuy) forEachGreedyMoveNaive(g *graph.Graph, u int, s *Scratch, f
 // scan; games whose regular methods already re-evaluate every candidate
 // with a BFS (Buy, Bilateral) do not need one.
 type naiveScanner interface {
-	naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool
-	naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost)
-	naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move
+	naiveHasImproving(g graph.Store, u int, s *Scratch) bool
+	naiveBestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost)
+	naiveImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move
 }
 
-func (sg *Swap) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (sg *Swap) naiveHasImproving(g graph.Store, u int, s *Scratch) bool {
 	return swapAnyNaive(&sg.base, g, u, sg.dropCandidates, modelSwap, s)
 }
 
-func (sg *Swap) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (sg *Swap) naiveBestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	return swapBestNaive(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
 }
 
-func (sg *Swap) naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (sg *Swap) naiveImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	return swapScanNaive(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
 }
 
-func (ag *AsymSwap) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (ag *AsymSwap) naiveHasImproving(g graph.Store, u int, s *Scratch) bool {
 	return swapAnyNaive(&ag.base, g, u, ag.dropCandidates, modelSwap, s)
 }
 
-func (ag *AsymSwap) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (ag *AsymSwap) naiveBestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	return swapBestNaive(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
 }
 
-func (ag *AsymSwap) naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (ag *AsymSwap) naiveImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	return swapScanNaive(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
 }
 
-func (gb *GreedyBuy) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (gb *GreedyBuy) naiveHasImproving(g graph.Store, u int, s *Scratch) bool {
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	found := false
 	gb.forEachGreedyMoveNaive(g, u, s, func(x, y int, c Cost) bool {
@@ -168,7 +168,7 @@ func (gb *GreedyBuy) naiveHasImproving(g *graph.Graph, u int, s *Scratch) bool {
 	return found
 }
 
-func (gb *GreedyBuy) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (gb *GreedyBuy) naiveBestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	best := cur
@@ -192,7 +192,7 @@ func (gb *GreedyBuy) naiveBestMoves(g *graph.Graph, u int, s *Scratch, dst []Mov
 	return dst, best
 }
 
-func (gb *GreedyBuy) naiveImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (gb *GreedyBuy) naiveImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	s.pool = s.pool[:0]
 	cur := agentCost(g, u, gb.kind, modelUnilateral, s)
 	gb.forEachGreedyMoveNaive(g, u, s, func(x, y int, c Cost) bool {
@@ -247,7 +247,7 @@ const smallNaiveN = 32
 // changes; so neither pre-check needs revisiting mid-run. Process engines
 // use this to fall back to the naive scans, which enumerate identical
 // moves in identical order.
-func PreferNaiveScan(gm Game, g *graph.Graph) bool {
+func PreferNaiveScan(gm Game, g graph.Store) bool {
 	if ng, ok := gm.(naiveGame); ok {
 		gm = ng.Game
 	}
@@ -280,14 +280,14 @@ func Naive(gm Game) Game {
 // probing, overriding any promoted claim of the wrapped game.
 func (ng naiveGame) ProbesPurely() bool { return false }
 
-func (ng naiveGame) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (ng naiveGame) HasImproving(g graph.Store, u int, s *Scratch) bool {
 	return ng.Game.(naiveScanner).naiveHasImproving(g, u, s)
 }
 
-func (ng naiveGame) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (ng naiveGame) BestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	return ng.Game.(naiveScanner).naiveBestMoves(g, u, s, dst)
 }
 
-func (ng naiveGame) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (ng naiveGame) ImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	return ng.Game.(naiveScanner).naiveImprovingMoves(g, u, s, dst)
 }

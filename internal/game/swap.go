@@ -18,7 +18,7 @@ func NewSwap(kind DistKind) *Swap {
 
 // NewSwapHost returns the Swap Game restricted to a host graph: swap targets
 // must be host edges.
-func NewSwapHost(kind DistKind, host *graph.Graph) *Swap {
+func NewSwapHost(kind DistKind, host graph.Store) *Swap {
 	return &Swap{base{kind: kind, alpha: AlphaInt(1), host: host}}
 }
 
@@ -30,15 +30,15 @@ func (sg *Swap) Name() string {
 func (sg *Swap) OwnershipMatters() bool { return false }
 
 // Cost returns u's distance cost.
-func (sg *Swap) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+func (sg *Swap) Cost(g graph.Store, u int, s *Scratch) Cost {
 	return agentCost(g, u, sg.kind, modelSwap, s)
 }
 
-func (sg *Swap) dropCandidates(g *graph.Graph, u int, dst []int) []int {
-	return g.Neighbors(u).Elements(dst)
+func (sg *Swap) dropCandidates(g graph.Store, u int, dst []int) []int {
+	return g.NeighborList(u, dst)
 }
 
-func (sg *Swap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (sg *Swap) HasImproving(g graph.Store, u int, s *Scratch) bool {
 	return swapAny(&sg.base, g, u, sg.dropCandidates, modelSwap, s)
 }
 
@@ -46,11 +46,11 @@ func (sg *Swap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 // concurrent probes on a shared graph are safe with per-goroutine scratch.
 func (sg *Swap) ProbesPurely() bool { return true }
 
-func (sg *Swap) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (sg *Swap) BestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	return swapBest(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
 }
 
-func (sg *Swap) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (sg *Swap) ImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	return swapScan(&sg.base, g, u, sg.dropCandidates, modelSwap, s, dst)
 }
 
@@ -67,7 +67,7 @@ func NewAsymSwap(kind DistKind) *AsymSwap {
 }
 
 // NewAsymSwapHost returns the ASG restricted to a host graph.
-func NewAsymSwapHost(kind DistKind, host *graph.Graph) *AsymSwap {
+func NewAsymSwapHost(kind DistKind, host graph.Store) *AsymSwap {
 	return &AsymSwap{base{kind: kind, alpha: AlphaInt(1), host: host}}
 }
 
@@ -79,15 +79,15 @@ func (ag *AsymSwap) Name() string {
 func (ag *AsymSwap) OwnershipMatters() bool { return true }
 
 // Cost returns u's distance cost (swap games have no edge-cost term).
-func (ag *AsymSwap) Cost(g *graph.Graph, u int, s *Scratch) Cost {
+func (ag *AsymSwap) Cost(g graph.Store, u int, s *Scratch) Cost {
 	return agentCost(g, u, ag.kind, modelSwap, s)
 }
 
-func (ag *AsymSwap) dropCandidates(g *graph.Graph, u int, dst []int) []int {
-	return g.OwnedNeighbors(u).Elements(dst)
+func (ag *AsymSwap) dropCandidates(g graph.Store, u int, dst []int) []int {
+	return g.OwnedList(u, dst)
 }
 
-func (ag *AsymSwap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
+func (ag *AsymSwap) HasImproving(g graph.Store, u int, s *Scratch) bool {
 	return swapAny(&ag.base, g, u, ag.dropCandidates, modelSwap, s)
 }
 
@@ -95,20 +95,20 @@ func (ag *AsymSwap) HasImproving(g *graph.Graph, u int, s *Scratch) bool {
 // concurrent probes on a shared graph are safe with per-goroutine scratch.
 func (ag *AsymSwap) ProbesPurely() bool { return true }
 
-func (ag *AsymSwap) BestMoves(g *graph.Graph, u int, s *Scratch, dst []Move) ([]Move, Cost) {
+func (ag *AsymSwap) BestMoves(g graph.Store, u int, s *Scratch, dst []Move) ([]Move, Cost) {
 	return swapBest(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
 }
 
-func (ag *AsymSwap) ImprovingMoves(g *graph.Graph, u int, s *Scratch, dst []Move) []Move {
+func (ag *AsymSwap) ImprovingMoves(g graph.Store, u int, s *Scratch, dst []Move) []Move {
 	return swapScan(&ag.base, g, u, ag.dropCandidates, modelSwap, s, dst)
 }
 
-type dropFunc func(g *graph.Graph, u int, dst []int) []int
+type dropFunc func(g graph.Store, u int, dst []int) []int
 
 // swapPrepare fills s.buf with u's drop candidates, s.buf2 with its swap
 // targets, opens and initializes the delta scan, and returns u's current
 // cost, all without mutating the graph.
-func swapPrepare(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch) Cost {
+func swapPrepare(b *base, g graph.Store, u int, drops dropFunc, model costModel, s *Scratch) Cost {
 	s.buf = drops(g, u, s.buf[:0])
 	s.buf2 = b.swapTargets(g, u, s.buf2[:0])
 	s.deltaBegin(g, u)
@@ -125,7 +125,7 @@ func swapPrepare(b *base, g *graph.Graph, u int, drops dropFunc, model costModel
 // single BFS. With a landmark oracle instead, one probe search arms the
 // triangle-inequality filter (see landmark.go), and again the neighbour
 // rows are only built once some target's bound survives.
-func swapAny(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch) bool {
+func swapAny(b *base, g graph.Store, u int, drops dropFunc, model costModel, s *Scratch) bool {
 	if model == modelSwap && s.oracle == nil && s.lmk != nil {
 		s.buf = drops(g, u, s.buf[:0])
 		if len(s.buf) == 0 {
@@ -198,7 +198,7 @@ func swapAny(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s 
 // swapScan appends every strictly improving single-edge swap of u to dst.
 // The moves' Drop/Add slices are pooled in s and remain valid only until
 // the next enumeration on s; callers that retain them must Clone.
-func swapScan(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) []Move {
+func swapScan(b *base, g graph.Store, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) []Move {
 	s.pool = s.pool[:0]
 	cur := swapPrepare(b, g, u, drops, model, s)
 	prune := model == modelSwap && s.oracle != nil
@@ -245,7 +245,7 @@ func swapScan(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s
 
 // swapBest returns the best strictly improving swaps of u and their cost.
 // Like swapScan, the returned moves' Drop/Add slices are pooled in s.
-func swapBest(b *base, g *graph.Graph, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
+func swapBest(b *base, g graph.Store, u int, drops dropFunc, model costModel, s *Scratch, dst []Move) ([]Move, Cost) {
 	s.pool = s.pool[:0]
 	cur := swapPrepare(b, g, u, drops, model, s)
 	best := cur

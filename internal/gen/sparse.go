@@ -22,25 +22,49 @@ type Edge struct {
 	U, V int32
 }
 
+// InfeasibleError reports sparse-network parameters that no connected
+// simple graph (or no graph inside the generator's sparse regime) can
+// satisfy. N and M are the requested vertex and total edge counts; Reason
+// names the violated bound. The generators return it before any sampling,
+// so an infeasible request can never redraw-loop.
+type InfeasibleError struct {
+	N, M   int64
+	Reason string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("gen: infeasible sparse network n=%d m=%d: %s", e.N, e.M, e.Reason)
+}
+
 // ValidateSparse reports whether the sparse-network parameters are
-// feasible: n >= 1, extra >= 0, and the requested edge count n-1+extra not
-// exceeding n(n-1)/2. The simple-graph bound is checked in int64, so huge n
-// cannot overflow the check. Like the other validators it is meant for
-// user-facing input; the generators keep the panic for internal callers.
+// feasible: n >= 1, a total edge count m = n-1+extra at or above the
+// connectivity lower bound n-1 (i.e. extra >= 0) and at or below half the
+// simple-graph bound n(n-1)/2. Bounds are checked in int64, so huge n
+// cannot overflow the check. A violation is reported as *InfeasibleError
+// before any sampling happens — the half-density cap is what keeps the
+// fill-in rejection loop O(extra) expected, so exceeding it must be an
+// error up front, never a loop that cannot terminate.
 func ValidateSparse(n, extra int) error {
-	if n < 1 || extra < 0 {
-		return fmt.Errorf("sparse network needs n >= 1 and extra >= 0, got n=%d extra=%d", n, extra)
+	m := int64(n-1) + int64(extra)
+	if n < 1 {
+		return &InfeasibleError{N: int64(n), M: m, Reason: "need n >= 1"}
+	}
+	if extra < 0 {
+		return &InfeasibleError{N: int64(n), M: m,
+			Reason: fmt.Sprintf("m is below the connectivity lower bound n-1 = %d", n-1)}
 	}
 	maxM := int64(n) * int64(n-1) / 2
-	if m := int64(n-1) + int64(extra); m > maxM {
-		return fmt.Errorf("sparse network needs n-1+extra <= %d, got n=%d extra=%d", maxM, n, extra)
+	if m > maxM {
+		return &InfeasibleError{N: int64(n), M: m,
+			Reason: fmt.Sprintf("m exceeds the simple-graph bound n(n-1)/2 = %d", maxM)}
 	}
 	// The rejection loop needs headroom: cap the density at half the
 	// simple-graph bound so each draw hits a free pair with probability at
 	// least one half. Tiny graphs are exempt — a tree alone can exceed half
 	// density there, and the loop still terminates in O(1) expected draws.
-	if m := int64(n-1) + int64(extra); n >= 8 && 2*m > maxM {
-		return fmt.Errorf("sparse network is for sparse regimes: n-1+extra must stay at or below %d (half density), got %d", maxM/2, m)
+	if n >= 8 && 2*m > maxM {
+		return &InfeasibleError{N: int64(n), M: m,
+			Reason: fmt.Sprintf("m exceeds half density %d, outside the sparse regime", maxM/2)}
 	}
 	return nil
 }
@@ -48,11 +72,11 @@ func ValidateSparse(n, extra int) error {
 // SparseEdges generates the edge list of a random connected sparse network:
 // a uniform random labeled tree on n vertices plus extra distinct fill-in
 // edges, each edge owned by a uniformly random endpoint. O(n + extra)
-// expected time and memory, no adjacency structure of any kind. Panics on
-// infeasible parameters (pre-check user input with ValidateSparse).
-func SparseEdges(n, extra int, r *rand.Rand) []Edge {
+// expected time and memory, no adjacency structure of any kind. Infeasible
+// parameters return a *InfeasibleError before any sampling.
+func SparseEdges(n, extra int, r *rand.Rand) ([]Edge, error) {
 	if err := ValidateSparse(n, extra); err != nil {
-		panic("gen: " + err.Error())
+		return nil, err
 	}
 	edges := make([]Edge, 0, n-1+extra)
 	seen := make(map[uint64]struct{}, n-1+extra)
@@ -71,10 +95,10 @@ func SparseEdges(n, extra int, r *rand.Rand) []Edge {
 	}
 	switch n {
 	case 1:
-		return edges
+		return edges, nil
 	case 2:
 		emit(0, 1)
-		return edges
+		return edges, nil
 	}
 	// Uniform tree: random Prüfer sequence, decoded with the ptr/leaf scan
 	// (O(n), same decoding as TreeFromPrufer but emitting edges instead of
@@ -123,17 +147,40 @@ func SparseEdges(n, extra int, r *rand.Rand) []Edge {
 		emit(u, v)
 		added++
 	}
-	return edges
+	return edges, nil
 }
 
-// SparseNetwork builds the graph of SparseEdges(n, extra, r): a random
-// connected network with n-1+extra edges, generated in O(n + extra) and
-// loaded into the bitset representation edge by edge.
-func SparseNetwork(n, extra int, r *rand.Rand) *graph.Graph {
-	edges := SparseEdges(n, extra, r)
+// SparseNetwork builds the dense graph of SparseEdges(n, extra, r): a
+// random connected network with n-1+extra edges, generated in O(n + extra)
+// and loaded into the bitset representation edge by edge. Infeasible
+// parameters return a *InfeasibleError before any sampling.
+func SparseNetwork(n, extra int, r *rand.Rand) (*graph.Graph, error) {
+	edges, err := SparseEdges(n, extra, r)
+	if err != nil {
+		return nil, err
+	}
 	g := graph.New(n)
 	for _, e := range edges {
 		g.AddEdge(int(e.U), int(e.V))
 	}
-	return g
+	return g, nil
+}
+
+// SparseCSR builds the CSR form of the same ensemble: SparseEdges loaded
+// directly into graph.Sparse, with no dense intermediate anywhere — the
+// O(n²/8) bitset never exists, so this is the constructor for networks
+// whose adjacency matrix does not fit in memory. Given the same RNG
+// stream, SparseCSR(n, extra, r) is the exact CSR image of
+// SparseNetwork(n, extra, r): same edges, same owners, same neighbour
+// order, same fingerprints.
+func SparseCSR(n, extra int, r *rand.Rand) (*graph.Sparse, error) {
+	edges, err := SparseEdges(n, extra, r)
+	if err != nil {
+		return nil, err
+	}
+	sp := graph.NewSparse(n)
+	for _, e := range edges {
+		sp.AddEdge(int(e.U), int(e.V))
+	}
+	return sp, nil
 }

@@ -11,7 +11,10 @@ func TestSparseEdgesInvariants(t *testing.T) {
 		{1, 0}, {2, 0}, {3, 0}, {5, 2}, {40, 0}, {40, 25}, {257, 100},
 	} {
 		r := NewRand(int64(tc.n*1000 + tc.extra))
-		edges := SparseEdges(tc.n, tc.extra, r)
+		edges, err := SparseEdges(tc.n, tc.extra, r)
+		if err != nil {
+			t.Fatalf("n=%d extra=%d: %v", tc.n, tc.extra, err)
+		}
 		if len(edges) != max(tc.n-1, 0)+tc.extra {
 			t.Fatalf("n=%d extra=%d: %d edges", tc.n, tc.extra, len(edges))
 		}
@@ -37,8 +40,14 @@ func TestSparseEdgesInvariants(t *testing.T) {
 }
 
 func TestSparseNetworkMatchesEdges(t *testing.T) {
-	a := SparseNetwork(60, 20, NewRand(9))
-	edges := SparseEdges(60, 20, NewRand(9))
+	a, err := SparseNetwork(60, 20, NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := SparseEdges(60, 20, NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
 	b := graph.New(60)
 	for _, e := range edges {
 		b.AddEdge(int(e.U), int(e.V))
@@ -70,8 +79,8 @@ func TestValidateSparse(t *testing.T) {
 }
 
 func TestSparseDeterministic(t *testing.T) {
-	a := SparseEdges(80, 30, NewRand(42))
-	b := SparseEdges(80, 30, NewRand(42))
+	a, _ := SparseEdges(80, 30, NewRand(42))
+	b, _ := SparseEdges(80, 30, NewRand(42))
 	if len(a) != len(b) {
 		t.Fatal("lengths differ")
 	}

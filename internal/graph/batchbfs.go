@@ -42,7 +42,7 @@ type BatchBFSScratch struct {
 	// unchanged network skip the O(n²/64) bitset scan of the rebuild.
 	csr    []int32
 	csrOff []int32
-	csrFor *Graph
+	csrFor Store
 	csrVer uint64
 	// curV/curW and nxtV/nxtW are the frontier lists of the current and
 	// the next level, a vertex paired with its newly-settled source word;
@@ -94,7 +94,7 @@ func (s *BatchBFSScratch) sequence(n int) []int {
 // buildCSR snapshots g's adjacency into the scratch's flat neighbour lists,
 // reusing the previous snapshot when the graph has not mutated since.
 func (g *Graph) buildCSR(s *BatchBFSScratch) {
-	if s.csrFor == g && s.csrVer == g.version {
+	if s.csrFor == Store(g) && s.csrVer == g.version {
 		return
 	}
 	n := g.n
@@ -141,7 +141,7 @@ func fill32(dst []int32, val int32) {
 // len(sources) entries and receives the per-source aggregates. Every row and
 // aggregate is identical to a single-source BFS from the same vertex.
 func (g *Graph) BatchBFS(sources []int, rows [][]int32, res []BFSResult, s *BatchBFSScratch) {
-	g.batchBFS(sources, -1, rows, res, s)
+	batchBFSOver(g, sources, -1, rows, res, s)
 }
 
 // BatchBFSExcluding is BatchBFS on the vertex-deleted subgraph G - excl: the
@@ -154,7 +154,7 @@ func (g *Graph) BatchBFSExcluding(sources []int, excl int, rows [][]int32, res [
 			panic("graph: BatchBFSExcluding source equals excluded vertex")
 		}
 	}
-	g.batchBFS(sources, excl, rows, res, s)
+	batchBFSOver(g, sources, excl, rows, res, s)
 }
 
 // AllSourcesBFS runs BatchBFS from every vertex of the graph: rows, if
@@ -163,7 +163,7 @@ func (g *Graph) BatchBFSExcluding(sources []int, excl int, rows [][]int32, res [
 // cache construction and the social-cost metrics.
 func (g *Graph) AllSourcesBFS(rows [][]int32, res []BFSResult, s *BatchBFSScratch) {
 	s.grow(g.n)
-	g.batchBFS(s.sequence(g.n), -1, rows, res, s)
+	batchBFSOver(g, s.sequence(g.n), -1, rows, res, s)
 }
 
 // FillUnreachable sets every entry of dst to Unreachable; it is the
@@ -180,7 +180,12 @@ func FillUnreachable(dst []int32) { fill32(dst, Unreachable) }
 // all-pairs matrix with its worker pool; the result is bit-identical to
 // AllSourcesBFSFlat for any sharding.
 func (g *Graph) AllSourcesBFSShard(lo, hi int, mat []int32, res []BFSResult, s *BatchBFSScratch) {
-	n := g.n
+	allSourcesShardOver(g, lo, hi, mat, res, s)
+}
+
+// allSourcesShardOver is the backend-shared body of AllSourcesBFSShard.
+func allSourcesShardOver(g Store, lo, hi int, mat []int32, res []BFSResult, s *BatchBFSScratch) {
+	n := g.N()
 	if lo%64 != 0 || lo < 0 || hi > n || lo > hi {
 		panic("graph: AllSourcesBFSShard source range misaligned")
 	}
@@ -201,7 +206,7 @@ func (g *Graph) AllSourcesBFSShard(lo, hi int, mat []int32, res []BFSResult, s *
 		if res != nil {
 			rs = res[l:h]
 		}
-		g.batchGroupSym(l, h-l, mat, rs, s)
+		batchGroupSym(n, l, h-l, mat, rs, s)
 	}
 }
 
@@ -211,7 +216,12 @@ func (g *Graph) AllSourcesBFSShard(lo, hi int, mat []int32, res []BFSResult, s *
 // mat[w*n+lo : w*n+lo+64] of row w directly — d(s,w) = d(w,s) — so the
 // matrix is emitted with no staging or transpose at all.
 func (g *Graph) AllSourcesBFSFlat(mat []int32, res []BFSResult, s *BatchBFSScratch) {
-	n := g.n
+	allSourcesFlatOver(g, mat, res, s)
+}
+
+// allSourcesFlatOver is the backend-shared body of AllSourcesBFSFlat.
+func allSourcesFlatOver(g Store, mat []int32, res []BFSResult, s *BatchBFSScratch) {
+	n := g.N()
 	if mat != nil && len(mat) != n*n {
 		panic("graph: AllSourcesBFSFlat matrix length mismatch")
 	}
@@ -234,18 +244,21 @@ func (g *Graph) AllSourcesBFSFlat(mat []int32, res []BFSResult, s *BatchBFSScrat
 		if res != nil {
 			rs = res[lo:hi]
 		}
-		g.batchGroupSym(lo, hi-lo, mat, rs, s)
+		batchGroupSym(n, lo, hi-lo, mat, rs, s)
 	}
 }
 
-func (g *Graph) batchBFS(sources []int, excl int, rows [][]int32, res []BFSResult, s *BatchBFSScratch) {
+// batchBFSOver is the backend-shared body of BatchBFS(Excluding): group the
+// sources 64 at a time over the scratch's CSR snapshot.
+func batchBFSOver(g Store, sources []int, excl int, rows [][]int32, res []BFSResult, s *BatchBFSScratch) {
 	if rows != nil && len(rows) != len(sources) {
 		panic("graph: BatchBFS rows length mismatch")
 	}
 	if res != nil && len(res) != len(sources) {
 		panic("graph: BatchBFS res length mismatch")
 	}
-	s.grow(g.n)
+	n := g.N()
+	s.grow(n)
 	g.buildCSR(s)
 	var rw [64][]int32
 	for lo := 0; lo < len(sources); lo += 64 {
@@ -268,7 +281,7 @@ func (g *Graph) batchBFS(sources []int, excl int, rows [][]int32, res []BFSResul
 		if res != nil {
 			rs = res[lo:hi]
 		}
-		g.batchGroup(sources[lo:hi], excl, &rw, haveRows, rs, s)
+		batchGroup(n, sources[lo:hi], excl, &rw, haveRows, rs, s)
 	}
 }
 
@@ -297,8 +310,7 @@ const smallBlocks = 16
 // the per-source output rows (entries may be nil; haveRows false skips
 // depth staging entirely, for aggregate-only callers); res, if non-nil,
 // receives one aggregate per source.
-func (g *Graph) batchGroup(src []int, excl int, rw *[64][]int32, haveRows bool, res []BFSResult, s *BatchBFSScratch) {
-	n := g.n
+func batchGroup(n int, src []int, excl int, rw *[64][]int32, haveRows bool, res []BFSResult, s *BatchBFSScratch) {
 	csr, off := s.csr, s.csrOff
 	reach := s.reach[:n]
 	next := s.next[:n]
@@ -468,8 +480,7 @@ func (g *Graph) batchGroup(src []int, excl int, rw *[64][]int32, haveRows bool, 
 // mat[w*n+lo+i] = d — 64 consecutive entries of row w per settle, the final
 // output location, with no staging. mat must be pre-filled with Unreachable;
 // diagonal entries are set here.
-func (g *Graph) batchGroupSym(lo, k int, mat []int32, res []BFSResult, s *BatchBFSScratch) {
-	n := g.n
+func batchGroupSym(n, lo, k int, mat []int32, res []BFSResult, s *BatchBFSScratch) {
 	csr, off := s.csr, s.csrOff
 	reach := s.reach[:n]
 	next := s.next[:n]

@@ -13,6 +13,9 @@ type BFSScratch struct {
 	visited  Bitset
 	frontier Bitset
 	next     Bitset
+	// queue backs the sparse backend's level-order walk; it grows on
+	// demand, so dense-only users never allocate it.
+	queue []int32
 }
 
 // NewBFSScratch returns scratch space for BFS on n-vertex graphs.

@@ -137,6 +137,19 @@ func (b Bitset) Elements(dst []int) []int {
 	return dst
 }
 
+// Elements32 appends the elements of the set to dst in increasing order as
+// int32 and returns the extended slice.
+func (b Bitset) Elements32(dst []int32) []int32 {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, int32(base+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // First returns the smallest element of the set, or -1 if it is empty.
 func (b Bitset) First() int {
 	for wi, w := range b {

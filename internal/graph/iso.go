@@ -6,27 +6,27 @@ import "sort"
 // graphs. Intended for the small construction graphs of the paper (n <= 32
 // or so); it uses iterated colour refinement to prune a backtracking search,
 // which is exact at any size but exponential in the worst case.
-func Isomorphic(g, h *Graph) bool {
+func Isomorphic(g, h Store) bool {
 	return isomorphic(g, h, false) != nil
 }
 
 // IsomorphicOwned is Isomorphic but additionally requires the mapping to
 // preserve edge ownership: phi(o({u,v})) = o({phi(u), phi(v)}).
-func IsomorphicOwned(g, h *Graph) bool {
+func IsomorphicOwned(g, h Store) bool {
 	return isomorphic(g, h, true) != nil
 }
 
 // IsomorphismTo returns a vertex mapping phi with phi preserving adjacency
 // (and ownership if owned is set), or nil if none exists.
-func IsomorphismTo(g, h *Graph, owned bool) []int {
+func IsomorphismTo(g, h Store, owned bool) []int {
 	return isomorphic(g, h, owned)
 }
 
-func isomorphic(g, h *Graph, owned bool) []int {
-	if g.n != h.n || g.m != h.m {
+func isomorphic(g, h Store, owned bool) []int {
+	if g.N() != h.N() || g.M() != h.M() {
 		return nil
 	}
-	n := g.n
+	n := g.N()
 	if n == 0 {
 		return []int{}
 	}
@@ -90,7 +90,7 @@ func isomorphic(g, h *Graph, owned bool) []int {
 
 // compatible checks that mapping u -> v is consistent with every already
 // assigned vertex.
-func compatible(g, h *Graph, phi []int, u, v int, owned bool) bool {
+func compatible(g, h Store, phi []int, u, v int, owned bool) bool {
 	for w, pw := range phi {
 		if pw < 0 || w == u {
 			continue
@@ -111,11 +111,11 @@ func compatible(g, h *Graph, phi []int, u, v int, owned bool) bool {
 // the partition stabilizes and returns the final colour of every vertex.
 // Colours are canonical across graphs: equal multisets of (colour,
 // neighbour-colour-multiset) pairs refine to equal colours.
-func refineColors(g *Graph, owned bool) []uint64 {
-	n := g.n
+func refineColors(g Store, owned bool) []uint64 {
+	n := g.N()
 	col := make([]uint64, n)
 	for u := 0; u < n; u++ {
-		c := uint64(g.deg[u])
+		c := uint64(g.Degree(u))
 		if owned {
 			c = c<<16 | uint64(g.OutDegree(u))
 		}
@@ -123,11 +123,12 @@ func refineColors(g *Graph, owned bool) []uint64 {
 	}
 	sig := make([]uint64, n)
 	neigh := make([]uint64, 0, n)
+	nbuf := make([]int, 0, n)
 	for iter := 0; iter < n; iter++ {
 		changed := false
 		for u := 0; u < n; u++ {
 			neigh = neigh[:0]
-			g.adj[u].ForEach(func(v int) {
+			for _, v := range g.NeighborList(u, nbuf[:0]) {
 				c := col[v]
 				if owned {
 					if g.Owns(u, v) {
@@ -137,7 +138,7 @@ func refineColors(g *Graph, owned bool) []uint64 {
 					}
 				}
 				neigh = append(neigh, c)
-			})
+			}
 			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
 			s := col[u]
 			for _, c := range neigh {

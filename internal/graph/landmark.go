@@ -1,7 +1,5 @@
 package graph
 
-import "math/bits"
-
 // Landmarks is a k-landmark distance oracle: exact BFS rows from k
 // landmark vertices chosen by farthest-point sampling. Any query distance
 // d(y,v) is bracketed by the triangle inequality through each landmark ℓ,
@@ -32,7 +30,7 @@ type Landmarks struct {
 	// cover the graph, the precondition for bound-based filtering.
 	reached []int
 	// g is the attached graph of observer-style maintenance (Attach).
-	g *Graph
+	g Store
 	// selection and repair arenas.
 	minD    []int32
 	tmp     []int32
@@ -41,18 +39,23 @@ type Landmarks struct {
 	queue   []int32
 	refresh []int
 	idBuf   []int
-	rowp    [][]int32
-	res     []BFSResult
-	repair  *RepairScratch
-	batch   *BatchBFSScratch
-	ownBat  bool
+	// nbrA/nbrB are the neighbour-list buffers of the repair loops (two
+	// levels of nesting: DAG descent over nbrA probing predecessors into
+	// nbrB), backend-neutral via AppendNeighbors32.
+	nbrA   []int32
+	nbrB   []int32
+	rowp   [][]int32
+	res    []BFSResult
+	repair *RepairScratch
+	batch  *BatchBFSScratch
+	ownBat bool
 }
 
 // BuildLandmarks selects k landmarks on g by farthest-point sampling and
 // builds their exact distance rows. k is clamped to [1, n]. s, if non-nil,
 // is the batch kernel scratch to run the searches on (letting callers share
 // one arena); nil allocates a private one.
-func BuildLandmarks(g *Graph, k int, s *BatchBFSScratch) *Landmarks {
+func BuildLandmarks(g Store, k int, s *BatchBFSScratch) *Landmarks {
 	lm := &Landmarks{}
 	if s != nil {
 		lm.batch = s
@@ -63,7 +66,7 @@ func BuildLandmarks(g *Graph, k int, s *BatchBFSScratch) *Landmarks {
 
 // Rebuild re-selects the landmarks and recomputes every row for the current
 // content of g, reusing the oracle's arenas when the size still fits.
-func (lm *Landmarks) Rebuild(g *Graph, k int) {
+func (lm *Landmarks) Rebuild(g Store, k int) {
 	n := g.N()
 	if k < 1 {
 		k = 1
@@ -192,7 +195,7 @@ func (lm *Landmarks) Complete() bool {
 // post-move network. Single-drop-single-add deltas (every swap) repair
 // incrementally; larger deltas re-search the rows outright. Landmark ids are
 // kept: repair maintains the rows of the original sample.
-func (lm *Landmarks) Apply(g *Graph, u int, drop, add []int) {
+func (lm *Landmarks) Apply(g Store, u int, drop, add []int) {
 	if len(drop) > 1 || len(add) > 1 {
 		lm.refreshAll(g)
 		return
@@ -236,7 +239,7 @@ func (lm *Landmarks) Apply(g *Graph, u int, drop, add []int) {
 // Attach installs the oracle as g's mutation observer, so every AddEdge and
 // RemoveEdge repairs the rows in step with the graph. Use Apply instead when
 // the observer slot is taken (e.g. by state fingerprinting).
-func (lm *Landmarks) Attach(g *Graph) {
+func (lm *Landmarks) Attach(g Store) {
 	lm.g = g
 	g.SetObserver(lm)
 }
@@ -270,7 +273,7 @@ func (lm *Landmarks) queued(i int) bool {
 }
 
 // refreshAll re-searches every row on the current network, keeping the ids.
-func (lm *Landmarks) refreshAll(g *Graph) {
+func (lm *Landmarks) refreshAll(g Store) {
 	lm.refresh = lm.refresh[:0]
 	for i := 0; i < lm.k; i++ {
 		lm.refresh = append(lm.refresh, i)
@@ -279,7 +282,7 @@ func (lm *Landmarks) refreshAll(g *Graph) {
 }
 
 // flushRefresh re-searches the queued rows in one batched kernel pass.
-func (lm *Landmarks) flushRefresh(g *Graph) {
+func (lm *Landmarks) flushRefresh(g Store) {
 	if len(lm.refresh) == 0 {
 		return
 	}
@@ -309,7 +312,7 @@ func (lm *Landmarks) flushRefresh(g *Graph) {
 // surviving predecessor — it is already absent from g, so enumeration never
 // yields it). Damaged entries are invalidated and settled by PartialBFS from
 // the survivors.
-func (lm *Landmarks) dropRepair(g *Graph, u, x int) {
+func (lm *Landmarks) dropRepair(g Store, u, x int) {
 	n := lm.n
 	for i := 0; i < lm.k; i++ {
 		b := lm.Row(i)
@@ -323,14 +326,10 @@ func (lm *Landmarks) dropRepair(g *Graph, u, x int) {
 		}
 		// predOK reports a surviving (not-damaged) DAG predecessor of w.
 		predOK := func(w int, lvl int32) bool {
-			for wi, word := range g.adj[w] {
-				base := wi << 6
-				for word != 0 {
-					z := base + bits.TrailingZeros64(word)
-					word &= word - 1
-					if b[z] == lvl-1 && !lm.suspect.Has(z) {
-						return true
-					}
+			lm.nbrB = g.AppendNeighbors32(w, lm.nbrB[:0])
+			for _, z := range lm.nbrB {
+				if b[z] == lvl-1 && !lm.suspect.Has(int(z)) {
+					return true
 				}
 			}
 			return false
@@ -345,18 +344,15 @@ func (lm *Landmarks) dropRepair(g *Graph, u, x int) {
 		for head := 0; head < len(lm.dmg); head++ {
 			z := int(lm.dmg[head])
 			lvl := b[z]
-			for wi, word := range g.adj[z] {
-				base := wi << 6
-				for word != 0 {
-					w := base + bits.TrailingZeros64(word)
-					word &= word - 1
-					if b[w] != lvl+1 || lm.suspect.Has(w) {
-						continue
-					}
-					if !predOK(w, b[w]) {
-						lm.suspect.Set(w)
-						lm.dmg = append(lm.dmg, int32(w))
-					}
+			lm.nbrA = g.AppendNeighbors32(z, lm.nbrA[:0])
+			for _, w32 := range lm.nbrA {
+				w := int(w32)
+				if b[w] != lvl+1 || lm.suspect.Has(w) {
+					continue
+				}
+				if !predOK(w, b[w]) {
+					lm.suspect.Set(w)
+					lm.dmg = append(lm.dmg, int32(w))
 				}
 			}
 		}
@@ -382,7 +378,7 @@ func (lm *Landmarks) dropRepair(g *Graph, u, x int) {
 // entrywise upper bound that is exact on every vertex owning a shortest
 // path avoiding the new edge — which both d(pre-move) and the dropRepair
 // output are — and exact on termination.
-func (lm *Landmarks) addRepair(g *Graph, i, a, c int) {
+func (lm *Landmarks) addRepair(g Store, i, a, c int) {
 	b := lm.Row(i)
 	lm.queue = lm.queue[:0]
 	if b[a]+1 < b[c] {
@@ -401,18 +397,15 @@ func (lm *Landmarks) addRepair(g *Graph, i, a, c int) {
 	for head := 0; head < len(lm.queue); head++ {
 		z := int(lm.queue[head])
 		dz := b[z]
-		for wi, word := range g.adj[z] {
-			base := wi << 6
-			for word != 0 {
-				w := base + bits.TrailingZeros64(word)
-				word &= word - 1
-				if dz+1 < b[w] {
-					if b[w] >= Unreachable {
-						lm.reached[i]++
-					}
-					b[w] = dz + 1
-					lm.queue = append(lm.queue, int32(w))
+		lm.nbrA = g.AppendNeighbors32(z, lm.nbrA[:0])
+		for _, w32 := range lm.nbrA {
+			w := int(w32)
+			if dz+1 < b[w] {
+				if b[w] >= Unreachable {
+					lm.reached[i]++
 				}
+				b[w] = dz + 1
+				lm.queue = append(lm.queue, int32(w))
 			}
 		}
 	}

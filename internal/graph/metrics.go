@@ -1,10 +1,10 @@
 package graph
 
-// allResults computes the per-source BFS aggregates of every vertex with
+// allResultsOf computes the per-source BFS aggregates of every vertex with
 // the batched bit-parallel kernel, 64 sources per pass.
-func (g *Graph) allResults() []BFSResult {
-	res := make([]BFSResult, g.n)
-	g.AllSourcesBFS(nil, res, NewBatchBFSScratch(g.n))
+func allResultsOf(g Store) []BFSResult {
+	res := make([]BFSResult, g.N())
+	g.AllSourcesBFS(nil, res, NewBatchBFSScratch(g.N()))
 	return res
 }
 
@@ -12,7 +12,7 @@ func (g *Graph) allResults() []BFSResult {
 // disconnected graph report Unreachable.
 func (g *Graph) Eccentricities() []int32 {
 	ecc := make([]int32, g.n)
-	for u, r := range g.allResults() {
+	for u, r := range allResultsOf(g) {
 		if r.Reached < g.n {
 			ecc[u] = Unreachable
 		} else {
@@ -26,7 +26,7 @@ func (g *Graph) Eccentricities() []int32 {
 // other vertices; Unreachable on disconnected graphs.
 func (g *Graph) DistanceSums() []int64 {
 	sums := make([]int64, g.n)
-	for u, r := range g.allResults() {
+	for u, r := range allResultsOf(g) {
 		if r.Reached < g.n {
 			sums[u] = int64(Unreachable)
 		} else {
@@ -38,13 +38,17 @@ func (g *Graph) DistanceSums() []int64 {
 
 // Diameter returns the largest eccentricity, or Unreachable if g is
 // disconnected. The diameter of a graph with fewer than two vertices is 0.
-func (g *Graph) Diameter() int32 {
-	if g.n <= 1 {
+func (g *Graph) Diameter() int32 { return DiameterOf(g) }
+
+// DiameterOf is Diameter over any backend.
+func DiameterOf(g Store) int32 {
+	n := g.N()
+	if n <= 1 {
 		return 0
 	}
 	var d int32
-	for _, r := range g.allResults() {
-		if r.Reached < g.n {
+	for _, r := range allResultsOf(g) {
+		if r.Reached < n {
 			return Unreachable
 		}
 		if r.Ecc > d {
@@ -61,7 +65,7 @@ func (g *Graph) Radius() int32 {
 		return 0
 	}
 	r := Unreachable
-	for _, br := range g.allResults() {
+	for _, br := range allResultsOf(g) {
 		if br.Reached < g.n {
 			return Unreachable
 		}
@@ -97,10 +101,14 @@ func (g *Graph) Center() []int {
 // TotalDistance returns the sum over ordered pairs (u,v) of d(u,v), i.e. the
 // social distance cost of the SUM version; Unreachable-based sentinel if
 // disconnected.
-func (g *Graph) TotalDistance() int64 {
+func (g *Graph) TotalDistance() int64 { return TotalDistanceOf(g) }
+
+// TotalDistanceOf is TotalDistance over any backend.
+func TotalDistanceOf(g Store) int64 {
+	n := g.N()
 	var t int64
-	for _, r := range g.allResults() {
-		if r.Reached < g.n {
+	for _, r := range allResultsOf(g) {
+		if r.Reached < n {
 			return int64(Unreachable)
 		}
 		t += r.Sum
@@ -111,33 +119,41 @@ func (g *Graph) TotalDistance() int64 {
 // IsStar reports whether g is a star: one center adjacent to all other
 // vertices and no other edges. Graphs with fewer than three vertices count
 // as stars.
-func (g *Graph) IsStar() bool {
-	if !g.Connected() || g.m != g.n-1 {
+func (g *Graph) IsStar() bool { return IsStarOf(g) }
+
+// IsStarOf is IsStar over any backend.
+func IsStarOf(g Store) bool {
+	n := g.N()
+	if !g.Connected() || g.M() != n-1 {
 		return false
 	}
-	if g.n <= 2 {
+	if n <= 2 {
 		return true
 	}
 	hub := 0
-	for u := 0; u < g.n; u++ {
-		if g.deg[u] > g.deg[hub] {
+	for u := 0; u < n; u++ {
+		if g.Degree(u) > g.Degree(hub) {
 			hub = u
 		}
 	}
-	return g.deg[hub] == g.n-1
+	return g.Degree(hub) == n-1
 }
 
 // IsDoubleStar reports whether g is a double star: two adjacent hubs with
 // every remaining vertex a leaf attached to one of them. Stars do not count
 // as double stars (Alon et al. distinguish the two shapes); a single edge on
 // two vertices does not either.
-func (g *Graph) IsDoubleStar() bool {
-	if !g.Connected() || g.m != g.n-1 || g.n < 4 {
+func (g *Graph) IsDoubleStar() bool { return IsDoubleStarOf(g) }
+
+// IsDoubleStarOf is IsDoubleStar over any backend.
+func IsDoubleStarOf(g Store) bool {
+	n := g.N()
+	if !g.Connected() || g.M() != n-1 || n < 4 {
 		return false
 	}
 	var hubs []int
-	for u := 0; u < g.n; u++ {
-		if g.deg[u] > 1 {
+	for u := 0; u < n; u++ {
+		if g.Degree(u) > 1 {
 			hubs = append(hubs, u)
 		}
 	}

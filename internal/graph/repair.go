@@ -40,33 +40,8 @@ func (g *Graph) PartialBFS(dist []int32, suspects Bitset, s *RepairScratch) {
 		dist[v] = best
 		return
 	}
-	// Bucket the settled, reachable vertices by distance: cnt, then
-	// prefix offsets, then the seed array in ascending distance order.
 	s.grow(n)
-	cnt := s.cnt[: n+1 : n+1]
-	for i := range cnt {
-		cnt[i] = 0
-	}
-	seeds := 0
-	for v := 0; v < n; v++ {
-		if dv := dist[v]; dv < Unreachable && !suspects.Has(v) {
-			cnt[dv]++
-			seeds++
-		}
-	}
-	off := s.off[: n+2 : n+2]
-	off[0] = 0
-	for i := 0; i <= n; i++ {
-		off[i+1] = off[i] + cnt[i]
-	}
-	arr := s.arr[:seeds]
-	for v := 0; v < n; v++ {
-		if dv := dist[v]; dv < Unreachable && !suspects.Has(v) {
-			arr[off[dv]] = int32(v)
-			off[dv]++
-		}
-	}
-	// off[lvl] now ends the lvl segment; walk levels with a moving start.
+	arr, seeds := partialSeed(n, dist, suspects, s)
 	start := 0
 	cur := s.cur[:0]
 	next := s.next2[:0]
@@ -108,6 +83,37 @@ func (g *Graph) PartialBFS(dist []int32, suspects Bitset, s *RepairScratch) {
 		cur, next = next, cur[:0]
 	}
 	s.cur, s.next2 = cur[:0], next[:0]
+}
+
+// partialSeed buckets the settled, reachable vertices by distance — cnt,
+// then prefix offsets, then the seed array in ascending distance order —
+// the shared pre-pass of both backends' PartialBFS. On return, s.off[lvl]
+// ends the lvl segment of the returned seed array.
+func partialSeed(n int, dist []int32, suspects Bitset, s *RepairScratch) ([]int32, int) {
+	cnt := s.cnt[: n+1 : n+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	seeds := 0
+	for v := 0; v < n; v++ {
+		if dv := dist[v]; dv < Unreachable && !suspects.Has(v) {
+			cnt[dv]++
+			seeds++
+		}
+	}
+	off := s.off[: n+2 : n+2]
+	off[0] = 0
+	for i := 0; i <= n; i++ {
+		off[i+1] = off[i] + cnt[i]
+	}
+	arr := s.arr[:seeds]
+	for v := 0; v < n; v++ {
+		if dv := dist[v]; dv < Unreachable && !suspects.Has(v) {
+			arr[off[dv]] = int32(v)
+			off[dv]++
+		}
+	}
+	return arr, seeds
 }
 
 // RepairScratch holds the reusable buffers of PartialBFS; not safe for

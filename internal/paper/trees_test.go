@@ -81,7 +81,7 @@ func TestFig1TraceP9(t *testing.T) {
 		Game:   game.NewSwap(game.Max),
 		Policy: dynamics.MaxCostDeterministic{},
 		Tie:    dynamics.TieFirst,
-		OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+		OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 			lastMover = mover
 		},
 	})
@@ -171,11 +171,11 @@ func TestObservation212MaxCostAgentIsLeaf(t *testing.T) {
 			Game:   game.NewSwap(game.Max),
 			Policy: dynamics.MaxCostDeterministic{},
 			Tie:    dynamics.TieFirst,
-			OnStep: func(step, mover int, mv game.Move, g *graph.Graph) {
+			OnStep: func(step, mover int, mv game.Move, g graph.Store) {
 				if prev.Degree(mover) != 1 {
 					t.Fatalf("mover %d had degree %d, want leaf", mover, prev.Degree(mover))
 				}
-				prev.CopyFrom(g)
+				prev.CopyFrom(g.(*graph.Graph))
 			},
 		})
 		if !res.Converged {

@@ -82,23 +82,26 @@ type Fingerprint struct {
 
 // Attach computes g's fingerprint from scratch and installs f as the
 // graph's mutation observer.
-func (f *Fingerprint) Attach(t *Tables, g *graph.Graph) {
+func (f *Fingerprint) Attach(t *Tables, g graph.Store) {
 	f.Init(t, g)
 	g.SetObserver(f)
 }
 
 // Init computes g's fingerprint from scratch without installing f.
-func (f *Fingerprint) Init(t *Tables, g *graph.Graph) {
+func (f *Fingerprint) Init(t *Tables, g graph.Store) {
 	f.t = t
 	f.aware = 0
 	f.blind = 0
 	n := g.N()
-	for u := 0; u < n; u++ {
-		uu := u
-		g.OwnedNeighbors(u).ForEach(func(v int) {
-			f.aware ^= t.aware[uu*n+v]
-			f.blind ^= t.blind[uu*n+v]
-		})
+	// One closure for the whole scan: a per-vertex literal would escape
+	// through the interface call and allocate n times per Init.
+	u := 0
+	fold := func(v int) {
+		f.aware ^= t.aware[u*n+v]
+		f.blind ^= t.blind[u*n+v]
+	}
+	for u = 0; u < n; u++ {
+		g.ForEachOwned(u, fold)
 	}
 }
 

@@ -103,7 +103,7 @@ func (s *Store) Bytes() int64 {
 }
 
 // Encode appends g's canonical encoding under the store's equality to buf.
-func (s *Store) Encode(g *graph.Graph, buf []uint64) []uint64 {
+func (s *Store) Encode(g graph.Store, buf []uint64) []uint64 {
 	if s.owned {
 		return g.AppendOwnedRows(buf)
 	}
@@ -190,6 +190,9 @@ func (s *Store) Snapshot(ref Ref, buf []uint64) (uint64, []uint64) {
 
 // LoadEncoding overwrites g with the state encoded in rows under the
 // store's equality (the buffer form of Decode, for Snapshot callers).
+// Decoding targets the dense backend: the bulk row loads are bitset
+// operations, and every decode consumer (cycle verification, hit replay)
+// lives at dense-friendly sizes.
 func (s *Store) LoadEncoding(g *graph.Graph, rows []uint64) {
 	if s.owned {
 		g.LoadOwnedRows(rows)

@@ -233,8 +233,13 @@ var (
 	// SparseNetwork builds a connected n-vertex network with extra
 	// non-tree edges in O(n + extra) expected time — the large-n
 	// counterpart of RandomConnected for landmark-oracle runs.
+	// Infeasible parameters return a typed *gen.InfeasibleError.
 	SparseNetwork = gen.SparseNetwork
-	// SparseEdges returns the edge list SparseNetwork loads.
+	// SparseCSR is SparseNetwork built directly into the CSR backend,
+	// with no dense intermediate — the constructor for networks whose
+	// O(n²/8) adjacency matrix does not fit in memory.
+	SparseCSR = gen.SparseCSR
+	// SparseEdges returns the edge list the sparse builders load.
 	SparseEdges = gen.SparseEdges
 	// NewRand builds the deterministic random source the generators use.
 	NewRand = gen.NewRand
